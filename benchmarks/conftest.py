@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper, writes
+the rendered report to ``results/`` and asserts the *shape* criteria from
+DESIGN.md §4 (who wins, by roughly what factor).  Absolute numbers are not
+compared against the paper: our substrate is a simulator, not the authors'
+testbed.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def check():
+    """Assertion helper that reports the failed criterion by name."""
+
+    def _check(condition: bool, criterion: str) -> None:
+        assert condition, f"shape criterion violated: {criterion}"
+
+    return _check

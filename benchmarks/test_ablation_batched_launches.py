@@ -1,0 +1,79 @@
+"""Launch-batching ablation.
+
+The paper's conclusion: "our approach is best suited to GPU applications
+that have long-running, high-workload GPU kernels, which consequently
+require less communication.  To reduce the overhead found in this paper
+..." -- one classic RPC-level answer is ONC RPC batching: stream kernel
+launches without waiting for replies.  This bench quantifies how much of
+the unikernels' per-launch overhead batching recovers.
+"""
+
+import pytest
+
+from repro.cubin import build_cubin_for_registry
+from repro.cubin.metadata import KernelMeta
+from repro.harness.report import render_table, save_and_print
+from repro.harness.runner import make_session
+from repro.unikernel import linux_vm, native_rust, rustyhermit, unikraft
+
+CALLS = 2_000
+
+
+def _launch_time_us(platform, *, batched: bool) -> float:
+    with make_session(platform) as session:
+        cubin = build_cubin_for_registry(session.server.device.registry, ["_Z9nopKernelv"])
+        module = session.client.module_load(cubin)
+        meta = KernelMeta.from_kinds("_Z9nopKernelv", ())
+        fn = session.client.get_function(module, "_Z9nopKernelv", meta)
+        start = session.clock.now_ns
+        for _ in range(CALLS):
+            if batched:
+                session.client.launch_kernel_batched(fn, (1, 1, 1), (1, 1, 1), ())
+            else:
+                session.client.launch_kernel(fn, (1, 1, 1), (1, 1, 1), ())
+        if batched:
+            session.client.flush()
+        return (session.clock.now_ns - start) / CALLS / 1e3
+
+
+@pytest.fixture(scope="module")
+def batching_table():
+    rows = {}
+    for factory in (native_rust, linux_vm, unikraft, rustyhermit):
+        platform = factory()
+        rows[platform.name] = (
+            _launch_time_us(platform, batched=False),
+            _launch_time_us(platform, batched=True),
+        )
+    text = render_table(
+        f"Launch batching -- per-launch latency over {CALLS} launches (us)",
+        ["platform", "synchronous [us]", "batched [us]", "reduction"],
+        [
+            (name, sync, batched, f"{100 * (1 - batched / sync):.0f}%")
+            for name, (sync, batched) in rows.items()
+        ],
+        floatfmt="{:.2f}",
+    )
+    save_and_print("ablation_batched_launches.txt", text)
+    return rows
+
+
+def test_batching_helps_every_platform(batching_table, benchmark, check):
+    rows = benchmark.pedantic(lambda: dict(batching_table), rounds=1, iterations=1)
+    for name, (sync, batched) in rows.items():
+        check(batched < sync, f"{name}: batching reduces per-launch latency")
+
+
+def test_batching_helps_virtualized_platforms_most(batching_table, benchmark, check):
+    rows = benchmark.pedantic(lambda: dict(batching_table), rounds=1, iterations=1)
+    native_gain = rows["Rust"][0] - rows["Rust"][1]
+    for name in ("Linux VM", "Hermit"):
+        gain = rows[name][0] - rows[name][1]
+        check(gain > native_gain,
+              f"{name} gains more absolute latency from batching than native")
+
+
+def test_batched_unikernel_approaches_native_sync(batching_table, benchmark, check):
+    rows = benchmark.pedantic(lambda: dict(batching_table), rounds=1, iterations=1)
+    check(rows["Hermit"][1] < rows["Rust"][0],
+          "batched Hermit launches beat even synchronous native launches")

@@ -1,0 +1,41 @@
+"""§4.2 offload ablation: Linux VM with TSO/TX-csum/SG disabled.
+
+The paper: "When we deactivate TCP segmentation offloading, transmit
+checksum offloading, and scatter-gather in the Linux VM, the bandwidth is
+reduced to approx. 923.9 MiB/s in the host-to-device direction.  However,
+the device-to-host direction is influenced much less."
+"""
+
+import pytest
+
+from repro.harness import run_offload_ablation, save_and_print
+from repro.harness.ablation import OffloadAblationResult
+
+ON = "VM, offloads on"
+OFF = "VM, TSO/csum/SG off"
+
+
+@pytest.fixture(scope="module")
+def ablation() -> OffloadAblationResult:
+    result = run_offload_ablation()
+    save_and_print("ablation_offloads.txt", result.render())
+    return result
+
+
+def test_h2d_collapses_to_about_924_mib_s(ablation, benchmark, check):
+    benchmark.pedantic(lambda: ablation.h2d[OFF], rounds=1, iterations=1)
+    h2d_off = ablation.h2d[OFF]
+    check(
+        923.9 * 0.85 < h2d_off < 923.9 * 1.15,
+        f"offload-less VM H2D ~923.9 MiB/s (got {h2d_off:.1f})",
+    )
+    check(h2d_off < 0.75 * ablation.h2d[ON], "disabling offloads costs > 25% of H2D")
+
+
+def test_d2h_influenced_much_less(ablation, benchmark, check):
+    benchmark.pedantic(lambda: ablation.d2h[OFF], rounds=1, iterations=1)
+    d2h_ratio = ablation.d2h[OFF] / ablation.d2h[ON]
+    h2d_ratio = ablation.h2d[OFF] / ablation.h2d[ON]
+    check(d2h_ratio > 0.9, "D2H barely affected by transmit offloads")
+    check(d2h_ratio > h2d_ratio + 0.2,
+          "the receive direction is influenced much less than transmit")

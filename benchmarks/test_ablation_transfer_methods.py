@@ -1,0 +1,45 @@
+"""§4.2 transfer-method comparison: Cricket's four memory-transfer paths.
+
+The paper's ordering: RPC arguments (single-threaded, CPU-bound) <
+parallel sockets (staging buffer remains) < GPUDirect RDMA / shared memory
+(no staging buffer).  Only RPC arguments work from unikernels.
+"""
+
+import pytest
+
+from repro.harness import run_transfer_method_comparison, save_and_print
+from repro.harness.ablation import TransferMethodResult
+
+
+@pytest.fixture(scope="module")
+def methods() -> TransferMethodResult:
+    result = run_transfer_method_comparison()
+    save_and_print("ablation_transfer_methods.txt", result.render())
+    return result
+
+
+def test_method_ordering(methods, benchmark, check):
+    bw = benchmark.pedantic(lambda: dict(methods.bandwidth_MiBps), rounds=1, iterations=1)
+    check(bw["rpc-args"] < bw["parallel-sockets"],
+          "parallel sockets beat single-connection RPC arguments")
+    check(bw["parallel-sockets"] < bw["ib-gpudirect"],
+          "GPUDirect RDMA beats parallel sockets (no staging buffer)")
+    check(bw["parallel-sockets"] < bw["shared-memory"],
+          "shared memory beats parallel sockets for local clients")
+
+
+def test_unikernel_support_matrix(methods, benchmark, check):
+    support = benchmark.pedantic(
+        lambda: dict(methods.supported_by_unikernels), rounds=1, iterations=1
+    )
+    check(support["rpc-args"], "unikernels support RPC-argument transfers")
+    for method in ("parallel-sockets", "ib-gpudirect", "shared-memory"):
+        check(not support[method], f"unikernels cannot use {method}")
+
+
+def test_fastest_method_near_hardware_limits(methods, benchmark, check):
+    """GPUDirect is bounded by min(line rate, PCIe), not by a CPU core."""
+    bw = benchmark.pedantic(lambda: dict(methods.bandwidth_MiBps), rounds=1, iterations=1)
+    line_rate_MiBps = 100e9 / 8 / (1 << 20)
+    check(bw["ib-gpudirect"] > 0.9 * min(line_rate_MiBps, 26e9 / (1 << 20)),
+          "GPUDirect reaches ~hardware limits")

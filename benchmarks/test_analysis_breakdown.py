@@ -1,0 +1,86 @@
+"""Cost-attribution analysis: §4.2's explanations, asserted.
+
+The paper attributes its measurements to mechanisms; this bench decomposes
+each regime's virtual time by component and asserts those attributions:
+
+* bulk transfers on RustyHermit are dominated by the *guest network
+  stack* (its per-segment streaming costs without TSO),
+* bulk transfers on native are dominated by copy work split between the
+  endpoint stacks -- the "single-core bound" explanation,
+* small-call latency on the Linux VM is dominated by the guest side
+  (stack + virtualization), not by the wire,
+* on native, small-call time is mostly wire latency, which is why remote
+  GPU virtualization is viable at all for compute-heavy kernels.
+"""
+
+import pytest
+
+from repro.harness.breakdown import (
+    bulk_upload_workload,
+    chatty_workload,
+    measure_breakdown,
+)
+from repro.harness.report import save_and_print
+from repro.unikernel import linux_vm, native_rust, rustyhermit
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    out = {}
+    for regime, workload in (
+        ("bulk", bulk_upload_workload()),
+        ("chatty", chatty_workload()),
+    ):
+        for factory in (native_rust, linux_vm, rustyhermit):
+            platform = factory()
+            out[(regime, platform.name)] = measure_breakdown(platform, workload)
+    text = "\n\n".join(
+        f"[{regime} workload]\n" + bd.render() for (regime, _), bd in out.items()
+    )
+    save_and_print("analysis_breakdown.txt", text)
+    return out
+
+
+def test_hermit_bulk_time_lives_in_the_guest_stack(breakdowns, benchmark, check):
+    bd = benchmark.pedantic(
+        lambda: breakdowns[("bulk", "Hermit")], rounds=1, iterations=1
+    )
+    check(bd.dominant() == "client_stack",
+          "Hermit bulk transfers dominated by the guest network stack")
+    check(bd.fraction("client_stack") > 0.75,
+          "guest stack carries > 75% of Hermit's bulk-transfer time")
+
+
+def test_native_bulk_is_copy_bound_not_wire_bound(breakdowns, benchmark, check):
+    bd = benchmark.pedantic(
+        lambda: breakdowns[("bulk", "Rust")], rounds=1, iterations=1
+    )
+    stacks = bd.fraction("client_stack") + bd.fraction("server_stack")
+    check(stacks > 0.5,
+          "native bulk transfers dominated by endpoint copy work (CPU bound)")
+    check(bd.fraction("wire") < stacks,
+          "the 100GbE wire is not the native bottleneck")
+
+
+def test_vm_chatty_overhead_is_guest_side(breakdowns, benchmark, check):
+    bd = benchmark.pedantic(
+        lambda: breakdowns[("chatty", "Linux VM")], rounds=1, iterations=1
+    )
+    check(bd.fraction("client_stack") > bd.fraction("wire"),
+          "VM per-call latency dominated by guest-side costs, not the wire")
+
+
+def test_native_chatty_time_is_mostly_wire(breakdowns, benchmark, check):
+    bd = benchmark.pedantic(
+        lambda: breakdowns[("chatty", "Rust")], rounds=1, iterations=1
+    )
+    check(bd.dominant() == "wire",
+          "native per-call time dominated by link latency")
+
+
+def test_components_sum_to_total(breakdowns, benchmark, check):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for bd in breakdowns.values():
+        total = sum(bd.components_s.values())
+        check(total == pytest.approx(bd.total_s, rel=0.02),
+              f"{bd.platform}: breakdown components account for the total")

@@ -1,0 +1,52 @@
+"""GPU consolidation at scale: the paper's deployment claim, quantified.
+
+"Because the use case of unikernels involves using many unikernels to run
+isolated applications, mapping entire GPUs to individual unikernels is not
+feasible.  In contrast, our approach allows the flexibility of sharing GPU
+devices across many unikernels" (§5).  The experiment shows utilization
+climbing with tenant count -- and that more-than-seven tenants (the
+A100's SR-IOV partition limit) work fine under RPC-level sharing.
+"""
+
+import pytest
+
+from repro.harness.report import save_and_print
+from repro.harness.scaling import ScalingResult, run_scaling
+
+
+@pytest.fixture(scope="module")
+def scaling() -> ScalingResult:
+    result = run_scaling()
+    save_and_print("analysis_scaling.txt", result.render())
+    return result
+
+
+def test_utilization_grows_with_tenant_count(scaling, benchmark, check):
+    curve = benchmark.pedantic(
+        lambda: scaling.utilization_curve("fifo"), rounds=1, iterations=1
+    )
+    check(all(b >= a - 1e-9 for a, b in zip(curve, curve[1:])),
+          "GPU utilization is monotonically non-decreasing in tenant count")
+    check(curve[0] < 0.5, "one tenant cannot saturate the shared GPU")
+    check(curve[-1] > 0.9, "32 tenants drive the GPU near saturation")
+
+
+def test_sharing_beyond_sriov_partition_limit(scaling, benchmark, check):
+    """The A100 allows only 7 SR-IOV partitions; RPC sharing has no such cap."""
+    points = benchmark.pedantic(
+        lambda: scaling.curves["fifo"], rounds=1, iterations=1
+    )
+    beyond = [p for p in points if p.tenants > 7]
+    check(len(beyond) >= 2, "the sweep exercises > 7 tenants")
+    check(all(p.fairness > 0.95 for p in beyond),
+          "fair sharing holds past the SR-IOV partition limit")
+
+
+def test_round_robin_bounds_queueing_at_saturation(scaling, benchmark, check):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fifo = {p.tenants: p for p in scaling.curves["fifo"]}
+    rr = {p.tenants: p for p in scaling.curves["round-robin"]}
+    check(rr[32].mean_wait_ns <= fifo[32].mean_wait_ns * 1.05,
+          "round-robin never queues meaningfully worse than FIFO")
+    check(rr[32].fairness >= fifo[32].fairness - 1e-9,
+          "round-robin is at least as fair as FIFO at saturation")

@@ -1,0 +1,80 @@
+"""Bandwidth shmoo: where the latency->bandwidth crossover falls.
+
+Sweeping transfer sizes (bandwidthTest's shmoo mode) connects Figures 6
+and 7: at small sizes per-call latency dominates, so the platforms differ
+by their Figure 6 ratios (~2x for Hermit); at large sizes per-byte costs
+dominate and the gap opens to the Figure 7 ratios (~9x H2D).  The
+crossover region is where the paper's advice "best suited to ... kernels
+which require less communication" becomes quantitative.
+"""
+
+import pytest
+
+from repro.apps import bandwidth
+from repro.harness.report import render_table, save_and_print
+from repro.harness.runner import make_session
+from repro.unikernel import native_rust, rustyhermit
+
+KIB = 1 << 10
+MIB = 1 << 20
+SIZES = [4 * KIB, 64 * KIB, 1 * MIB, 8 * MIB, 64 * MIB]
+
+
+@pytest.fixture(scope="module")
+def shmoo():
+    curves = {}
+    for factory in (native_rust, rustyhermit):
+        platform = factory()
+        with make_session(platform, device_mem=128 * MIB) as session:
+            curves[platform.name] = bandwidth.shmoo(session, SIZES)
+    rows = [
+        (
+            f"{size // KIB} KiB" if size < MIB else f"{size // MIB} MiB",
+            curves["Rust"][size].h2d_MiBps,
+            curves["Hermit"][size].h2d_MiBps,
+            f"{curves['Rust'][size].h2d_MiBps / curves['Hermit'][size].h2d_MiBps:.1f}x",
+        )
+        for size in SIZES
+    ]
+    text = render_table(
+        "Bandwidth shmoo -- H2D effective MiB/s by transfer size",
+        ["size", "Rust native", "Hermit", "native advantage"],
+        rows,
+        floatfmt="{:.1f}",
+    )
+    save_and_print("analysis_shmoo.txt", text)
+    return curves
+
+
+def test_small_transfers_track_call_latency_ratio(shmoo, benchmark, check):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    size = 4 * KIB
+    ratio = shmoo["Rust"][size].h2d_MiBps / shmoo["Hermit"][size].h2d_MiBps
+    check(1.5 < ratio < 3.0,
+          f"at 4 KiB the gap matches Figure 6's ~2x call latency (got {ratio:.1f}x)")
+
+
+def test_large_transfers_track_bandwidth_ratio(shmoo, benchmark, check):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    size = 64 * MIB
+    ratio = shmoo["Rust"][size].h2d_MiBps / shmoo["Hermit"][size].h2d_MiBps
+    check(ratio > 5.0,
+          f"at 64 MiB the gap opens toward Figure 7's ~9x (got {ratio:.1f}x)")
+
+
+def test_gap_widens_monotonically_with_size(shmoo, benchmark, check):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ratios = [
+        shmoo["Rust"][size].h2d_MiBps / shmoo["Hermit"][size].h2d_MiBps
+        for size in SIZES
+    ]
+    check(ratios[-1] > ratios[0] * 2,
+          "the native advantage at least doubles across the sweep")
+
+
+def test_effective_bandwidth_grows_with_size_on_every_platform(shmoo, benchmark, check):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, curve in shmoo.items():
+        rates = [curve[size].h2d_MiBps for size in SIZES]
+        check(rates[-1] > rates[0],
+              f"{name}: fixed costs amortize as transfers grow")

@@ -1,0 +1,74 @@
+"""Figure 6: execution time of 100 000 CUDA API calls.
+
+Shape criteria (DESIGN.md §4):
+
+* the Linux VM is slowest for every API,
+* RustyHermit is the fastest virtualized configuration but still more than
+  double native,
+* Rust kernel launches are ~5-8 % faster than C (paper: 6.3 %),
+* C and Rust are near-identical on the non-launch APIs,
+* cudaMalloc/cudaFree costs more than cudaGetDeviceCount (bookkeeping).
+"""
+
+import pytest
+
+from repro.harness import run_figure6, save_and_print
+from repro.harness.figure6 import Figure6Result
+
+PLATFORMS = ("C", "Rust", "Linux VM", "Unikraft", "Hermit")
+
+
+@pytest.fixture(scope="module")
+def fig6() -> Figure6Result:
+    result = run_figure6()
+    save_and_print("figure6.txt", result.render())
+    return result
+
+
+def _assert_common_shape(fig6, bench, check):
+    t = {p: fig6.seconds(bench, p) for p in PLATFORMS}
+    check(max(t, key=t.get) == "Linux VM", f"{bench}: Linux VM requires the most time")
+    check(
+        t["Hermit"] < t["Unikraft"] < t["Linux VM"],
+        f"{bench}: Hermit shows the smallest virtualized overhead",
+    )
+    check(t["Hermit"] > 2.0 * t["Rust"], f"{bench}: Hermit still > 2x native")
+
+
+def test_fig6a_getdevicecount(fig6, benchmark, check):
+    benchmark.pedantic(lambda: fig6.seconds("cudaGetDeviceCount", "Rust"), rounds=1, iterations=1)
+    _assert_common_shape(fig6, "cudaGetDeviceCount", check)
+    ratio = fig6.ratio("cudaGetDeviceCount", "C")
+    check(abs(ratio - 1.0) < 0.03, "fig6a C and Rust nearly identical")
+
+
+def test_fig6b_malloc_free(fig6, benchmark, check):
+    benchmark.pedantic(lambda: fig6.seconds("cudaMalloc/cudaFree", "Rust"), rounds=1, iterations=1)
+    _assert_common_shape(fig6, "cudaMalloc/cudaFree", check)
+    check(
+        fig6.seconds("cudaMalloc/cudaFree", "Rust")
+        > fig6.seconds("cudaGetDeviceCount", "Rust"),
+        "fig6b allocations cost more than the trivial API (bookkeeping)",
+    )
+
+
+def test_fig6c_kernel_launch(fig6, benchmark, check):
+    benchmark.pedantic(lambda: fig6.seconds("kernel launch", "Rust"), rounds=1, iterations=1)
+    _assert_common_shape(fig6, "kernel launch", check)
+    c_vs_rust = fig6.ratio("kernel launch", "C") - 1.0
+    check(
+        0.04 < c_vs_rust < 0.09,
+        f"fig6c Rust launches ~6.3% faster than C (got {c_vs_rust:.1%})",
+    )
+
+
+def test_fig6_per_call_latency_wallclock(benchmark):
+    """Wall-clock throughput of the launch path (implementation health)."""
+    from repro.harness.runner import make_session
+    from repro.unikernel import native_rust
+
+    session = make_session(native_rust())
+    module = session.load_builtin_module(["_Z9nopKernelv"])
+    kernel = module.function("_Z9nopKernelv")
+    benchmark(lambda: kernel.launch((1, 1, 1), (1, 1, 1)))
+    session.close()

@@ -1,0 +1,100 @@
+"""Implementation micro-benchmarks (wall clock).
+
+Not a paper figure: these track the hot paths of the reproduction itself
+-- XDR coding, record framing, the full RPC round trip, the allocator and
+the cubin compressor -- so performance regressions in the substrate are
+visible in CI.
+"""
+
+import numpy as np
+
+from repro.cubin import compress, decompress
+from repro.cricket import CricketClient, CricketServer
+from repro.gpu import A100, GpuDevice
+from repro.gpu.memory import DeviceAllocator
+from repro.oncrpc import encode_record
+from repro.oncrpc.record import RecordReader
+from repro.xdr import XdrDecoder, XdrEncoder
+
+MIB = 1 << 20
+
+
+def test_xdr_encode_ints(benchmark):
+    def encode():
+        enc = XdrEncoder()
+        for i in range(1000):
+            enc.pack_uint(i)
+        return enc.getvalue()
+
+    assert len(benchmark(encode)) == 4000
+
+
+def test_xdr_opaque_roundtrip(benchmark):
+    payload = bytes(64 * 1024)
+
+    def roundtrip():
+        enc = XdrEncoder()
+        enc.pack_opaque(payload)
+        return XdrDecoder(enc.getvalue()).unpack_opaque()
+
+    assert len(benchmark(roundtrip)) == len(payload)
+
+
+def test_record_framing(benchmark):
+    record = bytes(1 * MIB)
+
+    def frame_and_reassemble():
+        framed = memoryview(encode_record(record, 64 * 1024))
+        cursor = [0]
+
+        def read(n):
+            start = cursor[0]
+            chunk = framed[start : start + n]
+            cursor[0] = start + len(chunk)
+            return chunk.tobytes()
+
+        return RecordReader(read).read_record()
+
+    assert benchmark(frame_and_reassemble) == record
+
+
+def test_rpc_null_call(benchmark):
+    server = CricketServer([GpuDevice(A100, mem_bytes=MIB)])
+    client = CricketClient.loopback(server)
+    benchmark(client.get_device_count)
+    client.close()
+
+
+def test_allocator_churn(benchmark):
+    allocator = DeviceAllocator(64 * MIB)
+
+    def churn():
+        ptrs = [allocator.alloc(4096) for _ in range(100)]
+        for ptr in ptrs:
+            allocator.free(ptr)
+
+    benchmark(churn)
+    assert allocator.used_bytes == 0
+
+
+def test_compression_roundtrip(benchmark):
+    data = (b"SASS:" + bytes(range(64))) * 512  # ~35 KiB, compressible
+
+    def roundtrip():
+        return decompress(compress(data))
+
+    assert benchmark(roundtrip) == data
+
+
+def test_kernel_execution_vector_add(benchmark):
+    device = GpuDevice(A100, mem_bytes=64 * MIB)
+    n = 1 << 20
+    a = device.alloc(4 * n)
+    b = device.alloc(4 * n)
+    c = device.alloc(4 * n)
+    device.allocator.view(a, 4 * n).view(np.float32)[:] = 1.0
+    device.allocator.view(b, 4 * n).view(np.float32)[:] = 2.0
+
+    benchmark(
+        lambda: device.launch("vectorAdd", (n // 256, 1, 1), (256, 1, 1), (a, b, c, n))
+    )

@@ -1,0 +1,38 @@
+"""Table 1: the five evaluated configurations.
+
+Regenerates the configuration table and checks it cell-by-cell against the
+paper's Table 1 (the only artifact reproducible exactly).
+"""
+
+from repro.harness import PAPER_TABLE1, save_and_print, table1, table1_rows
+from repro.harness.runner import make_session
+from repro.unikernel import native_rust
+
+
+def test_table1_matches_paper(benchmark, check):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    save_and_print("table1.txt", table1())
+    got = [(r.name, r.app_language, r.os_name, r.hypervisor, r.network) for r in rows]
+    check(got == PAPER_TABLE1, "Table 1 rows match the paper exactly")
+
+
+def test_all_configurations_reach_the_gpu(benchmark, check):
+    """Every Table 1 configuration can actually talk to the Cricket server."""
+    from repro.harness import eval_platforms
+
+    def probe() -> list[int]:
+        counts = []
+        for platform in eval_platforms():
+            with make_session(platform) as session:
+                counts.append(session.client.get_device_count())
+        return counts
+
+    counts = benchmark.pedantic(probe, rounds=1, iterations=1)
+    check(counts == [1] * 5, "all five configurations see one A100")
+
+
+def test_rpc_round_trip_cost(benchmark):
+    """Wall-clock cost of one CUDA call through the full stub/RPC path."""
+    session = make_session(native_rust())
+    benchmark(session.client.get_device_count)
+    session.close()

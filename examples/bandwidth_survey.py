@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Bandwidth survey: Figure 7 plus the transfer-method ablation.
+
+Measures RPC-argument transfer bandwidth on every Table 1 platform (a
+reduced-size Figure 7), then compares Cricket's four transfer methods and
+shows why unikernels are stuck with the slowest one.
+
+Run:  python examples/bandwidth_survey.py
+"""
+
+from repro import GpuSession, SessionConfig
+from repro.apps import bandwidth
+from repro.cricket import TransferMethod, TransferTimingModel, supported_on
+from repro.unikernel import EVAL_LINK, rustyhermit, table1_platforms, unikraft
+
+MIB = 1 << 20
+SIZE = 128 * MIB
+
+
+def main() -> None:
+    print(f"=== RPC-argument transfers, {SIZE // MIB} MiB (Figure 7) ===")
+    baseline = None
+    for platform in table1_platforms():
+        config = SessionConfig(platform=platform, execute=False,
+                               device_mem_bytes=SIZE + 64 * MIB)
+        with GpuSession(config) as session:
+            result = bandwidth.run(session, transfer_bytes=SIZE, verify=False)
+        if platform.name == "Rust":
+            baseline = result
+        rel_h2d = result.h2d_MiBps / baseline.h2d_MiBps if baseline else 1.0
+        print(f"  {platform.name:<10} D2H {result.d2h_MiBps:8.1f} MiB/s   "
+              f"H2D {result.h2d_MiBps:8.1f} MiB/s  ({rel_h2d:5.1%} of native)")
+
+    print("\n=== Cricket transfer methods (analytic, H2D) ===")
+    timing = TransferTimingModel(link=EVAL_LINK)
+    methods = {
+        TransferMethod.PARALLEL_SOCKETS: timing.parallel_sockets_s(SIZE, 5e9, threads=4),
+        TransferMethod.IB_GPUDIRECT: timing.ib_gpudirect_s(SIZE),
+        TransferMethod.SHARED_MEMORY: timing.shared_memory_s(SIZE),
+    }
+    for method, seconds in methods.items():
+        unikernel_ok = all(
+            supported_on(method, p) for p in (rustyhermit(), unikraft())
+        )
+        note = "" if unikernel_ok else "   (unavailable from unikernels)"
+        print(f"  {method.value:<18} {SIZE / MIB / seconds:8.1f} MiB/s{note}")
+    print("\nunikernels lack InfiniBand drivers and host shared memory, so the")
+    print("whole evaluation runs over single-threaded RPC-argument transfers.")
+
+
+if __name__ == "__main__":
+    main()

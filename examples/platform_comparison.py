@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Platform comparison: the paper's Figure 5 in miniature.
+
+Runs the three proxy applications on all five Table 1 configurations (at a
+reduced iteration count) and prints execution times plus the overhead each
+platform pays over native Rust.
+
+Run:  python examples/platform_comparison.py
+"""
+
+from repro import GpuSession, SessionConfig
+from repro.apps import histogram, linearsolver, matrixmul
+from repro.unikernel import table1_platforms
+
+MIB = 1 << 20
+
+WORKLOADS = [
+    ("matrixMul", lambda s: matrixmul.run(s, iterations=2_000, verify=False)),
+    ("cuSolver LU", lambda s: linearsolver.run(s, n=900, iterations=20, verify=False)),
+    ("histogram", lambda s: histogram.run(s, iterations=1_000, verify=False)),
+]
+
+
+def main() -> None:
+    for app_name, runner in WORKLOADS:
+        print(f"\n=== {app_name} ===")
+        baseline = None
+        for platform in table1_platforms():
+            config = SessionConfig(platform=platform, execute=False,
+                                   device_mem_bytes=512 * MIB)
+            with GpuSession(config) as session:
+                result = runner(session)
+            if platform.name == "Rust":
+                baseline = result.elapsed_s
+            ratio = f"{result.elapsed_s / baseline:5.2f}x" if baseline else "    -"
+            print(f"  {platform.name:<10} {result.elapsed_s:8.3f} s  {ratio}  "
+                  f"({result.api_calls} API calls, "
+                  f"{result.bytes_transferred / MIB:7.2f} MiB transferred)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Spectral analysis via remote cuFFT from a Unikraft unikernel.
+
+The paper lists cuFFT among the CUDA libraries applications depend on
+(§3.3).  This example runs a small signal-processing pipeline entirely
+over the Cricket RPC path: generate a noisy multi-tone signal, upload it,
+run a batched R2C FFT on the remote A100, and read back the spectrum to
+recover the tones.
+
+Run:  python examples/spectral_analysis.py
+"""
+
+import numpy as np
+
+from repro import GpuSession, SessionConfig
+from repro.cuda.cufft import CUFFT_R2C
+from repro.unikernel import unikraft
+
+MIB = 1 << 20
+
+
+def main() -> None:
+    config = SessionConfig(platform=unikraft(), device_mem_bytes=64 * MIB)
+    with GpuSession(config) as session:
+        n = 4096
+        sample_rate = 8192.0
+        tones_hz = [440.0, 1000.0, 2500.0]
+
+        t = np.arange(n, dtype=np.float32) / sample_rate
+        rng = np.random.default_rng(0)
+        signal = sum(np.sin(2 * np.pi * f * t) for f in tones_hz).astype(np.float32)
+        signal += 0.2 * rng.standard_normal(n).astype(np.float32)
+
+        with session.measure() as span:
+            src = session.upload(signal)
+            half = n // 2 + 1
+            dst = session.alloc(8 * half)
+            plan = session.client.cufft_plan1d(n, CUFFT_R2C)
+            session.client.cufft_exec_r2c(plan, src.ptr, dst.ptr)
+            spectrum = dst.read_array(np.complex64, half)
+            session.client.cufft_destroy(plan)
+
+        magnitude = np.abs(spectrum)
+        magnitude[0] = 0  # ignore DC
+        bins = np.argsort(magnitude)[-3:]
+        found_hz = sorted(float(b) * sample_rate / n for b in bins)
+        print(f"injected tones: {sorted(tones_hz)} Hz")
+        print(f"recovered tones over remote cuFFT: "
+              f"{[round(f, 1) for f in found_hz]} Hz")
+        for expected, got in zip(sorted(tones_hz), found_hz):
+            assert abs(expected - got) < sample_rate / n, "tone recovery failed"
+        print(f"platform: {config.platform.name}; "
+              f"virtual time {span.elapsed_s * 1e3:.3f} ms; "
+              f"{session.api_calls} CUDA calls over RPC")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""bandwidthTest proxy application (CUDA samples port).
+
+Measures host-to-device and device-to-host memory-transfer bandwidth
+through the Cricket virtualization layer using RPC-argument transfers --
+the method used throughout the paper's evaluation (Figure 7: 512 MiB on a
+Tesla A100 over 100 Gbit/s Ethernet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.session import GpuSession
+
+MIB = 1 << 20
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """Bandwidths measured by one run."""
+
+    platform: str
+    transfer_bytes: int
+    h2d_MiBps: float
+    d2h_MiBps: float
+    verified: bool | None = None
+
+
+def run(
+    session: GpuSession,
+    *,
+    transfer_bytes: int = 512 * MIB,
+    chunk_bytes: int | None = None,
+    verify: bool | None = None,
+) -> BandwidthResult:
+    """Measure H2D and D2H bandwidth over the session's platform.
+
+    ``chunk_bytes`` splits the transfer into multiple memcpys (the CUDA
+    sample's MEMCOPY_ITERATIONS); default is one large transfer, matching
+    the paper's 512 MiB configuration.
+    """
+    if verify is None:
+        verify = session.config.execute
+    chunk = transfer_bytes if chunk_bytes is None else chunk_bytes
+    if chunk <= 0 or transfer_bytes % chunk:
+        raise ValueError("transfer size must be a multiple of the chunk size")
+    chunks = transfer_bytes // chunk
+
+    if verify:
+        payload = np.arange(transfer_bytes, dtype=np.uint8).tobytes()
+    else:
+        payload = bytes(transfer_bytes)
+
+    buffer = session.alloc(transfer_bytes)
+
+    # Host to device
+    with session.measure() as h2d_span:
+        for i in range(chunks):
+            buffer.write(payload[i * chunk : (i + 1) * chunk], offset=i * chunk)
+    # Device to host
+    readback = bytearray()
+    with session.measure() as d2h_span:
+        for i in range(chunks):
+            part = buffer.read(chunk, offset=i * chunk)
+            if verify:
+                readback.extend(part)
+
+    buffer.free()
+
+    verified: bool | None = None
+    if verify:
+        verified = bytes(readback) == payload
+
+    return BandwidthResult(
+        platform=session.config.platform.name,
+        transfer_bytes=transfer_bytes,
+        h2d_MiBps=transfer_bytes / MIB / h2d_span.elapsed_s,
+        d2h_MiBps=transfer_bytes / MIB / d2h_span.elapsed_s,
+        verified=verified,
+    )
+
+
+def shmoo(
+    session: GpuSession,
+    sizes: list[int] | None = None,
+) -> dict[int, BandwidthResult]:
+    """bandwidthTest's shmoo mode: sweep transfer sizes.
+
+    Exposes the crossover between the latency-dominated regime (small
+    transfers, where per-call costs rule and the platforms differ by their
+    Figure 6 ratios) and the bandwidth-dominated regime (large transfers,
+    where per-byte costs rule and the platforms differ by their Figure 7
+    ratios).  The default sweep spans 1 KiB to 64 MiB in powers of four.
+    """
+    if sizes is None:
+        sizes = [1 << k for k in range(10, 27, 2)]  # 1 KiB .. 64 MiB
+    out: dict[int, BandwidthResult] = {}
+    for size in sizes:
+        out[size] = run(session, transfer_bytes=size, verify=False)
+    return out

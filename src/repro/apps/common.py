@@ -1,0 +1,47 @@
+"""Shared plumbing for the proxy applications.
+
+Each application mirrors one CUDA-samples program ported to run over
+Cricket (as the paper did for its Rust ports): it takes a
+:class:`~repro.core.session.GpuSession`, performs its workload through the
+public API, optionally verifies numerics, and reports the paper's measured
+quantities -- total (virtual) execution time, CUDA API call count, and
+bytes transferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class AppResult:
+    """Outcome of one proxy-application run."""
+
+    app: str
+    platform: str
+    #: total virtual execution time, seconds (the GNU `time` equivalent)
+    elapsed_s: float
+    #: virtual time spent before the first CUDA call (input generation)
+    init_s: float
+    #: CUDA API calls issued over RPC
+    api_calls: int
+    #: bytes moved over the virtual wire, both directions
+    bytes_transferred: int
+    #: None when run timing-only; True/False when numerics were checked
+    verified: bool | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def compute_s(self) -> float:
+        """Execution time excluding initialization (paper's ex-init view)."""
+        return self.elapsed_s - self.init_s
+
+    def row(self) -> str:
+        """One formatted report row."""
+        verified = {None: "-", True: "ok", False: "FAIL"}[self.verified]
+        return (
+            f"{self.app:<22} {self.platform:<10} {self.elapsed_s:>10.4f} s "
+            f"{self.api_calls:>9} calls {self.bytes_transferred / (1 << 20):>9.2f} MiB "
+            f"[{verified}]"
+        )

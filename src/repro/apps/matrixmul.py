@@ -1,0 +1,93 @@
+"""matrixMul proxy application (CUDA samples port).
+
+The paper's configuration: 100 000 iterations of C = A x B with the CUDA
+sample's default geometry (A: 320x320, B: 320x640, both float32), which
+yields 100 041 CUDA API calls and 1.95 MiB of memory transfers -- the
+matrices move once; only kernel launches repeat.  Launches are
+asynchronous; the application synchronizes once at the end, so this
+workload measures pure call-forwarding latency (which is why unikernels
+show > 2x overhead on it, §4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppResult
+from repro.core.session import GpuSession
+
+BLOCK = 16
+
+
+def run(
+    session: GpuSession,
+    *,
+    iterations: int = 100_000,
+    wa: int = 320,
+    ha: int = 320,
+    wb: int = 640,
+    verify: bool | None = None,
+) -> AppResult:
+    """Run matrixMul; returns measured quantities.
+
+    ``verify`` defaults to the session's execute mode.
+    """
+    if wa % BLOCK or ha % BLOCK or wb % BLOCK:
+        raise ValueError(f"matrix dimensions must be multiples of {BLOCK}")
+    if verify is None:
+        verify = session.config.execute
+
+    with session.measure() as span:
+        # -- initialization (constant fill, as in the C sample) -----------
+        with session.measure() as init_span:
+            a_host = np.full((ha, wa), 1.0, dtype=np.float32)
+            b_host = np.full((wa, wb), 0.01, dtype=np.float32)
+            # constant fill is memory-bandwidth work on the host
+            session.charge_host_cpu((a_host.nbytes + b_host.nbytes) / 8e9)
+
+        session.client.get_device_count()
+        session.client.get_device_properties(0)
+
+        module = session.load_builtin_module(["matrixMulCUDA"])
+        kernel = module.function("matrixMulCUDA")
+
+        a_dev = session.alloc(a_host.nbytes)
+        b_dev = session.alloc(b_host.nbytes)
+        c_dev = session.alloc(4 * ha * wb)
+        a_dev.write(a_host)
+        b_dev.write(b_host)
+
+        grid = (wb // BLOCK, ha // BLOCK, 1)
+        block = (BLOCK, BLOCK, 1)
+        with session.measure() as loop_span:
+            for _ in range(iterations):
+                kernel.launch(grid, block, c_dev, a_dev, b_dev, wa, wb)
+            session.synchronize()
+
+        # The sample always copies the result back (part of the paper's
+        # 1.95 MiB transfer volume); verification is optional.
+        result = c_dev.read_array(np.float32).reshape(ha, wb)
+
+        c_dev.free()
+        b_dev.free()
+        a_dev.free()
+        module.unload()
+
+    verified: bool | None = None
+    if verify and result is not None:
+        verified = bool(np.allclose(result, a_host @ b_host, rtol=1e-4))
+
+    return AppResult(
+        app="matrixMul",
+        platform=session.config.platform.name,
+        elapsed_s=span.elapsed_s,
+        init_s=init_span.elapsed_s,
+        api_calls=session.api_calls,
+        bytes_transferred=session.bytes_transferred,
+        verified=verified,
+        extra={
+            "iterations": iterations,
+            "geometry": (ha, wa, wb),
+            "loop_s": loop_span.elapsed_s,
+        },
+    )

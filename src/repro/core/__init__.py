@@ -1,0 +1,24 @@
+"""Core public API: GPU access from (simulated) unikernel applications.
+
+This is the paper's contribution as a library surface: an application binds
+a :class:`~repro.core.session.GpuSession` for its platform (RustyHermit,
+Unikraft, Linux VM or native) and uses GPUs through RPC-Lib-style safe
+wrappers over the Cricket RPC interface.
+"""
+
+from repro.core.buffer import DeviceBuffer
+from repro.core.config import SessionConfig
+from repro.core.errors import DoubleFreeClientError, LifetimeError, UseAfterFreeError
+from repro.core.module import Function, Module
+from repro.core.session import GpuSession
+
+__all__ = [
+    "GpuSession",
+    "SessionConfig",
+    "DeviceBuffer",
+    "Module",
+    "Function",
+    "LifetimeError",
+    "UseAfterFreeError",
+    "DoubleFreeClientError",
+]

@@ -1,0 +1,27 @@
+"""Session configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.catalog import A100, GpuSpec
+from repro.net.link import LinkModel
+from repro.unikernel.platform import Platform
+from repro.unikernel.presets import EVAL_LINK, native_rust
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything needed to stand up a simulated GPU session.
+
+    The defaults reproduce the paper's testbed: a Rust application on a
+    native Linux node reaching one A100 on the GPU node over 100 GbE.
+    """
+
+    platform: Platform = field(default_factory=native_rust)
+    link: LinkModel = EVAL_LINK
+    gpu: GpuSpec = A100
+    #: execute kernels numerically (False = timing-only, for full-scale runs)
+    execute: bool = True
+    #: cap on simulated device memory backing (None = the GPU's real size)
+    device_mem_bytes: int | None = None

@@ -1,0 +1,20 @@
+"""Core-layer exceptions: the lifetime violations RPC-Lib rules out."""
+
+from __future__ import annotations
+
+
+class LifetimeError(Exception):
+    """A GPU allocation was used outside its lifetime.
+
+    In RPC-Lib, the Rust borrow checker makes these states unrepresentable
+    at compile time; the Python port detects them at the call site -- before
+    any RPC is issued -- and raises instead.
+    """
+
+
+class UseAfterFreeError(LifetimeError):
+    """A freed :class:`~repro.core.buffer.DeviceBuffer` was dereferenced."""
+
+
+class DoubleFreeClientError(LifetimeError):
+    """A :class:`~repro.core.buffer.DeviceBuffer` was freed twice."""

@@ -1,0 +1,69 @@
+"""Cricket GPU virtualization: the paper's server and client layers.
+
+* :mod:`repro.cricket.spec` -- the RPCL interface definition,
+* :mod:`repro.cricket.server` -- the GPU-node RPC server (Figure 3's right
+  half),
+* :mod:`repro.cricket.client` -- the application-side virtualization layer
+  (Figure 3's left half), built entirely from the generated RPCL stubs,
+* :mod:`repro.cricket.params` -- CUDA-ABI kernel parameter packing,
+* :mod:`repro.cricket.transfer` -- the four memory-transfer methods,
+* :mod:`repro.cricket.checkpoint` -- checkpoint/restart of server state,
+* :mod:`repro.cricket.scheduler` -- GPU-sharing scheduling policies.
+"""
+
+from repro.cricket.checkpoint import (
+    load_checkpoint,
+    restore_server,
+    save_checkpoint,
+    snapshot_server,
+)
+from repro.cricket.client import CricketClient, cricket_interface
+from repro.cricket.data_channel import DataChannelClient, DataChannelServer
+from repro.cricket.errors import CheckpointError, CricketError, TransferUnsupportedError
+from repro.cricket.params import pack_params, unpack_params
+from repro.cricket.scheduler import (
+    FairSharePolicy,
+    FifoPolicy,
+    GpuScheduler,
+    RoundRobinPolicy,
+    ScheduledItem,
+    WorkItem,
+)
+from repro.cricket.server import CricketServer
+from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
+from repro.cricket.transfer import (
+    TransferEngine,
+    TransferMethod,
+    TransferTimingModel,
+    supported_on,
+)
+
+__all__ = [
+    "CricketServer",
+    "CricketClient",
+    "cricket_interface",
+    "CRICKET_SPEC",
+    "CRICKET_PROG_NAME",
+    "CRICKET_VERS",
+    "pack_params",
+    "unpack_params",
+    "TransferMethod",
+    "DataChannelServer",
+    "DataChannelClient",
+    "TransferEngine",
+    "TransferTimingModel",
+    "supported_on",
+    "snapshot_server",
+    "restore_server",
+    "save_checkpoint",
+    "load_checkpoint",
+    "GpuScheduler",
+    "FifoPolicy",
+    "RoundRobinPolicy",
+    "FairSharePolicy",
+    "WorkItem",
+    "ScheduledItem",
+    "CricketError",
+    "CheckpointError",
+    "TransferUnsupportedError",
+]

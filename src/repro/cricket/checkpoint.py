@@ -1,0 +1,127 @@
+"""Checkpoint / restart of Cricket server state.
+
+Cricket's flagship capability from the authors' previous work: capture the
+GPU-side state of running applications so they can be restarted elsewhere
+(enabling the "runtime reorganization of tasks" the conclusion describes).
+A checkpoint covers everything the server holds on behalf of clients:
+
+* device memory -- every live allocation with contents and exact addresses
+  (device pointers are application state: clients hold them),
+* loaded modules -- metadata, function handles and global bindings,
+* cuBLAS/cuSOLVER handle tables,
+* stream/event handle tables with their virtual-time tails.
+
+Restoring onto a fresh server of the same GPU model reproduces all handles
+and pointers, so a client can resume issuing calls as if nothing happened.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING
+
+from repro.cubin.metadata import decode_metadata, encode_metadata
+from repro.cuda.driver import LoadedModule
+from repro.cubin.loader import CubinImage
+from repro.gpu.stream import Event, Stream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cricket.server import CricketServer
+
+FORMAT_VERSION = 1
+
+
+def snapshot_server(server: "CricketServer") -> bytes:
+    """Serialize the full recoverable state of a Cricket server."""
+    driver = server.driver
+    modules = []
+    for module in driver.loaded_modules():
+        modules.append(
+            {
+                "handle": module.handle,
+                "arch": module.image.arch,
+                "metadata": encode_metadata(module.image.metadata),
+                "functions": {
+                    fh: meta.name for fh, meta in module.functions.items()
+                },
+                "globals": dict(module.globals),
+            }
+        )
+    streams = server.device.streams
+    state = {
+        "version": FORMAT_VERSION,
+        "device": server.device.snapshot(),
+        "modules": modules,
+        "next_module": driver._next_module.__reduce__()[1][0],
+        "next_function": driver._next_function.__reduce__()[1][0],
+        "blas_handles": sorted(server.blas._handles),
+        "solver_handles": sorted(server.solver._handles),
+        "streams": {s.handle: (s.tail_ns, s.ops_submitted) for s in streams.streams()},
+        "events": {
+            e.handle: e.timestamp_ns for e in streams._events.values()
+        },
+        "clock_ns": server.clock.now_ns,
+    }
+    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore_server(server: "CricketServer", blob: bytes) -> None:
+    """Restore a checkpoint onto ``server`` (same GPU model required)."""
+    state = pickle.loads(blob)
+    if state.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {state.get('version')!r}")
+    # Device memory (allocations at exact addresses).
+    server.device.restore(state["device"])
+    # Driver module/function tables.
+    driver = server.driver
+    driver._modules.clear()
+    driver._functions.clear()
+    for entry in state["modules"]:
+        metadata = decode_metadata(entry["metadata"])
+        image = CubinImage(arch=entry["arch"], metadata=metadata)
+        module = LoadedModule(entry["handle"], image)
+        module.globals = dict(entry["globals"])
+        for fhandle, kernel_name in entry["functions"].items():
+            meta = metadata.kernel(kernel_name)
+            module.functions[fhandle] = meta
+            driver._functions[fhandle] = (module, meta)
+        driver._modules[module.handle] = module
+    import itertools
+
+    driver._next_module = itertools.count(state["next_module"])
+    driver._next_function = itertools.count(state["next_function"])
+    # Library handle tables.
+    server.blas._handles = set(state["blas_handles"])
+    server.solver._handles = set(state["solver_handles"])
+    # Streams and events (virtual-time tails survive the checkpoint).
+    streams = server.device.streams
+    streams._streams.clear()
+    for handle, (tail_ns, ops) in state["streams"].items():
+        streams._streams[handle] = Stream(handle, tail_ns, ops)
+    max_stream = max(state["streams"], default=0)
+    streams._next_stream = iter(_count_from(max_stream + 1))
+    streams._events.clear()
+    for handle, timestamp in state["events"].items():
+        streams._events[handle] = Event(handle, timestamp)
+    max_event = max(state["events"], default=0)
+    streams._next_event = iter(_count_from(max_event + 1))
+
+
+def _count_from(start: int):
+    import itertools
+
+    return itertools.count(start)
+
+
+def save_checkpoint(server: "CricketServer", path: str) -> int:
+    """Write a checkpoint file; returns its size in bytes."""
+    blob = snapshot_server(server)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return len(blob)
+
+
+def load_checkpoint(server: "CricketServer", path: str) -> None:
+    """Restore a server from a checkpoint file."""
+    with open(path, "rb") as fh:
+        restore_server(server, fh.read())

@@ -1,0 +1,456 @@
+"""Cricket client: the virtualization layer seen by applications.
+
+:class:`CricketClient` binds the generated RPCL stub to a transport and
+exposes the CUDA surface with Python ergonomics (raises
+:class:`~repro.cuda.errors.CudaError` on failure codes, returns plain
+values).  It corresponds to the client side of Figure 3: the application
+calls what looks like CUDA; every call becomes an ONC RPC to the Cricket
+server.
+
+Connection modes:
+
+* :meth:`CricketClient.connect_tcp` -- a real TCP connection to a
+  :class:`~repro.cricket.server.CricketServer` serving on a socket.
+* :meth:`CricketClient.loopback` -- in-process dispatch with full record
+  framing; used by experiments.  When a platform model is supplied, every
+  message charges the experiment's virtual clock through a
+  :class:`~repro.unikernel.platform.PlatformMeter` -- this is where the
+  unikernel/VM/native distinction enters the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cricket import params as kparams
+from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
+from repro.cubin.metadata import KernelMeta
+from repro.cuda.errors import CudaError
+from repro.net.link import LinkModel
+from repro.net.simclock import SimClock
+from repro.oncrpc.transport import LoopbackTransport, TcpTransport, Transport
+from repro.rpcl.stubgen import ClientStub, ProgramInterface
+from repro.unikernel.platform import Platform, PlatformMeter, RpcPathModel
+from repro.unikernel.presets import EVAL_LINK, NATIVE_STACK
+
+_INTERFACE: ProgramInterface | None = None
+
+
+def cricket_interface() -> ProgramInterface:
+    """The compiled Cricket program interface (cached)."""
+    global _INTERFACE
+    if _INTERFACE is None:
+        _INTERFACE = ProgramInterface.from_source(
+            CRICKET_SPEC, CRICKET_PROG_NAME, CRICKET_VERS
+        )
+    return _INTERFACE
+
+
+def _dim3(v: tuple[int, int, int]) -> dict[str, int]:
+    return {"x": int(v[0]), "y": int(v[1]), "z": int(v[2])}
+
+
+class CricketClient:
+    """CUDA-over-RPC client used by applications and the harness."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        platform: Platform | None = None,
+        clock: SimClock | None = None,
+        meter: PlatformMeter | None = None,
+    ) -> None:
+        self.platform = platform
+        self.clock = clock if clock is not None else SimClock()
+        self.meter = meter
+        self.stub: ClientStub = cricket_interface().bind_client(transport)
+        #: kernel-function metadata by function handle (for param packing)
+        self._function_meta: dict[int, KernelMeta] = {}
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def loopback(
+        cls,
+        server: Any,
+        *,
+        platform: Platform | None = None,
+        clock: SimClock | None = None,
+        link: LinkModel = EVAL_LINK,
+        fragment_size: int = 1 << 20,
+    ) -> "CricketClient":
+        """In-process client; charges virtual time when ``platform`` is given.
+
+        ``server`` must expose ``dispatch_record`` (a
+        :class:`~repro.cricket.server.CricketServer`); its clock is shared.
+        """
+        clock = clock if clock is not None else getattr(server, "clock", None) or SimClock()
+        meter = None
+        if platform is not None:
+            path = RpcPathModel(client=platform, link=link, server_stack=NATIVE_STACK)
+            meter = PlatformMeter(path, clock)
+        session: dict = {}
+        transport = LoopbackTransport(
+            lambda record: server.dispatch_record(record, session=session),
+            fragment_size=fragment_size,
+            meter=meter,
+        )
+        return cls(transport, platform=platform, clock=clock, meter=meter)
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, *, fragment_size: int = 1 << 20
+    ) -> "CricketClient":
+        """Real-socket client (no virtual-time metering)."""
+        return cls(TcpTransport(host, port, fragment_size=fragment_size))
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def calls_made(self) -> int:
+        """CUDA API calls issued over RPC (the quantity the paper counts)."""
+        return self.stub.client.calls_made
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total bytes moved over the wire in both directions."""
+        if self.meter is None:
+            return 0
+        return self.meter.bytes_sent + self.meter.bytes_received
+
+    def _check(self, err: int, what: str) -> None:
+        if err != 0:
+            raise CudaError(err, what)
+
+    def _charge_client_cpu(self, seconds: float) -> None:
+        """Charge client-side CPU: metered platforms via the meter (so it
+        lands before the next send), unmetered clients directly."""
+        if seconds <= 0:
+            return
+        if self.meter is not None:
+            self.meter.add_client_cpu_s(seconds)
+        else:
+            self.clock.advance_s(seconds)
+
+    def close(self) -> None:
+        """Close the RPC connection."""
+        self.stub.close()
+
+    def __enter__(self) -> "CricketClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- runtime API ------------------------------------------------------------
+
+    def get_device_count(self) -> int:
+        """Forward ``cudaGetDeviceCount`` over RPC."""
+        res = self.stub.rpc_cudaGetDeviceCount()
+        self._check(res["err"], "cudaGetDeviceCount")
+        return res["value"]
+
+    def set_device(self, ordinal: int) -> None:
+        """Forward ``cudaSetDevice`` over RPC."""
+        self._check(self.stub.rpc_cudaSetDevice(ordinal), "cudaSetDevice")
+
+    def get_device(self) -> int:
+        """Forward ``cudaGetDevice`` over RPC."""
+        res = self.stub.rpc_cudaGetDevice()
+        self._check(res["err"], "cudaGetDevice")
+        return res["value"]
+
+    def device_synchronize(self) -> None:
+        """Forward ``cudaDeviceSynchronize`` over RPC."""
+        self._check(self.stub.rpc_cudaDeviceSynchronize(), "cudaDeviceSynchronize")
+
+    def device_reset(self) -> None:
+        """Forward ``cudaDeviceReset`` over RPC."""
+        self._check(self.stub.rpc_cudaDeviceReset(), "cudaDeviceReset")
+
+    def get_device_properties(self, ordinal: int) -> dict[str, Any]:
+        """Forward ``cudaGetDeviceProperties`` over RPC."""
+        res = self.stub.rpc_cudaGetDeviceProperties(ordinal)
+        self._check(res["err"], "cudaGetDeviceProperties")
+        return res["prop"]
+
+    def get_last_error(self) -> int:
+        """Fetch and clear the device-side sticky error (cudaGetLastError).
+
+        Returns the raw ``cudaError_t`` rather than raising: checking the
+        launch-error state is a normal-control-flow operation in CUDA code.
+        """
+        return self.stub.rpc_cudaGetLastError()
+
+    def peek_last_error(self) -> int:
+        """Read the sticky error without clearing it."""
+        return self.stub.rpc_cudaPeekAtLastError()
+
+    def malloc(self, size: int) -> int:
+        """Forward ``cudaMalloc`` over RPC; returns the device pointer."""
+        res = self.stub.rpc_cudaMalloc(size)
+        self._check(res["err"], f"cudaMalloc({size})")
+        return res["ptr"]
+
+    def free(self, ptr: int) -> None:
+        """Forward ``cudaFree`` over RPC."""
+        self._check(self.stub.rpc_cudaFree(ptr), "cudaFree")
+
+    def memcpy_h2d(self, dst: int, data: bytes) -> None:
+        """Forward a host-to-device ``cudaMemcpy`` (payload in the message)."""
+        self._check(self.stub.rpc_cudaMemcpyH2D(dst, bytes(data)), "cudaMemcpy H2D")
+
+    def memcpy_d2h(self, src: int, size: int) -> bytes:
+        """Forward a device-to-host ``cudaMemcpy``; returns the payload."""
+        res = self.stub.rpc_cudaMemcpyD2H(src, size)
+        self._check(res["err"], "cudaMemcpy D2H")
+        return res["data"]
+
+    def memcpy_d2d(self, dst: int, src: int, size: int) -> None:
+        """Forward a device-to-device ``cudaMemcpy``."""
+        self._check(self.stub.rpc_cudaMemcpyD2D(dst, src, size), "cudaMemcpy D2D")
+
+    def memcpy_h2d_async(self, dst: int, data: bytes, stream: int) -> None:
+        """Stream-ordered upload (cudaMemcpyAsync semantics)."""
+        self._check(
+            self.stub.rpc_cudaMemcpyH2DAsync(dst, bytes(data), stream),
+            "cudaMemcpyAsync H2D",
+        )
+
+    def memcpy_d2h_async(self, src: int, size: int, stream: int) -> bytes:
+        """Stream-ordered download into (modelled) pinned host memory."""
+        res = self.stub.rpc_cudaMemcpyD2HAsync(src, size, stream)
+        self._check(res["err"], "cudaMemcpyAsync D2H")
+        return res["data"]
+
+    def memset(self, ptr: int, value: int, size: int) -> None:
+        """Forward ``cudaMemset`` over RPC."""
+        self._check(self.stub.rpc_cudaMemset(ptr, value, size), "cudaMemset")
+
+    def stream_create(self) -> int:
+        """Forward ``cudaStreamCreate``; returns the stream handle."""
+        res = self.stub.rpc_cudaStreamCreate()
+        self._check(res["err"], "cudaStreamCreate")
+        return res["value"]
+
+    def stream_destroy(self, handle: int) -> None:
+        """Forward ``cudaStreamDestroy``."""
+        self._check(self.stub.rpc_cudaStreamDestroy(handle), "cudaStreamDestroy")
+
+    def stream_synchronize(self, handle: int) -> None:
+        """Forward ``cudaStreamSynchronize``."""
+        self._check(self.stub.rpc_cudaStreamSynchronize(handle), "cudaStreamSynchronize")
+
+    def event_create(self) -> int:
+        """Forward ``cudaEventCreate``; returns the event handle."""
+        res = self.stub.rpc_cudaEventCreate()
+        self._check(res["err"], "cudaEventCreate")
+        return res["value"]
+
+    def event_destroy(self, handle: int) -> None:
+        """Forward ``cudaEventDestroy``."""
+        self._check(self.stub.rpc_cudaEventDestroy(handle), "cudaEventDestroy")
+
+    def event_record(self, event: int, stream: int = 0) -> None:
+        """Forward ``cudaEventRecord``."""
+        self._check(self.stub.rpc_cudaEventRecord(event, stream), "cudaEventRecord")
+
+    def event_synchronize(self, event: int) -> None:
+        """Forward ``cudaEventSynchronize``."""
+        self._check(self.stub.rpc_cudaEventSynchronize(event), "cudaEventSynchronize")
+
+    def stream_wait_event(self, stream: int, event: int) -> None:
+        """Order a stream behind a recorded event (cudaStreamWaitEvent)."""
+        self._check(
+            self.stub.rpc_cudaStreamWaitEvent(stream, event), "cudaStreamWaitEvent"
+        )
+
+    def event_elapsed_ms(self, start: int, stop: int) -> float:
+        """Forward ``cudaEventElapsedTime``; returns milliseconds."""
+        res = self.stub.rpc_cudaEventElapsedTime(start, stop)
+        self._check(res["err"], "cudaEventElapsedTime")
+        return res["value"]
+
+    # -- driver API ------------------------------------------------------------
+
+    def module_load(self, image: bytes) -> int:
+        """Ship a cubin to the server and load it (cuModuleLoadData)."""
+        res = self.stub.rpc_cuModuleLoadData(bytes(image))
+        self._check(res["err"], "cuModuleLoadData")
+        return res["value"]
+
+    def module_load_file(self, path: str) -> int:
+        """Read a cubin file and load it -- the paper's client-side flow."""
+        with open(path, "rb") as fh:
+            return self.module_load(fh.read())
+
+    def module_unload(self, module: int) -> None:
+        """Forward ``cuModuleUnload``."""
+        self._check(self.stub.rpc_cuModuleUnload(module), "cuModuleUnload")
+
+    def get_function(self, module: int, name: str, meta: KernelMeta) -> int:
+        """Resolve a kernel entry point; remembers its parameter layout."""
+        res = self.stub.rpc_cuModuleGetFunction(module, name)
+        self._check(res["err"], f"cuModuleGetFunction({name})")
+        handle = res["value"]
+        self._function_meta[handle] = meta
+        return handle
+
+    def get_global(self, module: int, name: str) -> tuple[int, int]:
+        """Forward ``cuModuleGetGlobal``; returns (pointer, size)."""
+        res = self.stub.rpc_cuModuleGetGlobal(module, name)
+        self._check(res["err"], f"cuModuleGetGlobal({name})")
+        return res["ptr"], res["size"]
+
+    def launch_kernel(
+        self,
+        function: int,
+        grid: tuple[int, int, int],
+        block: tuple[int, int, int],
+        args: tuple[Any, ...],
+        *,
+        shared_mem: int = 0,
+        stream: int = 0,
+    ) -> None:
+        """Pack parameters per the cubin metadata and launch."""
+        meta = self._function_meta.get(function)
+        if meta is None:
+            raise CudaError(400, "unknown function handle (load the module first)")
+        block_bytes = kparams.pack_params(meta, args)
+        if self.platform is not None:
+            # C clients pay the <<<...>>> compatibility logic per launch.
+            self._charge_client_cpu(self.platform.language.launch_extra_s)
+        self._check(
+            self.stub.rpc_cuLaunchKernel(
+                function, _dim3(grid), _dim3(block), block_bytes, shared_mem, stream
+            ),
+            "cuLaunchKernel",
+        )
+
+    def launch_kernel_batched(
+        self,
+        function: int,
+        grid: tuple[int, int, int],
+        block: tuple[int, int, int],
+        args: tuple[Any, ...],
+        *,
+        shared_mem: int = 0,
+        stream: int = 0,
+    ) -> None:
+        """Launch without waiting for the reply (ONC RPC batching).
+
+        For launch-heavy workloads this trades a full round trip per call
+        for just the client's transmit cost; collect error statuses with
+        :meth:`flush`.  Added as the optimization the paper's conclusion
+        recommends for applications with many short kernels.
+        """
+        meta = self._function_meta.get(function)
+        if meta is None:
+            raise CudaError(400, "unknown function handle (load the module first)")
+        block_bytes = kparams.pack_params(meta, args)
+        if self.platform is not None:
+            self._charge_client_cpu(self.platform.language.launch_extra_s)
+        if self.meter is not None:
+            self.meter.mark_batched(sends=1, recvs=1)
+        self.stub.call_batched(
+            "rpc_cuLaunchKernel",
+            function, _dim3(grid), _dim3(block), block_bytes, shared_mem, stream,
+        )
+
+    def flush(self) -> None:
+        """Collect outstanding batched replies and check every CUDA status.
+
+        Charges one pipeline-drain delay (link round trip plus server
+        dispatch) for the final reply to arrive.
+        """
+        pending = self.stub.client.pending_batched
+        if pending == 0:
+            return
+        results = self.stub.client.flush_batch()
+        if self.meter is not None:
+            from repro.unikernel.presets import CRICKET_SERVER_DISPATCH_S
+
+            self.clock.advance_s(
+                2 * self.meter.path.link.latency_s + CRICKET_SERVER_DISPATCH_S
+            )
+        from repro.xdr import INT
+
+        for raw in results:
+            self._check(INT.from_bytes(raw), "batched cuLaunchKernel")
+
+    # -- cuBLAS / cuSOLVER ----------------------------------------------------
+
+    def cublas_create(self) -> int:
+        """Forward ``cublasCreate``; returns the handle."""
+        res = self.stub.rpc_cublasCreate()
+        self._check(res["err"], "cublasCreate")
+        return res["value"]
+
+    def cublas_destroy(self, handle: int) -> None:
+        """Forward ``cublasDestroy``."""
+        self._check(self.stub.rpc_cublasDestroy(handle), "cublasDestroy")
+
+    def cublas_sgemm(self, **kwargs: Any) -> None:
+        """Forward ``cublasSgemm`` (kwargs match rpc_gemm_args)."""
+        self._check(self.stub.rpc_cublasSgemm(kwargs), "cublasSgemm")
+
+    def cublas_dgemm(self, **kwargs: Any) -> None:
+        """Forward ``cublasDgemm`` (kwargs match rpc_gemm_args)."""
+        self._check(self.stub.rpc_cublasDgemm(kwargs), "cublasDgemm")
+
+    def cufft_plan1d(self, nx: int, fft_type: int, batch: int = 1) -> int:
+        """Create a 1-D FFT plan (cufftPlan1d)."""
+        res = self.stub.rpc_cufftPlan1d(nx, fft_type, batch)
+        self._check(res["err"], "cufftPlan1d")
+        return res["value"]
+
+    def cufft_destroy(self, plan: int) -> None:
+        """Forward ``cufftDestroy``."""
+        self._check(self.stub.rpc_cufftDestroy(plan), "cufftDestroy")
+
+    def cufft_exec_c2c(self, plan: int, idata: int, odata: int, direction: int) -> None:
+        """Forward ``cufftExecC2C``."""
+        self._check(
+            self.stub.rpc_cufftExecC2C(plan, idata, odata, direction), "cufftExecC2C"
+        )
+
+    def cufft_exec_r2c(self, plan: int, idata: int, odata: int) -> None:
+        """Forward ``cufftExecR2C``."""
+        self._check(self.stub.rpc_cufftExecR2C(plan, idata, odata), "cufftExecR2C")
+
+    def cusolver_create(self) -> int:
+        """Forward ``cusolverDnCreate``; returns the handle."""
+        res = self.stub.rpc_cusolverDnCreate()
+        self._check(res["err"], "cusolverDnCreate")
+        return res["value"]
+
+    def cusolver_destroy(self, handle: int) -> None:
+        """Forward ``cusolverDnDestroy``."""
+        self._check(self.stub.rpc_cusolverDnDestroy(handle), "cusolverDnDestroy")
+
+    def cusolver_getrf_buffer_size(self, handle: int, n: int, a_ptr: int, lda: int) -> int:
+        """Forward ``cusolverDnDgetrf_bufferSize``."""
+        res = self.stub.rpc_cusolverDnDgetrfBufferSize(handle, n, a_ptr, lda)
+        self._check(res["err"], "cusolverDnDgetrf_bufferSize")
+        return res["value"]
+
+    def cusolver_getrf(self, **kwargs: Any) -> None:
+        """Forward ``cusolverDnDgetrf`` (kwargs match rpc_dgetrf_args)."""
+        self._check(self.stub.rpc_cusolverDnDgetrf(kwargs), "cusolverDnDgetrf")
+
+    def cusolver_getrs(self, **kwargs: Any) -> None:
+        """Forward ``cusolverDnDgetrs`` (kwargs match rpc_dgetrs_args)."""
+        self._check(self.stub.rpc_cusolverDnDgetrs(kwargs), "cusolverDnDgetrs")
+
+    # -- checkpoint / restart -----------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Ask the server for a full state snapshot."""
+        res = self.stub.rpc_checkpoint()
+        self._check(res["err"], "checkpoint")
+        return res["data"]
+
+    def restore(self, blob: bytes) -> None:
+        """Restore a snapshot onto the (possibly new) server."""
+        self._check(self.stub.rpc_restore(blob), "restore")

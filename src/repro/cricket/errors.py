@@ -1,0 +1,15 @@
+"""Cricket-layer exceptions (thin: most errors surface as CudaError)."""
+
+from __future__ import annotations
+
+
+class CricketError(Exception):
+    """Base class for Cricket-layer failures."""
+
+
+class CheckpointError(CricketError):
+    """Snapshot or restore failed (model mismatch, corrupt blob, ...)."""
+
+
+class TransferUnsupportedError(CricketError):
+    """Requested memory-transfer method unavailable on this platform."""

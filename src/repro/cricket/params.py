@@ -1,0 +1,59 @@
+"""Kernel launch-parameter marshalling.
+
+``cuLaunchKernel`` passes parameters as a packed memory block whose layout
+is dictated by the kernel's parameter metadata (extracted from the cubin).
+The client packs Python values into that block; the Cricket server unpacks
+them using the same metadata before launching on the device.  Layout rules
+match the CUDA ABI: little-endian, each parameter naturally aligned.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+from repro.cubin.metadata import KernelMeta
+from repro.gpu.errors import KernelParamError
+
+_PACKERS = {
+    "ptr": struct.Struct("<Q"),
+    "u64": struct.Struct("<Q"),
+    "u32": struct.Struct("<I"),
+    "i32": struct.Struct("<i"),
+    "f32": struct.Struct("<f"),
+    "f64": struct.Struct("<d"),
+}
+
+
+def pack_params(meta: KernelMeta, values: Sequence[Any]) -> bytes:
+    """Pack ``values`` into the kernel's parameter block."""
+    if len(values) != len(meta.params):
+        raise KernelParamError(
+            f"kernel {meta.name} takes {len(meta.params)} parameter(s), "
+            f"got {len(values)}"
+        )
+    block = bytearray(meta.param_block_size)
+    for info, value in zip(meta.params, values):
+        packer = _PACKERS[info.kind]
+        try:
+            packer.pack_into(block, info.offset, value)
+        except struct.error as exc:
+            raise KernelParamError(
+                f"kernel {meta.name} parameter at offset {info.offset} "
+                f"({info.kind}): {exc}"
+            ) from exc
+    return bytes(block)
+
+
+def unpack_params(meta: KernelMeta, block: bytes) -> tuple[Any, ...]:
+    """Unpack a parameter block into Python values."""
+    if len(block) != meta.param_block_size:
+        raise KernelParamError(
+            f"kernel {meta.name} expects a {meta.param_block_size}-byte "
+            f"parameter block, got {len(block)} bytes"
+        )
+    values = []
+    for info in meta.params:
+        packer = _PACKERS[info.kind]
+        values.append(packer.unpack_from(block, info.offset)[0])
+    return tuple(values)

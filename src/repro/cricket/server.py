@@ -1,0 +1,500 @@
+"""The Cricket server: ONC RPC front-end over the CUDA executors.
+
+One :class:`CricketServer` owns the GPU node's devices and exposes the
+Cricket program (:mod:`repro.cricket.spec`) over ONC RPC.  It is the
+counterpart of upstream Cricket's rpcgen-generated C server: each procedure
+demarshals its arguments, invokes the CUDA runtime/driver/library executor,
+and returns the error code plus results.
+
+Timing: the server shares the experiment's virtual clock with the CUDA
+executors.  Every dispatched call charges a fixed server CPU cost
+(:data:`~repro.unikernel.presets.CRICKET_SERVER_DISPATCH_S`); synchronous
+CUDA work (memcpy, synchronize) advances the clock inside the executors.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cricket import params as kparams
+from repro.cricket.scheduler import FifoPolicy, GpuScheduler, SchedulingPolicy
+from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
+from repro.cuda import constants as C
+from repro.cuda.cublas import CublasContext
+from repro.cuda.cufft import CufftContext
+from repro.cuda.cusolver import CusolverContext
+from repro.cuda.driver import CudaDriver
+from repro.cuda.runtime import CudaRuntime
+from repro.gpu.catalog import A100
+from repro.gpu.device import GpuDevice
+from repro.net.simclock import SimClock
+from repro.oncrpc.server import RpcServer
+from repro.rpcl.stubgen import ProgramInterface
+from repro.unikernel.presets import CRICKET_SERVER_DISPATCH_S
+
+_OK_PROP = {
+    "name": "",
+    "total_global_mem": 0,
+    "multi_processor_count": 0,
+    "clock_rate_khz": 0,
+}
+
+
+class CricketImplementation:
+    """Procedure implementations for the Cricket program."""
+
+    def __init__(self, server: "CricketServer") -> None:
+        self._server = server
+        self.runtime = server.runtime
+        self.clock = server.clock
+        self._lock = threading.Lock()
+
+    # Driver and library contexts follow the runtime's current device, so a
+    # client that calls cudaSetDevice(1) loads modules onto / launches on
+    # that device (the paper's GPU node hosts A100 + 2x T4 + P40).
+
+    @property
+    def driver(self):
+        """Driver context of the current device (follows cudaSetDevice)."""
+        return self._server.driver
+
+    @property
+    def blas(self):
+        """cuBLAS context of the current device."""
+        return self._server.blas
+
+    @property
+    def solver(self):
+        """cuSOLVER context of the current device."""
+        return self._server.solver
+
+    @property
+    def fft(self):
+        """cuFFT context of the current device."""
+        return self._server.fft
+
+    def _charge_dispatch(self) -> None:
+        self.clock.advance_s(self._server.dispatch_cost_s)
+        self._server.dispatch_time_charged_ns += int(
+            self._server.dispatch_cost_s * 1e9
+        )
+
+    # -- runtime: device management ---------------------------------------------
+
+    def rpc_cudaGetDeviceCount(self):
+        """Cricket procedure ``rpc_cudaGetDeviceCount`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, value = self.runtime.cudaGetDeviceCount()
+            return {"err": err, "value": value}
+
+    def rpc_cudaSetDevice(self, ordinal):
+        """Cricket procedure ``rpc_cudaSetDevice`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaSetDevice(ordinal)
+
+    def rpc_cudaGetDevice(self):
+        """Cricket procedure ``rpc_cudaGetDevice`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, value = self.runtime.cudaGetDevice()
+            return {"err": err, "value": value}
+
+    def rpc_cudaDeviceSynchronize(self):
+        """Cricket procedure ``rpc_cudaDeviceSynchronize`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaDeviceSynchronize()
+
+    def rpc_cudaDeviceReset(self):
+        """Cricket procedure ``rpc_cudaDeviceReset`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaDeviceReset()
+
+    def rpc_cudaGetDeviceProperties(self, ordinal):
+        """Cricket procedure ``rpc_cudaGetDeviceProperties`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, props = self.runtime.cudaGetDeviceProperties(ordinal)
+            if err != C.cudaSuccess or props is None:
+                return {"err": err, "prop": dict(_OK_PROP)}
+            return {
+                "err": err,
+                "prop": {
+                    "name": props.name,
+                    "total_global_mem": props.total_global_mem,
+                    "multi_processor_count": props.multi_processor_count,
+                    "clock_rate_khz": props.clock_rate_khz,
+                },
+            }
+
+    def rpc_cudaGetLastError(self):
+        """Cricket procedure ``rpc_cudaGetLastError`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaGetLastError()
+
+    def rpc_cudaPeekAtLastError(self):
+        """Cricket procedure ``rpc_cudaPeekAtLastError`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaPeekAtLastError()
+
+    # -- runtime: memory ------------------------------------------------------
+
+    def rpc_cudaMalloc(self, size):
+        """Cricket procedure ``rpc_cudaMalloc`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, ptr = self.runtime.cudaMalloc(size)
+            return {"err": err, "ptr": ptr}
+
+    def rpc_cudaFree(self, ptr):
+        """Cricket procedure ``rpc_cudaFree`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaFree(ptr)
+
+    def rpc_cudaMemcpyH2D(self, dst, data):
+        """Cricket procedure ``rpc_cudaMemcpyH2D`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, _ = self.runtime.cudaMemcpy(dst, data, len(data), C.cudaMemcpyHostToDevice)
+            return err
+
+    def rpc_cudaMemcpyD2H(self, src, size):
+        """Cricket procedure ``rpc_cudaMemcpyD2H`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, data = self.runtime.cudaMemcpy(0, src, size, C.cudaMemcpyDeviceToHost)
+            return {"err": err, "data": data if data is not None else b""}
+
+    def rpc_cudaMemcpyD2D(self, dst, src, size):
+        """Cricket procedure ``rpc_cudaMemcpyD2D`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, _ = self.runtime.cudaMemcpy(dst, src, size, C.cudaMemcpyDeviceToDevice)
+            return err
+
+    def rpc_cudaMemcpyH2DAsync(self, dst, data, stream):
+        """Cricket procedure ``rpc_cudaMemcpyH2DAsync`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, _ = self.runtime.cudaMemcpyAsync(
+                dst, data, len(data), C.cudaMemcpyHostToDevice, stream
+            )
+            return err
+
+    def rpc_cudaMemcpyD2HAsync(self, src, size, stream):
+        """Cricket procedure ``rpc_cudaMemcpyD2HAsync`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, data = self.runtime.cudaMemcpyAsync(
+                0, src, size, C.cudaMemcpyDeviceToHost, stream
+            )
+            return {"err": err, "data": data if data is not None else b""}
+
+    def rpc_cudaMemset(self, ptr, value, size):
+        """Cricket procedure ``rpc_cudaMemset`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaMemset(ptr, value, size)
+
+    # -- runtime: streams and events ----------------------------------------------
+
+    def rpc_cudaStreamCreate(self):
+        """Cricket procedure ``rpc_cudaStreamCreate`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, handle = self.runtime.cudaStreamCreate()
+            return {"err": err, "value": handle}
+
+    def rpc_cudaStreamDestroy(self, handle):
+        """Cricket procedure ``rpc_cudaStreamDestroy`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaStreamDestroy(handle)
+
+    def rpc_cudaStreamSynchronize(self, handle):
+        """Cricket procedure ``rpc_cudaStreamSynchronize`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaStreamSynchronize(handle)
+
+    def rpc_cudaEventCreate(self):
+        """Cricket procedure ``rpc_cudaEventCreate`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, handle = self.runtime.cudaEventCreate()
+            return {"err": err, "value": handle}
+
+    def rpc_cudaEventDestroy(self, handle):
+        """Cricket procedure ``rpc_cudaEventDestroy`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaEventDestroy(handle)
+
+    def rpc_cudaEventRecord(self, event, stream):
+        """Cricket procedure ``rpc_cudaEventRecord`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaEventRecord(event, stream)
+
+    def rpc_cudaEventSynchronize(self, event):
+        """Cricket procedure ``rpc_cudaEventSynchronize`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaEventSynchronize(event)
+
+    def rpc_cudaStreamWaitEvent(self, stream, event):
+        """Cricket procedure ``rpc_cudaStreamWaitEvent`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.runtime.cudaStreamWaitEvent(stream, event)
+
+    def rpc_cudaEventElapsedTime(self, start, stop):
+        """Cricket procedure ``rpc_cudaEventElapsedTime`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, ms = self.runtime.cudaEventElapsedTime(start, stop)
+            return {"err": err, "value": ms}
+
+    # -- driver: modules and launches ----------------------------------------------
+
+    def rpc_cuModuleLoadData(self, image):
+        """Cricket procedure ``rpc_cuModuleLoadData`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, handle = self.driver.cuModuleLoadData(image)
+            return {"err": err, "value": handle}
+
+    def rpc_cuModuleUnload(self, handle):
+        """Cricket procedure ``rpc_cuModuleUnload`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.driver.cuModuleUnload(handle)
+
+    def rpc_cuModuleGetFunction(self, module, name):
+        """Cricket procedure ``rpc_cuModuleGetFunction`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, handle = self.driver.cuModuleGetFunction(module, name)
+            return {"err": err, "value": handle}
+
+    def rpc_cuModuleGetGlobal(self, module, name):
+        """Cricket procedure ``rpc_cuModuleGetGlobal`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, ptr, size = self.driver.cuModuleGetGlobal(module, name)
+            return {"err": err, "ptr": ptr, "size": size}
+
+    def rpc_cuLaunchKernel(self, fhandle, grid, block, param_block, shared_mem, stream, ctx=None):
+        """Cricket procedure ``rpc_cuLaunchKernel`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            entry = self.driver._functions.get(int(fhandle))
+            if entry is None:
+                return C.CUDA_ERROR_INVALID_HANDLE
+            _module, meta = entry
+            try:
+                values = kparams.unpack_params(meta, param_block)
+            except Exception:
+                return C.CUDA_ERROR_INVALID_VALUE
+            client = ctx.client_id if ctx is not None else "anon"
+            self._server.scheduler.note_launch(client)
+            return self.driver.cuLaunchKernel(
+                fhandle,
+                (grid["x"], grid["y"], grid["z"]),
+                (block["x"], block["y"], block["z"]),
+                values,
+                shared_mem=shared_mem,
+                stream=stream,
+            )
+
+    # -- cuBLAS ------------------------------------------------------------
+
+    def rpc_cublasCreate(self):
+        """Cricket procedure ``rpc_cublasCreate`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, handle = self.blas.cublasCreate()
+            return {"err": err, "value": handle}
+
+    def rpc_cublasDestroy(self, handle):
+        """Cricket procedure ``rpc_cublasDestroy`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.blas.cublasDestroy(handle)
+
+    def _gemm(self, fn, a):
+        with self._lock:
+            self._charge_dispatch()
+            return fn(
+                a["handle"], a["transa"], a["transb"], a["m"], a["n"], a["k"],
+                a["alpha"], a["a_ptr"], a["lda"], a["b_ptr"], a["ldb"],
+                a["beta"], a["c_ptr"], a["ldc"],
+            )
+
+    def rpc_cublasSgemm(self, args):
+        """Cricket procedure ``rpc_cublasSgemm`` (forwards to the CUDA executor)."""
+        return self._gemm(self.blas.cublasSgemm, args)
+
+    def rpc_cublasDgemm(self, args):
+        """Cricket procedure ``rpc_cublasDgemm`` (forwards to the CUDA executor)."""
+        return self._gemm(self.blas.cublasDgemm, args)
+
+    # -- cuFFT ------------------------------------------------------------
+
+    def rpc_cufftPlan1d(self, nx, fft_type, batch):
+        """Cricket procedure ``rpc_cufftPlan1d`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, handle = self.fft.cufftPlan1d(nx, fft_type, batch)
+            return {"err": err, "value": handle}
+
+    def rpc_cufftDestroy(self, handle):
+        """Cricket procedure ``rpc_cufftDestroy`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.fft.cufftDestroy(handle)
+
+    def rpc_cufftExecC2C(self, handle, idata, odata, direction):
+        """Cricket procedure ``rpc_cufftExecC2C`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.fft.cufftExecC2C(handle, idata, odata, direction)
+
+    def rpc_cufftExecR2C(self, handle, idata, odata):
+        """Cricket procedure ``rpc_cufftExecR2C`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.fft.cufftExecR2C(handle, idata, odata)
+
+    # -- cuSOLVER ------------------------------------------------------------
+
+    def rpc_cusolverDnCreate(self):
+        """Cricket procedure ``rpc_cusolverDnCreate`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, handle = self.solver.cusolverDnCreate()
+            return {"err": err, "value": handle}
+
+    def rpc_cusolverDnDestroy(self, handle):
+        """Cricket procedure ``rpc_cusolverDnDestroy`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.solver.cusolverDnDestroy(handle)
+
+    def rpc_cusolverDnDgetrfBufferSize(self, handle, n, a_ptr, lda):
+        """Cricket procedure ``rpc_cusolverDnDgetrfBufferSize`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            err, lwork = self.solver.cusolverDnDgetrf_bufferSize(handle, n, n, a_ptr, lda)
+            return {"err": err, "value": lwork}
+
+    def rpc_cusolverDnDgetrf(self, a):
+        """Cricket procedure ``rpc_cusolverDnDgetrf`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.solver.cusolverDnDgetrf(
+                a["handle"], a["n"], a["n"], a["a_ptr"], a["lda"],
+                a["workspace"], a["ipiv"], a["info"],
+            )
+
+    def rpc_cusolverDnDgetrs(self, a):
+        """Cricket procedure ``rpc_cusolverDnDgetrs`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            return self.solver.cusolverDnDgetrs(
+                a["handle"], a["trans"], a["n"], a["nrhs"], a["a_ptr"], a["lda"],
+                a["ipiv"], a["b_ptr"], a["ldb"], a["info"],
+            )
+
+    # -- checkpoint / restart ------------------------------------------------------
+
+    def rpc_checkpoint(self):
+        """Cricket procedure ``rpc_checkpoint`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            from repro.cricket.checkpoint import snapshot_server
+
+            try:
+                return {"err": 0, "data": snapshot_server(self._server)}
+            except Exception:
+                return {"err": C.cudaErrorUnknown, "data": b""}
+
+    def rpc_restore(self, blob):
+        """Cricket procedure ``rpc_restore`` (forwards to the CUDA executor)."""
+        with self._lock:
+            self._charge_dispatch()
+            from repro.cricket.checkpoint import restore_server
+
+            try:
+                restore_server(self._server, blob)
+                return 0
+            except Exception:
+                return C.cudaErrorUnknown
+
+
+class CricketServer(RpcServer):
+    """An ONC RPC server exporting the Cricket program over simulated GPUs."""
+
+    def __init__(
+        self,
+        devices: list[GpuDevice] | None = None,
+        *,
+        clock: SimClock | None = None,
+        execute: bool = True,
+        dispatch_cost_s: float = CRICKET_SERVER_DISPATCH_S,
+        scheduling: SchedulingPolicy | None = None,
+    ) -> None:
+        super().__init__()
+        self.clock = clock if clock is not None else SimClock()
+        if devices is None:
+            devices = [GpuDevice(A100, execute=execute)]
+        self.devices = devices
+        self.dispatch_cost_s = dispatch_cost_s
+        #: cumulative server CPU charged for RPC dispatch, nanoseconds
+        self.dispatch_time_charged_ns = 0
+        self.runtime = CudaRuntime(devices, self.clock)
+        self._drivers = [CudaDriver(d, self.clock) for d in devices]
+        self._blas = [CublasContext(d, self.clock) for d in devices]
+        self._solvers = [CusolverContext(d, self.clock) for d in devices]
+        self._ffts = [CufftContext(d, self.clock) for d in devices]
+        self.scheduler = GpuScheduler(scheduling or FifoPolicy())
+        self.interface = ProgramInterface.from_source(
+            CRICKET_SPEC, CRICKET_PROG_NAME, CRICKET_VERS
+        )
+        self.implementation = CricketImplementation(self)
+        self.register_program(
+            self.interface.prog_number,
+            self.interface.vers_number,
+            self.interface.make_server_dispatch(self.implementation),
+        )
+
+    @property
+    def device(self) -> GpuDevice:
+        """The *current* device (the evaluation uses a single A100)."""
+        return self.devices[self.runtime._current]
+
+    @property
+    def driver(self) -> CudaDriver:
+        """Driver context of the current device."""
+        return self._drivers[self.runtime._current]
+
+    @property
+    def blas(self) -> CublasContext:
+        """cuBLAS context of the current device."""
+        return self._blas[self.runtime._current]
+
+    @property
+    def solver(self) -> CusolverContext:
+        """cuSOLVER context of the current device."""
+        return self._solvers[self.runtime._current]
+
+    @property
+    def fft(self) -> CufftContext:
+        """cuFFT context of the current device."""
+        return self._ffts[self.runtime._current]

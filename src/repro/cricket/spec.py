@@ -1,0 +1,26 @@
+"""The Cricket RPC interface specification (RPCL).
+
+Cricket describes its client<->server interface in an rpcgen ``.x`` file
+(``cpu_rpc_prot.x`` upstream); RPC-Lib consumes the same file to generate
+the Rust client.  Our equivalent specification ships as package data
+(``cricket.x``) and covers the CUDA runtime API, the ``cuModule`` driver
+API added by the paper, cuBLAS/cuSOLVER subsets used by the proxy
+applications, and Cricket's checkpoint/restart entry points.
+
+Results follow Cricket's convention of pairing every return value with the
+CUDA error code in a small result struct (``int_result``, ``ptr_result``,
+``mem_result``, ...).
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+CRICKET_PROG_NAME = "RPC_CD_PROG"
+CRICKET_VERS = 1
+
+#: The interface definition, read from the packaged ``cricket.x`` file --
+#: the same artifact rpcgen and RPC-Lib would consume.
+CRICKET_SPEC: str = (
+    resources.files("repro.cricket").joinpath("cricket.x").read_text("utf-8")
+)

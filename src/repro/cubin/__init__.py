@@ -1,0 +1,73 @@
+"""Fat binary / cubin container format with compression.
+
+Reproduces the cubin pipeline the paper added to Cricket: applications read
+compiled GPU kernels from cubin files, ship them over RPC, and the server
+extracts metadata (kernel names, parameter layout, globals) -- including
+from *compressed* cubins via the from-scratch decompressor in
+:mod:`repro.cubin.compression` (standing in for the authors'
+``cuda-fatbin-decompression`` reverse-engineering work).
+"""
+
+from repro.cubin.compression import compress, decompress, is_compressed
+from repro.cubin.elf import SHF_COMPRESSED, CubinElf, Section
+from repro.cubin.errors import (
+    BadMagicError,
+    CorruptImageError,
+    CubinError,
+    DecompressionError,
+    UnknownSectionError,
+)
+from repro.cubin.format import (
+    FATBIN_MAGIC,
+    FLAG_COMPRESSED,
+    KIND_CUBIN,
+    KIND_PTX,
+    FatBinary,
+    FatbinEntry,
+)
+from repro.cubin.loader import (
+    CubinImage,
+    build_cubin,
+    build_cubin_for_registry,
+    load_cubin,
+    load_fatbin,
+)
+from repro.cubin.metadata import (
+    CubinMetadata,
+    GlobalMeta,
+    KernelMeta,
+    ParamInfo,
+    decode_metadata,
+    encode_metadata,
+)
+
+__all__ = [
+    "compress",
+    "decompress",
+    "is_compressed",
+    "CubinElf",
+    "Section",
+    "SHF_COMPRESSED",
+    "FatBinary",
+    "FatbinEntry",
+    "FATBIN_MAGIC",
+    "KIND_PTX",
+    "KIND_CUBIN",
+    "FLAG_COMPRESSED",
+    "CubinImage",
+    "build_cubin",
+    "build_cubin_for_registry",
+    "load_cubin",
+    "load_fatbin",
+    "CubinMetadata",
+    "KernelMeta",
+    "GlobalMeta",
+    "ParamInfo",
+    "encode_metadata",
+    "decode_metadata",
+    "CubinError",
+    "BadMagicError",
+    "CorruptImageError",
+    "DecompressionError",
+    "UnknownSectionError",
+]

@@ -1,0 +1,163 @@
+"""LZ77-style compression for cubin payloads.
+
+NVIDIA ships compressed fat binary entries using a proprietary LZ variant;
+the paper's authors reverse-engineered the *decompressor* so Cricket can
+extract kernel metadata from compressed cubins (their standalone
+``cuda-fatbin-decompression`` project).  We mirror that situation with a
+self-contained LZ77 codec:
+
+* a sliding-window compressor (window 4 KiB, match length 3..273),
+* the matching decompressor used on the Cricket-server side.
+
+Wire format (all little-endian):
+
+``
+header:  magic  u32 = 0x4C5A4331  ("LZC1")
+         usize  u32 = decompressed size
+stream:  a sequence of groups; each group starts with one control byte
+         whose bits (LSB first) select, per item, literal (0) or match (1).
+         literal: 1 raw byte
+         match:   u16 = (distance << 4 | (length - MIN_MATCH)) for short
+                  matches, with length-MIN_MATCH in 0..14; the escape value
+                  15 is followed by one extra u8 of additional length.
+``
+
+Distances are 1..4095, lengths 3..273.  The format favours simplicity and
+verifiability over ratio -- exactly what a reproduction needs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.cubin.errors import DecompressionError
+
+MAGIC = 0x4C5A4331
+MIN_MATCH = 3
+MAX_SHORT = 14  # stored directly in the 4-bit length field
+MAX_MATCH = MIN_MATCH + MAX_SHORT + 255  # 273 with the escape byte
+WINDOW = 4095  # max backward distance (12 bits)
+
+_HEADER = struct.Struct("<II")
+_U16 = struct.Struct("<H")
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data``; always decompressible by :func:`decompress`."""
+    out = bytearray(_HEADER.pack(MAGIC, len(data)))
+    n = len(data)
+    # Hash chains over 3-byte prefixes for match finding.
+    head: dict[bytes, list[int]] = {}
+    i = 0
+    pending: list[tuple[bool, bytes]] = []  # (is_match, encoded bytes)
+
+    def flush() -> None:
+        if not pending:
+            return
+        control = 0
+        for bit, (is_match, _enc) in enumerate(pending):
+            if is_match:
+                control |= 1 << bit
+        out.append(control)
+        for _is_match, enc in pending:
+            out.extend(enc)
+        pending.clear()
+
+    while i < n:
+        best_len = 0
+        best_dist = 0
+        if i + MIN_MATCH <= n:
+            key = data[i : i + MIN_MATCH]
+            candidates = head.get(key, ())
+            # Scan newest-first; cap effort for linear-ish behaviour.
+            for pos in reversed(candidates[-16:]):
+                dist = i - pos
+                if dist > WINDOW:
+                    break
+                length = MIN_MATCH
+                limit = min(MAX_MATCH, n - i)
+                while length < limit and data[pos + length] == data[i + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = dist
+                    if length >= limit:
+                        break
+        if best_len >= MIN_MATCH:
+            stored = best_len - MIN_MATCH
+            if stored <= MAX_SHORT:
+                enc = _U16.pack((best_dist << 4) | stored)
+            else:
+                enc = _U16.pack((best_dist << 4) | 0xF) + bytes(
+                    [stored - (MAX_SHORT + 1)]
+                )
+            pending.append((True, enc))
+            end = i + best_len
+            while i < end:
+                if i + MIN_MATCH <= n:
+                    head.setdefault(data[i : i + MIN_MATCH], []).append(i)
+                i += 1
+        else:
+            pending.append((False, data[i : i + 1]))
+            if i + MIN_MATCH <= n:
+                head.setdefault(data[i : i + MIN_MATCH], []).append(i)
+            i += 1
+        if len(pending) == 8:
+            flush()
+    flush()
+    return bytes(out)
+
+
+def decompress(blob: bytes) -> bytes:
+    """Decompress a :func:`compress` stream, validating structure."""
+    if len(blob) < _HEADER.size:
+        raise DecompressionError("truncated header")
+    magic, usize = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise DecompressionError(f"bad compression magic {magic:#x}")
+    out = bytearray()
+    pos = _HEADER.size
+    n = len(blob)
+    while len(out) < usize:
+        if pos >= n:
+            raise DecompressionError("truncated stream (missing control byte)")
+        control = blob[pos]
+        pos += 1
+        for bit in range(8):
+            if len(out) >= usize:
+                break
+            if control & (1 << bit):
+                if pos + 2 > n:
+                    raise DecompressionError("truncated match token")
+                token = _U16.unpack_from(blob, pos)[0]
+                pos += 2
+                dist = token >> 4
+                stored = token & 0xF
+                if stored == 0xF:
+                    if pos >= n:
+                        raise DecompressionError("truncated long-match byte")
+                    stored = MAX_SHORT + 1 + blob[pos]
+                    pos += 1
+                length = stored + MIN_MATCH
+                if dist == 0 or dist > len(out):
+                    raise DecompressionError(
+                        f"match distance {dist} outside window (have {len(out)})"
+                    )
+                start = len(out) - dist
+                for k in range(length):  # may self-overlap: byte-wise copy
+                    out.append(out[start + k])
+            else:
+                if pos >= n:
+                    raise DecompressionError("truncated literal")
+                out.append(blob[pos])
+                pos += 1
+    if len(out) != usize:
+        raise DecompressionError(
+            f"decompressed size mismatch ({len(out)} != {usize})"
+        )
+    return bytes(out)
+
+
+def is_compressed(blob: bytes) -> bool:
+    """True if ``blob`` begins with the compression magic."""
+    return len(blob) >= 4 and struct.unpack_from("<I", blob)[0] == MAGIC

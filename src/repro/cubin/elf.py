@@ -1,0 +1,134 @@
+"""Minimal ELF-like section container for cubin images.
+
+Real cubins are ELF files whose sections (``.nv.info.*``, ``.text.*``,
+``.nv.global``) carry kernel metadata, machine code and global variables.
+We keep the *section* abstraction -- named, typed byte blobs with a section
+header table -- while simplifying away the parts of ELF irrelevant to the
+reproduction (relocation, symbols, program headers).
+
+Layout (little-endian)::
+
+    0x00  magic      u32 = 0x7F435542  ("\\x7fCUB")
+    0x04  version    u16
+    0x06  arch       8 bytes, NUL-padded (e.g. "sm_80")
+    0x0E  nsections  u16
+    0x10  section headers: nsections x { name_len u16, name bytes,
+                                          flags u32, size u64 }
+    ...   section payloads, in header order
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.cubin.errors import BadMagicError, CorruptImageError, UnknownSectionError
+
+MAGIC = 0x7F435542
+VERSION = 1
+
+#: Section flag: payload is compressed with repro.cubin.compression.
+SHF_COMPRESSED = 0x1
+
+_FILE_HEADER = struct.Struct("<IH8sH")
+_SECTION_FIXED = struct.Struct("<IQ")
+_NAME_LEN = struct.Struct("<H")
+
+
+@dataclass
+class Section:
+    """One named section."""
+
+    name: str
+    data: bytes
+    flags: int = 0
+
+    @property
+    def compressed(self) -> bool:
+        """True when the section payload is compressed."""
+        return bool(self.flags & SHF_COMPRESSED)
+
+
+@dataclass
+class CubinElf:
+    """A parsed or under-construction cubin container."""
+
+    arch: str = "sm_80"
+    sections: list[Section] = field(default_factory=list)
+
+    def add_section(self, name: str, data: bytes, flags: int = 0) -> Section:
+        """Append a section; names must be unique."""
+        if any(s.name == name for s in self.sections):
+            raise CorruptImageError(f"duplicate section {name!r}")
+        section = Section(name, bytes(data), flags)
+        self.sections.append(section)
+        return section
+
+    def section(self, name: str) -> Section:
+        """Look up a section by exact name."""
+        for section in self.sections:
+            if section.name == name:
+                return section
+        raise UnknownSectionError(f"no section {name!r}")
+
+    def sections_with_prefix(self, prefix: str) -> list[Section]:
+        """All sections whose name begins with ``prefix``."""
+        return [s for s in self.sections if s.name.startswith(prefix)]
+
+    def has_section(self, name: str) -> bool:
+        """True when a section with this exact name exists."""
+        return any(s.name == name for s in self.sections)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the container format."""
+        arch_bytes = self.arch.encode("ascii")
+        if len(arch_bytes) > 8:
+            raise CorruptImageError(f"arch tag too long: {self.arch!r}")
+        out = bytearray(
+            _FILE_HEADER.pack(MAGIC, VERSION, arch_bytes.ljust(8, b"\x00"), len(self.sections))
+        )
+        for section in self.sections:
+            name_bytes = section.name.encode("utf-8")
+            out += _NAME_LEN.pack(len(name_bytes))
+            out += name_bytes
+            out += _SECTION_FIXED.pack(section.flags, len(section.data))
+        for section in self.sections:
+            out += section.data
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CubinElf":
+        """Parse a container, validating all offsets."""
+        if len(blob) < _FILE_HEADER.size:
+            raise CorruptImageError("image shorter than file header")
+        magic, version, arch_raw, nsections = _FILE_HEADER.unpack_from(blob)
+        if magic != MAGIC:
+            raise BadMagicError(f"bad cubin magic {magic:#010x}")
+        if version != VERSION:
+            raise CorruptImageError(f"unsupported cubin version {version}")
+        arch = arch_raw.rstrip(b"\x00").decode("ascii")
+        pos = _FILE_HEADER.size
+        headers: list[tuple[str, int, int]] = []
+        for _ in range(nsections):
+            if pos + _NAME_LEN.size > len(blob):
+                raise CorruptImageError("truncated section header")
+            (name_len,) = _NAME_LEN.unpack_from(blob, pos)
+            pos += _NAME_LEN.size
+            if pos + name_len + _SECTION_FIXED.size > len(blob):
+                raise CorruptImageError("truncated section header")
+            name = blob[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            flags, size = _SECTION_FIXED.unpack_from(blob, pos)
+            pos += _SECTION_FIXED.size
+            headers.append((name, flags, size))
+        image = cls(arch=arch)
+        for name, flags, size in headers:
+            if pos + size > len(blob):
+                raise CorruptImageError(f"section {name!r} payload truncated")
+            image.sections.append(Section(name, bytes(blob[pos : pos + size]), flags))
+            pos += size
+        if pos != len(blob):
+            raise CorruptImageError(f"{len(blob) - pos} trailing byte(s) in image")
+        return image

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the cubin / fat binary subsystem."""
+
+from __future__ import annotations
+
+
+class CubinError(Exception):
+    """Base class for cubin parsing/building failures."""
+
+
+class BadMagicError(CubinError):
+    """Container magic number does not match."""
+
+
+class CorruptImageError(CubinError):
+    """Structurally invalid container (truncation, bad offsets, ...)."""
+
+
+class DecompressionError(CubinError):
+    """The compressed section cannot be decoded."""
+
+
+class UnknownSectionError(CubinError):
+    """A required section is absent from the image."""

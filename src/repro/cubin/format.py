@@ -1,0 +1,149 @@
+"""NVIDIA-style fat binary container.
+
+NVCC embeds GPU code into host binaries as a *fat binary*: a header plus a
+list of entries, each holding code for one architecture in one kind (PTX or
+cubin), optionally compressed.  Cricket's cubin support (added for this
+paper) parses these containers; this module reproduces the structure with
+the real fatbin magic number.
+
+Layout (little-endian)::
+
+    0x00  magic    u32 = 0xBA55ED50   (the real fatbin magic)
+    0x04  version  u16
+    0x06  nentries u16
+    0x08  entries: nentries x { kind u16, flags u16, arch 8s,
+                                 size u64, payload }
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.cubin import compression
+from repro.cubin.errors import BadMagicError, CorruptImageError
+
+FATBIN_MAGIC = 0xBA55ED50
+FATBIN_VERSION = 1
+
+KIND_PTX = 1
+KIND_CUBIN = 2
+
+#: Entry flag: payload is compressed.
+FLAG_COMPRESSED = 0x1
+
+_HEADER = struct.Struct("<IHH")
+_ENTRY_FIXED = struct.Struct("<HH8sQ")
+
+
+@dataclass
+class FatbinEntry:
+    """One architecture's code inside a fat binary."""
+
+    kind: int
+    arch: str
+    payload: bytes
+    flags: int = 0
+
+    @property
+    def compressed(self) -> bool:
+        """True when the entry payload is compressed."""
+        return bool(self.flags & FLAG_COMPRESSED)
+
+    def decompressed_payload(self) -> bytes:
+        """Payload with compression (if any) undone."""
+        if self.compressed:
+            return compression.decompress(self.payload)
+        return self.payload
+
+
+@dataclass
+class FatBinary:
+    """A container of per-architecture code entries."""
+
+    entries: list[FatbinEntry] = field(default_factory=list)
+
+    def add_cubin(self, arch: str, cubin: bytes, *, compress: bool = False) -> FatbinEntry:
+        """Add a cubin entry, optionally compressed."""
+        payload = compression.compress(cubin) if compress else cubin
+        entry = FatbinEntry(
+            KIND_CUBIN, arch, payload, FLAG_COMPRESSED if compress else 0
+        )
+        self.entries.append(entry)
+        return entry
+
+    def add_ptx(self, arch: str, ptx_text: str, *, compress: bool = False) -> FatbinEntry:
+        """Add a PTX entry (carried as UTF-8 text)."""
+        raw = ptx_text.encode("utf-8")
+        payload = compression.compress(raw) if compress else raw
+        entry = FatbinEntry(KIND_PTX, arch, payload, FLAG_COMPRESSED if compress else 0)
+        self.entries.append(entry)
+        return entry
+
+    def best_cubin(self, arch: str) -> FatbinEntry:
+        """Select the cubin entry matching ``arch``.
+
+        Falls back to the highest cubin arch not exceeding the requested one
+        (binary compatibility within a major architecture is out of scope),
+        mirroring the CUDA loader's selection order.
+        """
+        cubins = [e for e in self.entries if e.kind == KIND_CUBIN]
+        if not cubins:
+            raise CorruptImageError("fat binary contains no cubin entries")
+        exact = [e for e in cubins if e.arch == arch]
+        if exact:
+            return exact[0]
+        older = [e for e in cubins if e.arch <= arch]
+        if older:
+            return max(older, key=lambda e: e.arch)
+        raise CorruptImageError(
+            f"no cubin entry compatible with {arch!r} "
+            f"(available: {[e.arch for e in cubins]})"
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the fat binary."""
+        out = bytearray(_HEADER.pack(FATBIN_MAGIC, FATBIN_VERSION, len(self.entries)))
+        for entry in self.entries:
+            arch_bytes = entry.arch.encode("ascii")
+            if len(arch_bytes) > 8:
+                raise CorruptImageError(f"arch tag too long: {entry.arch!r}")
+            out += _ENTRY_FIXED.pack(
+                entry.kind, entry.flags, arch_bytes.ljust(8, b"\x00"), len(entry.payload)
+            )
+            out += entry.payload
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FatBinary":
+        """Parse a fat binary, validating structure."""
+        if len(blob) < _HEADER.size:
+            raise CorruptImageError("fat binary shorter than header")
+        magic, version, nentries = _HEADER.unpack_from(blob)
+        if magic != FATBIN_MAGIC:
+            raise BadMagicError(f"bad fatbin magic {magic:#010x}")
+        if version != FATBIN_VERSION:
+            raise CorruptImageError(f"unsupported fatbin version {version}")
+        fatbin = cls()
+        pos = _HEADER.size
+        for _ in range(nentries):
+            if pos + _ENTRY_FIXED.size > len(blob):
+                raise CorruptImageError("truncated fatbin entry header")
+            kind, flags, arch_raw, size = _ENTRY_FIXED.unpack_from(blob, pos)
+            pos += _ENTRY_FIXED.size
+            if pos + size > len(blob):
+                raise CorruptImageError("truncated fatbin entry payload")
+            fatbin.entries.append(
+                FatbinEntry(
+                    kind,
+                    arch_raw.rstrip(b"\x00").decode("ascii"),
+                    bytes(blob[pos : pos + size]),
+                    flags,
+                )
+            )
+            pos += size
+        if pos != len(blob):
+            raise CorruptImageError(f"{len(blob) - pos} trailing byte(s) in fatbin")
+        return fatbin

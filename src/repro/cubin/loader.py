@@ -1,0 +1,158 @@
+"""High-level cubin building and loading.
+
+The build side plays NVCC: given kernel metadata (taken from a kernel
+registry or written by hand), it produces a cubin container -- optionally
+wrapped in a fat binary, optionally compressed.  The load side plays the
+Cricket server's module loader: parse, decompress if needed, and extract
+the metadata that makes kernels launchable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cubin import compression
+from repro.cubin.elf import SHF_COMPRESSED, CubinElf
+from repro.cubin.errors import CorruptImageError, UnknownSectionError
+from repro.cubin.format import FatBinary
+from repro.cubin.metadata import (
+    CubinMetadata,
+    GlobalMeta,
+    KernelMeta,
+    decode_metadata,
+    encode_metadata,
+)
+from repro.gpu.kernels import KernelRegistry
+
+NV_INFO_SECTION = ".nv.info"
+NV_GLOBAL_SECTION = ".nv.global"
+TEXT_PREFIX = ".text."
+
+
+@dataclass
+class CubinImage:
+    """A loaded cubin: architecture plus extracted metadata."""
+
+    arch: str
+    metadata: CubinMetadata
+
+    def kernel_names(self) -> tuple[str, ...]:
+        """Names of all kernels in the image."""
+        return tuple(k.name for k in self.metadata.kernels)
+
+    def global_names(self) -> tuple[str, ...]:
+        """Names of all module globals in the image."""
+        return tuple(g.name for g in self.metadata.globals)
+
+
+def build_cubin(
+    kernels: list[KernelMeta],
+    *,
+    arch: str = "sm_80",
+    globals_: list[GlobalMeta] | None = None,
+    compress_text: bool = False,
+) -> bytes:
+    """Build a cubin container holding the given kernels and globals.
+
+    Each kernel gets a ``.text.<name>`` section whose payload is a symbolic
+    code reference (the kernel's mangled name), standing in for SASS.  When
+    ``compress_text`` is set, text sections are compressed the way NVCC
+    compresses fat binary members, exercising the server's decompressor.
+    """
+    image = CubinElf(arch=arch)
+    meta = CubinMetadata(list(kernels), list(globals_ or []))
+    image.add_section(NV_INFO_SECTION, encode_metadata(meta))
+    for kernel in kernels:
+        code = f"SASS:{kernel.name}".encode("utf-8")
+        if compress_text:
+            image.add_section(
+                TEXT_PREFIX + kernel.name, compression.compress(code), SHF_COMPRESSED
+            )
+        else:
+            image.add_section(TEXT_PREFIX + kernel.name, code)
+    if globals_:
+        blob = b"".join((g.init or bytes(g.size)) for g in globals_)
+        image.add_section(NV_GLOBAL_SECTION, blob)
+    return image.to_bytes()
+
+
+def build_cubin_for_registry(
+    registry: KernelRegistry,
+    names: list[str] | None = None,
+    *,
+    arch: str = "sm_80",
+    globals_: list[GlobalMeta] | None = None,
+    compress_text: bool = False,
+) -> bytes:
+    """Build a cubin exposing kernels already known to ``registry``.
+
+    This mirrors how the CUDA samples are compiled: the kernels exist as
+    code (here: registered Python functions); the cubin carries their entry
+    points and parameter metadata.
+    """
+    selected = names if names is not None else list(registry.names())
+    kernels = [
+        KernelMeta.from_kinds(name, registry.get(name).param_kinds)
+        for name in selected
+    ]
+    return build_cubin(
+        kernels, arch=arch, globals_=globals_, compress_text=compress_text
+    )
+
+
+def load_cubin(blob: bytes) -> CubinImage:
+    """Parse a cubin container and extract its metadata.
+
+    Accepts both bare cubins and whole-image compression (a compressed
+    cubin file as Cricket receives it); text-section compression is handled
+    transparently when metadata is intact.
+    """
+    if compression.is_compressed(blob):
+        blob = compression.decompress(blob)
+    image = CubinElf.from_bytes(blob)
+    try:
+        info = image.section(NV_INFO_SECTION)
+    except UnknownSectionError:
+        raise CorruptImageError("cubin has no .nv.info section") from None
+    metadata = decode_metadata(info.data)
+    _validate_text_sections(image, metadata)
+    return CubinImage(arch=image.arch, metadata=metadata)
+
+
+def load_fatbin(blob: bytes, *, arch: str = "sm_80") -> CubinImage:
+    """Select and load the best entry from a fat binary.
+
+    Prefers a compatible cubin; falls back to JIT-loading a PTX entry (the
+    CUDA driver's behaviour when only PTX for the architecture family is
+    embedded).
+    """
+    from repro.cubin.format import KIND_PTX
+    from repro.cubin.ptx import parse_ptx
+
+    fatbin = FatBinary.from_bytes(blob)
+    try:
+        entry = fatbin.best_cubin(arch)
+    except CorruptImageError:
+        ptx_entries = [e for e in fatbin.entries if e.kind == KIND_PTX]
+        if not ptx_entries:
+            raise
+        ptx = parse_ptx(ptx_entries[-1].decompressed_payload())
+        return CubinImage(arch=arch, metadata=ptx.metadata)
+    return load_cubin(entry.decompressed_payload())
+
+
+def _validate_text_sections(image: CubinElf, metadata: CubinMetadata) -> None:
+    for kernel in metadata.kernels:
+        name = TEXT_PREFIX + kernel.name
+        if not image.has_section(name):
+            raise CorruptImageError(f"kernel {kernel.name!r} has no text section")
+        section = image.section(name)
+        code = (
+            compression.decompress(section.data)
+            if section.compressed
+            else section.data
+        )
+        if code != f"SASS:{kernel.name}".encode("utf-8"):
+            raise CorruptImageError(
+                f"text section of {kernel.name!r} does not match its entry point"
+            )

@@ -1,0 +1,124 @@
+"""Minimal PTX parsing: the driver's JIT fallback path.
+
+``cuModuleLoadData`` accepts PTX text as well as cubin ELF; when a fat
+binary carries no cubin compatible with the device, the driver JIT-compiles
+a PTX entry.  (The paper's related work points at the Rust CUDA project,
+which emits PTX from Rust via LLVM -- this is the path such kernels take.)
+
+We parse the subset needed to *load* PTX: the ``.version``/``.target``
+directives and ``.visible .entry`` declarations with their parameter
+lists, producing the same :class:`~repro.cubin.metadata.KernelMeta` a cubin
+provides.  "JIT compilation" resolves the entry names against the device's
+kernel registry, exactly like cubin text sections.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.cubin.errors import CorruptImageError
+from repro.cubin.metadata import CubinMetadata, KernelMeta
+
+#: PTX parameter type -> launch-marshaller kind.
+_PTX_KINDS = {
+    ".u64": "u64",
+    ".s64": "u64",
+    ".b64": "u64",
+    ".u32": "u32",
+    ".b32": "u32",
+    ".s32": "i32",
+    ".f32": "f32",
+    ".f64": "f64",
+}
+
+_DIRECTIVE_RE = re.compile(r"^\s*\.(version|target)\s+([^\s/]+)", re.MULTILINE)
+_ENTRY_RE = re.compile(
+    r"\.(?:visible\s+)?\.entry\s+(?P<name>[A-Za-z_$][\w$]*)\s*\((?P<params>[^)]*)\)",
+    re.MULTILINE,
+)
+_PARAM_RE = re.compile(r"\.param\s+(?P<type>\.\w+)\s+(?P<name>[\w$]+)")
+
+
+@dataclass(frozen=True)
+class PtxModule:
+    """Parsed PTX: version, target architecture and entry points."""
+
+    version: str
+    target: str
+    metadata: CubinMetadata
+
+
+def looks_like_ptx(data: bytes) -> bool:
+    """Heuristic the driver uses: PTX is ASCII text with a .version line."""
+    try:
+        head = data[:4096].decode("ascii")
+    except UnicodeDecodeError:
+        return False
+    return ".version" in head and ".target" in head
+
+
+def parse_ptx(text: str | bytes) -> PtxModule:
+    """Parse PTX text into kernel metadata.
+
+    Raises :class:`~repro.cubin.errors.CorruptImageError` on missing
+    directives, unknown parameter types or absent entry points.
+    """
+    if isinstance(text, bytes):
+        try:
+            text = text.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise CorruptImageError(f"PTX is not ASCII: {exc}") from exc
+    directives = dict(_DIRECTIVE_RE.findall(text))
+    if "version" not in directives:
+        raise CorruptImageError("PTX lacks a .version directive")
+    if "target" not in directives:
+        raise CorruptImageError("PTX lacks a .target directive")
+    kernels: list[KernelMeta] = []
+    for entry in _ENTRY_RE.finditer(text):
+        kinds: list[str] = []
+        for param in _PARAM_RE.finditer(entry.group("params")):
+            ptype = param.group("type")
+            if ptype not in _PTX_KINDS:
+                raise CorruptImageError(
+                    f"unsupported PTX parameter type {ptype!r} in "
+                    f"{entry.group('name')}"
+                )
+            kinds.append(_PTX_KINDS[ptype])
+        kernels.append(KernelMeta.from_kinds(entry.group("name"), tuple(kinds)))
+    if not kernels:
+        raise CorruptImageError("PTX defines no .entry kernels")
+    return PtxModule(
+        version=directives["version"],
+        target=directives["target"],
+        metadata=CubinMetadata(kernels=kernels),
+    )
+
+
+def emit_ptx_for_kernels(
+    kernels: list[KernelMeta], *, target: str = "sm_80", version: str = "7.8"
+) -> str:
+    """Emit loadable PTX text declaring the given entry points.
+
+    The bodies are ``ret``-only stubs: like cubin text sections, real
+    execution comes from the device's kernel registry -- this emitter
+    exists so tests and examples can exercise the PTX *loading* path with
+    self-consistent inputs.
+    """
+    kind_to_ptx = {"ptr": ".u64", "u64": ".u64", "u32": ".u32", "i32": ".s32",
+                   "f32": ".f32", "f64": ".f64"}
+    lines = [f".version {version}", f".target {target}", ".address_size 64", ""]
+    for kernel in kernels:
+        params = ",\n".join(
+            f"    .param {kind_to_ptx[p.kind]} {kernel.name}_param_{i}"
+            for i, p in enumerate(kernel.params)
+        )
+        lines.append(f".visible .entry {kernel.name}(")
+        if params:
+            lines.append(params)
+        lines.append(")")
+        lines.append("{")
+        lines.append("    ret;")
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)

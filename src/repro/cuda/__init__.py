@@ -1,0 +1,33 @@
+"""CUDA API surface executed by the Cricket server.
+
+This subpackage plays the role of the proprietary CUDA libraries on the
+paper's GPU node: the runtime API (:mod:`repro.cuda.runtime`), the driver
+module/launch API (:mod:`repro.cuda.driver`, the part this paper added to
+Cricket), and subsets of cuBLAS (:mod:`repro.cuda.cublas`) and cuSOLVER
+(:mod:`repro.cuda.cusolver`) sufficient for the evaluation's proxy
+applications.
+
+All calls keep C semantics -- status codes, out-parameters, sticky device
+state -- because the Cricket RPC layer forwards exactly those.
+"""
+
+from repro.cuda import constants
+from repro.cuda.cublas import CublasContext
+from repro.cuda.cufft import CufftContext
+from repro.cuda.cusolver import CusolverContext
+from repro.cuda.driver import CudaDriver, LoadedModule
+from repro.cuda.errors import CudaError, code_for_exception
+from repro.cuda.runtime import CudaRuntime, DeviceProperties
+
+__all__ = [
+    "constants",
+    "CudaRuntime",
+    "DeviceProperties",
+    "CudaDriver",
+    "LoadedModule",
+    "CublasContext",
+    "CufftContext",
+    "CusolverContext",
+    "CudaError",
+    "code_for_exception",
+]

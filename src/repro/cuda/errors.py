@@ -1,0 +1,45 @@
+"""Error mapping between device-model exceptions and CUDA error codes."""
+
+from __future__ import annotations
+
+from repro.cuda import constants as C
+from repro.cubin.errors import CubinError
+from repro.gpu.errors import (
+    AllocationOverlapError,
+    DoubleFreeError,
+    GpuError,
+    InvalidDevicePointerError,
+    InvalidStreamError,
+    KernelParamError,
+    OutOfMemoryError,
+    UnknownKernelError,
+)
+
+
+class CudaError(Exception):
+    """A CUDA API failure carrying its ``cudaError_t`` code."""
+
+    def __init__(self, code: int, message: str = "") -> None:
+        super().__init__(f"{C.error_name(code)}: {message}" if message else C.error_name(code))
+        self.code = code
+
+
+def code_for_exception(exc: BaseException) -> int:
+    """Map a device/model exception onto the matching ``cudaError_t``."""
+    if isinstance(exc, CudaError):
+        return exc.code
+    if isinstance(exc, OutOfMemoryError):
+        return C.cudaErrorMemoryAllocation
+    if isinstance(exc, (InvalidDevicePointerError, DoubleFreeError, AllocationOverlapError)):
+        return C.cudaErrorInvalidDevicePointer
+    if isinstance(exc, InvalidStreamError):
+        return C.cudaErrorInvalidResourceHandle
+    if isinstance(exc, (UnknownKernelError, CubinError)):
+        return C.cudaErrorInvalidKernelImage
+    if isinstance(exc, KernelParamError):
+        return C.cudaErrorInvalidValue
+    if isinstance(exc, (ValueError, TypeError)):
+        return C.cudaErrorInvalidValue
+    if isinstance(exc, GpuError):
+        return C.cudaErrorUnknown
+    return C.cudaErrorUnknown

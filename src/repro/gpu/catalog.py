@@ -1,0 +1,106 @@
+"""Catalog of GPU device specifications.
+
+The paper's GPU node hosts one A100, two T4s and one P40; the evaluation
+uses the A100.  Specs below are taken from the public datasheets; they feed
+the analytic timing model (:mod:`repro.gpu.timing`).  Absolute values only
+set the scale of the simulated GPU time -- the reproduction's conclusions
+depend on ratios between platforms, not on these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    #: compute capability / architecture tag (used in cubin arch matching)
+    arch: str
+    sm_count: int
+    #: peak single-precision throughput, FLOP/s
+    fp32_flops: float
+    #: peak double-precision throughput, FLOP/s
+    fp64_flops: float
+    #: device memory bandwidth, bytes/s
+    mem_bandwidth_Bps: float
+    #: device memory capacity, bytes
+    mem_bytes: int
+    #: host<->device interconnect bandwidth, bytes/s (PCIe effective)
+    pcie_Bps: float
+    #: kernel launch overhead on a local machine, seconds
+    launch_overhead_s: float = 6.0e-6
+
+    def __post_init__(self) -> None:
+        if self.mem_bytes <= 0 or self.fp32_flops <= 0:
+            raise ValueError(f"invalid spec for {self.name}")
+
+
+A100 = GpuSpec(
+    name="NVIDIA A100-PCIE-40GB",
+    arch="sm_80",
+    sm_count=108,
+    fp32_flops=19.5e12,
+    fp64_flops=9.7e12,
+    mem_bandwidth_Bps=1555e9,
+    mem_bytes=40 * GIB,
+    pcie_Bps=26e9,  # PCIe gen4 x16 effective
+)
+
+T4 = GpuSpec(
+    name="NVIDIA T4",
+    arch="sm_75",
+    sm_count=40,
+    fp32_flops=8.1e12,
+    fp64_flops=0.25e12,
+    mem_bandwidth_Bps=320e9,
+    mem_bytes=16 * GIB,
+    pcie_Bps=13e9,  # PCIe gen3 x16 effective
+)
+
+P40 = GpuSpec(
+    name="NVIDIA P40",
+    arch="sm_61",
+    sm_count=30,
+    fp32_flops=11.8e12,
+    fp64_flops=0.37e12,
+    mem_bandwidth_Bps=346e9,
+    mem_bytes=24 * GIB,
+    pcie_Bps=13e9,
+)
+
+V100 = GpuSpec(
+    name="NVIDIA V100-PCIE-32GB",
+    arch="sm_70",
+    sm_count=80,
+    fp32_flops=14.0e12,
+    fp64_flops=7.0e12,
+    mem_bandwidth_Bps=900e9,
+    mem_bytes=32 * GIB,
+    pcie_Bps=13e9,
+)
+
+CATALOG: dict[str, GpuSpec] = {spec.name: spec for spec in (A100, T4, P40, V100)}
+
+
+def by_name(name: str) -> GpuSpec:
+    """Look up a spec by full device name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU {name!r}; known: {sorted(CATALOG)}"
+        ) from None
+
+
+def paper_gpu_node() -> list[GpuSpec]:
+    """The paper's GPU node inventory: one A100, two T4s and one P40.
+
+    The evaluation limits itself to the A100 (device 0); the other
+    generations exist so multi-device tests mirror the real node.
+    """
+    return [A100, T4, T4, P40]

@@ -1,0 +1,230 @@
+"""The simulated GPU device.
+
+A :class:`GpuDevice` combines the allocator, kernel registry, stream table
+and timing model into the object the CUDA API layer (:mod:`repro.cuda`)
+drives.  All numerics are real (kernels run on NumPy-backed device memory);
+all *time* is simulated and returned to the caller, which charges it to the
+experiment's :class:`~repro.net.simclock.SimClock`.
+
+``execute=False`` turns the device into a timing-only model: kernel bodies
+are skipped (costs are still charged), letting the harness run the paper's
+full 100 000-iteration workloads quickly.  The RPC path is identical in
+both modes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+from repro.gpu.catalog import A100, GpuSpec
+from repro.gpu.errors import GpuError
+from repro.gpu.kernels import (
+    DEFAULT_REGISTRY,
+    Kernel,
+    KernelRegistry,
+    LaunchContext,
+)
+from repro.gpu.memory import DeviceAllocator
+from repro.gpu.stream import DEFAULT_STREAM, StreamTable
+from repro.gpu.timing import GpuTimingModel
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    #: virtual completion time on the stream, ns
+    done_ns: int
+    #: execution duration charged for the kernel, ns
+    duration_ns: int
+
+
+class GpuDevice:
+    """One simulated GPU."""
+
+    def __init__(
+        self,
+        spec: GpuSpec = A100,
+        *,
+        ordinal: int = 0,
+        registry: KernelRegistry | None = None,
+        execute: bool = True,
+        mem_bytes: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.ordinal = ordinal
+        self.execute = execute
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY.clone()
+        self.allocator = DeviceAllocator(mem_bytes or spec.mem_bytes)
+        self.timing = GpuTimingModel(spec)
+        self.streams = StreamTable()
+        #: monotonically increasing count of launches (instrumentation)
+        self.launch_count = 0
+
+    # -- memory ------------------------------------------------------------
+
+    def alloc(self, size: int) -> int:
+        """Allocate device memory; returns device pointer."""
+        return self.allocator.alloc(size)
+
+    def free(self, ptr: int) -> None:
+        """Free device memory."""
+        self.allocator.free(ptr)
+
+    def memcpy_h2d(self, dst: int, data: bytes) -> float:
+        """Copy host bytes to device; returns simulated seconds (PCIe)."""
+        self.allocator.write(dst, data)
+        return self.timing.memcpy_time_s(len(data))
+
+    def memcpy_d2h(self, src: int, size: int) -> tuple[bytes, float]:
+        """Copy device bytes to host; returns (data, simulated seconds)."""
+        data = self.allocator.read(src, size)
+        return data, self.timing.memcpy_time_s(size)
+
+    def memcpy_d2d(self, dst: int, src: int, size: int) -> float:
+        """Copy device-to-device; returns simulated seconds."""
+        self.allocator.copy_within(dst, src, size)
+        return self.timing.d2d_time_s(size)
+
+    def memset(self, dst: int, value: int, size: int) -> float:
+        """Fill device memory; returns simulated seconds."""
+        self.allocator.memset(dst, value, size)
+        return self.timing.d2d_time_s(size) / 2
+
+    # -- launches -----------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: Kernel | str,
+        grid: tuple[int, int, int],
+        block: tuple[int, int, int],
+        params: tuple[Any, ...],
+        *,
+        shared_mem: int = 0,
+        stream: int = DEFAULT_STREAM,
+        submit_ns: int = 0,
+        fp64: bool = False,
+    ) -> LaunchResult:
+        """Launch a kernel on a stream.
+
+        ``submit_ns`` is the caller's current virtual time; the launch is
+        queued behind earlier work on the stream.
+        """
+        if isinstance(kernel, str):
+            kernel = self.registry.get(kernel)
+        kernel.check_params(tuple(params))
+        ctx = LaunchContext(
+            device=self,
+            grid=tuple(int(g) for g in grid),
+            block=tuple(int(b) for b in block),
+            shared_mem=shared_mem,
+            params=tuple(params),
+        )
+        if ctx.total_threads <= 0:
+            raise GpuError(f"degenerate launch geometry {grid}x{block}")
+        if self.execute:
+            kernel.body(ctx)
+        duration_s = self.timing.kernel_time_s(kernel.cost(ctx), fp64=fp64)
+        duration_ns = int(round(duration_s * 1e9))
+        done_ns = self.streams.stream(stream).submit(submit_ns, duration_ns)
+        self.launch_count += 1
+        return LaunchResult(done_ns=done_ns, duration_ns=duration_ns)
+
+    def synchronize_ns(self) -> int:
+        """Virtual time at which all outstanding device work completes."""
+        return self.streams.device_tail_ns()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all allocations, streams and events (cudaDeviceReset)."""
+        self.allocator = DeviceAllocator(self.allocator.capacity)
+        self.streams = StreamTable()
+
+    # -- checkpoint / restart ---------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialize the device's mutable state (allocations + contents).
+
+        This is Cricket's checkpoint primitive: enough state to re-create
+        the GPU side of an application on another device of the same model.
+        Kernel registries are code, not state, and must match on restore.
+        """
+        allocations = [
+            (a.addr, a.size, a.data.tobytes())
+            for a in self.allocator.live_allocations()
+        ]
+        payload = {
+            "spec_name": self.spec.name,
+            "capacity": self.allocator.capacity,
+            "allocations": allocations,
+            "launch_count": self.launch_count,
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore(self, blob: bytes) -> None:
+        """Restore state produced by :meth:`snapshot` onto this device."""
+        payload = pickle.loads(blob)
+        if payload["spec_name"] != self.spec.name:
+            raise GpuError(
+                "checkpoint was taken on a different GPU model "
+                f"({payload['spec_name']!r} vs {self.spec.name!r})"
+            )
+        self.reset()
+        restored = DeviceAllocator(payload["capacity"])
+        # Re-create allocations at their original addresses by replaying the
+        # allocator; addresses are part of application state (device
+        # pointers live inside client structures).
+        for addr, size, data in payload["allocations"]:
+            restored_addr = restored.alloc(size)
+            if restored_addr != addr:
+                restored = _rebuild_at_exact_addresses(
+                    payload["capacity"], payload["allocations"]
+                )
+                break
+            restored.write(addr, data)
+        else:
+            self.allocator = restored
+            self.launch_count = payload["launch_count"]
+            return
+        self.allocator = restored
+        self.launch_count = payload["launch_count"]
+
+
+def _rebuild_at_exact_addresses(
+    capacity: int, allocations: list[tuple[int, int, bytes]]
+) -> DeviceAllocator:
+    """Rebuild an allocator whose live set must sit at exact addresses.
+
+    Used when sequential replay does not reproduce original addresses
+    (possible after fragmentation).  We construct the allocator directly:
+    holes are derived from the gaps between the recorded allocations.
+    """
+    import numpy as np
+
+    from repro.gpu import memory as mem
+
+    allocator = DeviceAllocator(capacity)
+    allocator._allocs.clear()
+    allocator._sorted_addrs.clear()
+    allocator._free.clear()
+    allocator.used_bytes = 0
+    cursor = mem.DEVICE_VA_BASE
+    end = mem.DEVICE_VA_BASE + capacity
+    for addr, size, data in sorted(allocations):
+        span = mem._align_up(max(size, 1))
+        if addr < cursor or addr + span > end:
+            raise GpuError("corrupt checkpoint: overlapping allocations")
+        if addr > cursor:
+            allocator._free.append((cursor, addr - cursor))
+        allocation = mem.Allocation(addr, size, np.frombuffer(data, dtype=np.uint8).copy())
+        allocator._allocs[addr] = allocation
+        allocator._sorted_addrs.append(addr)
+        allocator.used_bytes += span
+        cursor = addr + span
+    if cursor < end:
+        allocator._free.append((cursor, end - cursor))
+    allocator.alloc_count = len(allocator._allocs)
+    return allocator

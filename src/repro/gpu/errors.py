@@ -1,0 +1,40 @@
+"""Exception hierarchy for the simulated GPU device."""
+
+from __future__ import annotations
+
+
+class GpuError(Exception):
+    """Base class for device-model failures."""
+
+
+class OutOfMemoryError(GpuError):
+    """Device memory exhausted (maps to ``cudaErrorMemoryAllocation``)."""
+
+
+class InvalidDevicePointerError(GpuError):
+    """Address does not fall inside any live allocation."""
+
+
+class DoubleFreeError(GpuError):
+    """An address was freed twice (the class of bug RPC-Lib's lifetime
+    wrappers make impossible on the client side)."""
+
+
+class AllocationOverlapError(GpuError):
+    """A device access crosses the end of its allocation."""
+
+
+class UnknownKernelError(GpuError):
+    """Launch refers to a kernel the device has not loaded."""
+
+
+class KernelParamError(GpuError):
+    """Launch parameters do not match the kernel's parameter specification."""
+
+
+class InvalidStreamError(GpuError):
+    """Operation names a stream handle that does not exist."""
+
+
+class DeviceMismatchError(GpuError):
+    """Operation mixes resources from different devices."""

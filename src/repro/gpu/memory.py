@@ -1,0 +1,213 @@
+"""Device memory allocator.
+
+Models the GPU's global memory as a 64-bit virtual address range carved by a
+first-fit free-list allocator (256-byte aligned, like ``cudaMalloc``).  Each
+live allocation is backed by a NumPy byte buffer so kernels and memcpys are
+*numerically real*; reads and writes at arbitrary intra-allocation offsets
+are supported because CUDA applications routinely do pointer arithmetic on
+device pointers.
+
+The allocator detects the error classes the paper's Rust lifetime wrappers
+eliminate by construction -- double frees, use-after-free, out-of-bounds
+accesses -- and reports them as typed exceptions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.errors import (
+    AllocationOverlapError,
+    DoubleFreeError,
+    InvalidDevicePointerError,
+    OutOfMemoryError,
+)
+
+#: Base of the simulated device virtual address space.  Non-zero so that a
+#: NULL pointer is never a valid device address.
+DEVICE_VA_BASE = 0x7F00_0000_0000
+
+ALIGNMENT = 256
+
+
+def _align_up(n: int, alignment: int = ALIGNMENT) -> int:
+    return (n + alignment - 1) // alignment * alignment
+
+
+@dataclass
+class Allocation:
+    """One live device allocation."""
+
+    addr: int
+    size: int
+    data: np.ndarray = field(repr=False)
+
+    def contains(self, addr: int, size: int) -> bool:
+        """True when [addr, addr+size) lies inside this allocation."""
+        return self.addr <= addr and addr + size <= self.addr + self.size
+
+
+class DeviceAllocator:
+    """First-fit free-list allocator over a bounded device memory."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        # Free list: sorted, non-adjacent (addr, size) holes.
+        self._free: list[tuple[int, int]] = [(DEVICE_VA_BASE, capacity)]
+        self._allocs: dict[int, Allocation] = {}
+        self._sorted_addrs: list[int] = []
+        self.used_bytes = 0
+        #: lifetime counters used by micro-benchmarks and invariants tests
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the device address.
+
+        Zero-byte allocations succeed and return a unique address, matching
+        ``cudaMalloc(&p, 0)`` returning ``cudaSuccess``.
+        """
+        if size < 0:
+            raise ValueError("allocation size cannot be negative")
+        span = _align_up(max(size, 1))
+        for index, (hole_addr, hole_size) in enumerate(self._free):
+            if hole_size >= span:
+                break
+        else:
+            raise OutOfMemoryError(
+                f"cannot allocate {size} bytes ({self.free_bytes} free, fragmented)"
+            )
+        remaining = hole_size - span
+        if remaining:
+            self._free[index] = (hole_addr + span, remaining)
+        else:
+            del self._free[index]
+        allocation = Allocation(hole_addr, size, np.zeros(size, dtype=np.uint8))
+        self._allocs[hole_addr] = allocation
+        bisect.insort(self._sorted_addrs, hole_addr)
+        self.used_bytes += span
+        self.alloc_count += 1
+        return hole_addr
+
+    def free(self, addr: int) -> None:
+        """Release the allocation starting at ``addr``.
+
+        Freeing address 0 is a no-op (``cudaFree(NULL)`` is legal); freeing
+        a non-allocation address raises, freeing twice raises
+        :class:`~repro.gpu.errors.DoubleFreeError`.
+        """
+        if addr == 0:
+            return
+        allocation = self._allocs.pop(addr, None)
+        if allocation is None:
+            if any(a.addr < addr < a.addr + max(a.size, 1) for a in self._allocs.values()):
+                raise InvalidDevicePointerError(
+                    f"free of interior pointer {addr:#x}"
+                )
+            raise DoubleFreeError(f"free of unallocated address {addr:#x}")
+        self._sorted_addrs.remove(addr)
+        span = _align_up(max(allocation.size, 1))
+        self.used_bytes -= span
+        self.free_count += 1
+        self._insert_hole(addr, span)
+
+    def _insert_hole(self, addr: int, size: int) -> None:
+        index = bisect.bisect_left(self._free, (addr, 0))
+        self._free.insert(index, (addr, size))
+        # Coalesce with successor then predecessor.
+        if index + 1 < len(self._free):
+            nxt_addr, nxt_size = self._free[index + 1]
+            if addr + size == nxt_addr:
+                self._free[index] = (addr, size + nxt_size)
+                del self._free[index + 1]
+        if index > 0:
+            prev_addr, prev_size = self._free[index - 1]
+            cur_addr, cur_size = self._free[index]
+            if prev_addr + prev_size == cur_addr:
+                self._free[index - 1] = (prev_addr, prev_size + cur_size)
+                del self._free[index]
+
+    # -- access --------------------------------------------------------------
+
+    def _find(self, addr: int, size: int) -> tuple[Allocation, int]:
+        """Locate the allocation containing [addr, addr+size)."""
+        index = bisect.bisect_right(self._sorted_addrs, addr) - 1
+        if index >= 0:
+            allocation = self._allocs[self._sorted_addrs[index]]
+            if allocation.contains(addr, size):
+                return allocation, addr - allocation.addr
+            if allocation.addr <= addr < allocation.addr + allocation.size:
+                raise AllocationOverlapError(
+                    f"access [{addr:#x}, +{size}) crosses end of allocation "
+                    f"[{allocation.addr:#x}, +{allocation.size})"
+                )
+        raise InvalidDevicePointerError(f"invalid device address {addr:#x}")
+
+    def view(self, addr: int, size: int) -> np.ndarray:
+        """A writable uint8 view of device memory at ``addr``."""
+        allocation, offset = self._find(addr, size)
+        return allocation.data[offset : offset + size]
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Copy ``size`` bytes out of device memory."""
+        return self.view(addr, size).tobytes()
+
+    def write(self, addr: int, data: bytes | np.ndarray) -> None:
+        """Copy ``data`` into device memory at ``addr``."""
+        buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray, memoryview)) else np.asarray(data, dtype=np.uint8).reshape(-1)
+        self.view(addr, buf.size)[:] = buf
+
+    def memset(self, addr: int, value: int, size: int) -> None:
+        """Fill ``size`` bytes at ``addr`` with ``value``."""
+        self.view(addr, size)[:] = value & 0xFF
+
+    def copy_within(self, dst: int, src: int, size: int) -> None:
+        """Device-to-device copy (handles overlapping ranges like memmove)."""
+        data = self.view(src, size).copy()
+        self.view(dst, size)[:] = data
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        """Unallocated device memory, bytes."""
+        return self.capacity - self.used_bytes
+
+    def live_allocations(self) -> tuple[Allocation, ...]:
+        """All live allocations, ordered by address."""
+        return tuple(self._allocs[a] for a in self._sorted_addrs)
+
+    def is_live(self, addr: int) -> bool:
+        """True if ``addr`` is the base of a live allocation."""
+        return addr in self._allocs
+
+    def check_invariants(self) -> None:
+        """Verify allocator bookkeeping; used by property-based tests."""
+        spans = sorted(
+            [(a.addr, _align_up(max(a.size, 1))) for a in self._allocs.values()]
+            + list(self._free)
+        )
+        cursor = DEVICE_VA_BASE
+        total = 0
+        for addr, size in spans:
+            if addr < cursor:
+                raise AssertionError("overlapping regions in allocator")
+            if addr != cursor:
+                raise AssertionError("gap in allocator address space")
+            cursor = addr + size
+            total += size
+        if total != self.capacity:
+            raise AssertionError("allocator does not cover capacity exactly")
+        # Free list must be sorted and coalesced.
+        for (a1, s1), (a2, _s2) in zip(self._free, self._free[1:]):
+            if a1 + s1 >= a2 and a1 + s1 != a2:
+                raise AssertionError("free list overlap")
+            if a1 + s1 == a2:
+                raise AssertionError("free list not coalesced")

@@ -1,0 +1,55 @@
+"""Analytic GPU timing model.
+
+Simulated GPU time for a launch is a simple roofline: the larger of the
+compute time (FLOPs over peak throughput, derated by an efficiency factor)
+and the memory time (bytes moved over device bandwidth), plus the fixed
+launch overhead.  Host<->device copies are bounded by the PCIe link.
+
+This model only has to be *order-of-magnitude right*: in the paper's
+evaluation the differences between platforms come from the RPC/network
+path, while GPU time is identical across all five configurations (the same
+physical A100 executes the same kernels).  The model's job is to provide a
+common, realistic baseline that the per-platform overheads sit on top of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.catalog import GpuSpec
+from repro.gpu.kernels import KernelCost
+
+
+@dataclass(frozen=True)
+class GpuTimingModel:
+    """Converts kernel costs and copy sizes into simulated seconds."""
+
+    spec: GpuSpec
+    #: fraction of peak FLOPs a real kernel achieves (tensor cores excluded)
+    compute_efficiency: float = 0.6
+    #: fraction of peak memory bandwidth a real kernel achieves
+    memory_efficiency: float = 0.75
+    #: fixed per-copy setup cost on the host runtime, seconds
+    memcpy_overhead_s: float = 8.0e-6
+
+    def kernel_time_s(self, cost: KernelCost, *, fp64: bool = False) -> float:
+        """Execution time of one launch with the given cost."""
+        peak = self.spec.fp64_flops if fp64 else self.spec.fp32_flops
+        compute_s = cost.flops / (peak * self.compute_efficiency)
+        memory_s = cost.bytes_moved / (
+            self.spec.mem_bandwidth_Bps * self.memory_efficiency
+        )
+        return self.spec.launch_overhead_s + max(compute_s, memory_s)
+
+    def memcpy_time_s(self, nbytes: int) -> float:
+        """Host<->device copy time over PCIe (server-local direction)."""
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        return self.memcpy_overhead_s + nbytes / self.spec.pcie_Bps
+
+    def d2d_time_s(self, nbytes: int) -> float:
+        """Device-to-device copy time (reads + writes device memory)."""
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        effective = self.spec.mem_bandwidth_Bps * self.memory_efficiency / 2
+        return self.spec.launch_overhead_s + nbytes / effective

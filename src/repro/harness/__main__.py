@@ -1,0 +1,98 @@
+"""Command-line harness: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness                 # everything
+    python -m repro.harness table1 fig6     # selected artifacts
+    python -m repro.harness --list
+
+Reports print to stdout and are written to ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import (
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_offload_ablation,
+    run_transfer_method_comparison,
+    save_and_print,
+    table1,
+)
+from repro.harness.outlook import run_outlook
+
+ARTIFACTS = {
+    "table1": ("Table 1 (configurations)", lambda: save_and_print("table1.txt", table1())),
+    "fig5": (
+        "Figure 5 (application execution times)",
+        lambda: save_and_print("figure5.txt", run_figure5().render()),
+    ),
+    "fig6": (
+        "Figure 6 (API micro-benchmarks)",
+        lambda: save_and_print("figure6.txt", run_figure6().render()),
+    ),
+    "fig7": (
+        "Figure 7 (transfer bandwidth)",
+        lambda: save_and_print("figure7.txt", run_figure7().render()),
+    ),
+    "offloads": (
+        "4.2 offload ablation",
+        lambda: save_and_print("ablation_offloads.txt", run_offload_ablation().render()),
+    ),
+    "methods": (
+        "4.2 transfer-method comparison",
+        lambda: save_and_print(
+            "ablation_transfer_methods.txt", run_transfer_method_comparison().render()
+        ),
+    ),
+    "outlook": (
+        "5 outlook projections (TSO / csum / vDPA)",
+        lambda: save_and_print("ablation_outlook.txt", run_outlook().render()),
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="ARTIFACT",
+        help=f"which artifacts to regenerate: {', '.join(ARTIFACTS)}, all "
+        "(default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list artifacts and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (title, _fn) in ARTIFACTS.items():
+            print(f"  {key:<10} {title}")
+        return 0
+
+    unknown = [a for a in args.artifacts if a != "all" and a not in ARTIFACTS]
+    if unknown:
+        parser.error(f"unknown artifact(s): {', '.join(unknown)}")
+    selected = (
+        list(ARTIFACTS)
+        if not args.artifacts or "all" in args.artifacts
+        else args.artifacts
+    )
+    for key in selected:
+        title, fn = ARTIFACTS[key]
+        print(f"\n##### {title} #####\n")
+        start = time.time()
+        fn()
+        print(f"\n[{key} regenerated in {time.time() - start:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

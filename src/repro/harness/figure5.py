@@ -1,0 +1,112 @@
+"""Figure 5: proxy-application execution times on the five configurations.
+
+Regenerates the three subfigures:
+
+* 5a -- matrixMul, 100 000 iterations,
+* 5b -- cuSolverDn_LinearSolver, 900x900 LU, 1000 iterations,
+* 5c -- histogram, 64 MiB input.
+
+Times are virtual seconds from the GNU-``time``-equivalent stopwatch.  At
+the default 1/10 workload scale the loop portion is extrapolated exactly
+(see :class:`repro.harness.runner.ScaledTime`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps import histogram, linearsolver, matrixmul
+from repro.harness.configs import eval_platforms, workload_scale
+from repro.harness.report import render_bars, render_table
+from repro.harness.runner import ScaledTime, make_session
+
+PAPER_MATRIXMUL_ITERATIONS = 100_000
+PAPER_SOLVER_ITERATIONS = 1_000
+PAPER_HISTOGRAM_ITERATIONS = 40_000
+
+
+@dataclass
+class Figure5Result:
+    """Per-platform execution times for the three applications."""
+
+    #: app name -> platform name -> ScaledTime
+    times: dict[str, dict[str, ScaledTime]] = field(default_factory=dict)
+
+    def seconds(self, app: str, platform: str) -> float:
+        """Paper-scale seconds for one (app, platform) cell."""
+        return self.times[app][platform].paper_scale_s
+
+    def overhead(self, app: str, platform: str, *, baseline: str = "Rust") -> float:
+        """Relative overhead vs. a native baseline (0.0 = equal)."""
+        return self.seconds(app, platform) / self.seconds(app, baseline) - 1.0
+
+    def render(self) -> str:
+        """Render all three applications as text tables."""
+        parts = []
+        for app, by_platform in self.times.items():
+            rows = []
+            rust = by_platform["Rust"].paper_scale_s
+            for platform, t in by_platform.items():
+                rows.append(
+                    (
+                        platform,
+                        t.paper_scale_s,
+                        f"{t.paper_scale_s / rust:.2f}x",
+                        t.api_calls,
+                    )
+                )
+            parts.append(
+                render_table(
+                    f"Figure 5 -- {app} (paper-scale seconds, ratio vs native Rust)",
+                    ["platform", "time [s]", "vs Rust", "API calls (scaled run)"],
+                    rows,
+                )
+            )
+            parts.append(
+                render_bars(
+                    f"  [{app}]",
+                    {p: t.paper_scale_s for p, t in by_platform.items()},
+                    unit="s",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_figure5(scale: int | None = None) -> Figure5Result:
+    """Run all three applications on all five platforms."""
+    scale = workload_scale() if scale is None else scale
+    result = Figure5Result()
+
+    specs = [
+        (
+            "matrixMul",
+            PAPER_MATRIXMUL_ITERATIONS,
+            lambda session, iters: matrixmul.run(session, iterations=iters, verify=False),
+        ),
+        (
+            "cuSolverDn_LinearSolver",
+            PAPER_SOLVER_ITERATIONS,
+            lambda session, iters: linearsolver.run(session, iterations=iters, verify=False),
+        ),
+        (
+            "histogram",
+            PAPER_HISTOGRAM_ITERATIONS,
+            lambda session, iters: histogram.run(session, iterations=iters, verify=False),
+        ),
+    ]
+    for app_name, paper_iters, runner in specs:
+        by_platform: dict[str, ScaledTime] = {}
+        run_iters = max(1, paper_iters // scale)
+        for platform in eval_platforms():
+            with make_session(platform) as session:
+                app_result = runner(session, run_iters)
+            by_platform[platform.name] = ScaledTime(
+                measured_s=app_result.elapsed_s,
+                init_s=app_result.init_s,
+                loop_s=app_result.extra["loop_s"],
+                run_iterations=run_iters,
+                paper_iterations=paper_iters,
+                api_calls=app_result.api_calls,
+            )
+        result.times[app_name] = by_platform
+    return result

@@ -1,0 +1,122 @@
+"""Figure 6: CUDA API micro-benchmarks.
+
+Execution time of 100 000 calls of
+
+* 6a -- ``cudaGetDeviceCount`` (no parameters, trivial result),
+* 6b -- alternating ``cudaMalloc``/``cudaFree`` (server-side bookkeeping),
+* 6c -- kernel launch (the call class dominating the proxy applications;
+  also carries the C-vs-Rust ~6.3 % launch-path difference).
+
+All calls go through the real RPC stub path; at the default 1/10 scale the
+per-call cost is extrapolated exactly (it is constant under virtual time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.configs import eval_platforms, workload_scale
+from repro.harness.report import render_bars, render_table
+from repro.harness.runner import ScaledTime, make_session
+
+PAPER_CALLS = 100_000
+
+
+@dataclass
+class Figure6Result:
+    """Per-benchmark, per-platform times for 100 000 calls."""
+
+    times: dict[str, dict[str, ScaledTime]] = field(default_factory=dict)
+
+    def seconds(self, bench: str, platform: str) -> float:
+        """Paper-scale seconds for one (benchmark, platform) cell."""
+        return self.times[bench][platform].paper_scale_s
+
+    def ratio(self, bench: str, platform: str, *, baseline: str = "Rust") -> float:
+        """Time ratio of a platform against the baseline."""
+        return self.seconds(bench, platform) / self.seconds(bench, baseline)
+
+    def render(self) -> str:
+        """Render all three micro-benchmarks as text tables."""
+        parts = []
+        for bench, by_platform in self.times.items():
+            rust = by_platform["Rust"].paper_scale_s
+            rows = [
+                (name, t.paper_scale_s, f"{t.paper_scale_s / rust:.2f}x")
+                for name, t in by_platform.items()
+            ]
+            parts.append(
+                render_table(
+                    f"Figure 6 -- {bench}: time for {PAPER_CALLS:,} calls",
+                    ["platform", "time [s]", "vs Rust"],
+                    rows,
+                )
+            )
+            parts.append(
+                render_bars(
+                    f"  [{bench}]",
+                    {p: t.paper_scale_s for p, t in by_platform.items()},
+                    unit="s",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def _bench_get_device_count(session, calls: int) -> int:
+    """Returns elapsed virtual ns for exactly ``calls`` API calls."""
+    client = session.client
+    start = session.clock.now_ns
+    for _ in range(calls):
+        client.get_device_count()
+    return session.clock.now_ns - start
+
+
+def _bench_malloc_free(session, calls: int) -> int:
+    client = session.client
+    start = session.clock.now_ns
+    for _ in range(calls // 2):
+        ptr = client.malloc(4096)
+        client.free(ptr)
+    return session.clock.now_ns - start
+
+
+def _bench_kernel_launch(session, calls: int) -> int:
+    # setup (module shipping, function resolution) happens before timing so
+    # the measured span contains exactly the launch calls, as in the paper
+    module = session.load_builtin_module(["_Z9nopKernelv"])
+    kernel = module.function("_Z9nopKernelv")
+    start = session.clock.now_ns
+    for _ in range(calls):
+        kernel.launch((1, 1, 1), (1, 1, 1))
+    elapsed = session.clock.now_ns - start
+    session.synchronize()  # drain the queue outside the measured span
+    return elapsed
+
+
+BENCHMARKS = {
+    "cudaGetDeviceCount": _bench_get_device_count,
+    "cudaMalloc/cudaFree": _bench_malloc_free,
+    "kernel launch": _bench_kernel_launch,
+}
+
+
+def run_figure6(scale: int | None = None) -> Figure6Result:
+    """Run the three micro-benchmarks on all five platforms."""
+    scale = workload_scale() if scale is None else scale
+    calls = max(100, PAPER_CALLS // scale)
+    result = Figure6Result()
+    for bench_name, bench in BENCHMARKS.items():
+        by_platform: dict[str, ScaledTime] = {}
+        for platform in eval_platforms():
+            with make_session(platform) as session:
+                elapsed_s = bench(session, calls) / 1e9
+            by_platform[platform.name] = ScaledTime(
+                measured_s=elapsed_s,
+                init_s=0.0,
+                loop_s=elapsed_s,
+                run_iterations=calls,
+                paper_iterations=PAPER_CALLS,
+                api_calls=calls,
+            )
+        result.times[bench_name] = by_platform
+    return result

@@ -1,0 +1,77 @@
+"""Figure 7: memory-transfer bandwidth through the virtualization layer.
+
+The bandwidthTest port moves 512 MiB between host and device with
+RPC-argument transfers (the only method the unikernels support) and
+reports MiB/s in both directions for the five configurations.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.apps import bandwidth
+from repro.harness.configs import eval_platforms
+from repro.harness.report import render_bars, render_table
+from repro.harness.runner import make_session
+
+MIB = 1 << 20
+PAPER_TRANSFER_BYTES = 512 * MIB
+
+
+def transfer_bytes() -> int:
+    """512 MiB by default; ``REPRO_FULL_SCALE=1`` keeps it, smaller runs
+    can set ``REPRO_BANDWIDTH_MIB`` (bulk behaviour needs >= 64 MiB)."""
+    override = os.environ.get("REPRO_BANDWIDTH_MIB")
+    if override:
+        return int(override) * MIB
+    return PAPER_TRANSFER_BYTES
+
+
+@dataclass
+class Figure7Result:
+    """Per-platform bandwidths, MiB/s."""
+
+    transfer_bytes: int = PAPER_TRANSFER_BYTES
+    h2d: dict[str, float] = field(default_factory=dict)
+    d2h: dict[str, float] = field(default_factory=dict)
+
+    def relative(self, direction: str, platform: str, *, baseline: str = "Rust") -> float:
+        """Bandwidth of a platform relative to the baseline."""
+        table = self.h2d if direction == "h2d" else self.d2h
+        return table[platform] / table[baseline]
+
+    def render(self) -> str:
+        """Render the bandwidth table with bar charts."""
+        rows = [
+            (
+                name,
+                self.d2h[name],
+                f"{100 * self.relative('d2h', name):.1f}%",
+                self.h2d[name],
+                f"{100 * self.relative('h2d', name):.1f}%",
+            )
+            for name in self.h2d
+        ]
+        table = render_table(
+            f"Figure 7 -- bandwidthTest, {self.transfer_bytes // MIB} MiB, "
+            "RPC-argument transfers (MiB/s)",
+            ["platform", "D2H [MiB/s]", "vs Rust", "H2D [MiB/s]", "vs Rust"],
+            rows,
+            floatfmt="{:.1f}",
+        )
+        bars_d2h = render_bars("  [device -> host]", dict(self.d2h), unit="MiB/s", fmt="{:.1f}")
+        bars_h2d = render_bars("  [host -> device]", dict(self.h2d), unit="MiB/s", fmt="{:.1f}")
+        return "\n\n".join([table, bars_d2h, bars_h2d])
+
+
+def run_figure7(nbytes: int | None = None) -> Figure7Result:
+    """Measure both directions on all five platforms."""
+    nbytes = transfer_bytes() if nbytes is None else nbytes
+    result = Figure7Result(transfer_bytes=nbytes)
+    for platform in eval_platforms():
+        with make_session(platform, device_mem=nbytes + 64 * MIB) as session:
+            run = bandwidth.run(session, transfer_bytes=nbytes, verify=False)
+        result.h2d[platform.name] = run.h2d_MiBps
+        result.d2h[platform.name] = run.d2h_MiBps
+    return result

@@ -1,0 +1,75 @@
+"""Outlook experiments: the paper's §5 projections, quantified.
+
+The conclusion names two avenues for closing the unikernel performance
+gap: TCP segmentation offload in the guests ("expected to increase
+performance significantly") and vDPA direct-hardware data paths.  These
+experiments run the future-work platform presets through the identical
+measurement pipeline as Figures 6/7 so the projected improvements come out
+of the same mechanistic model, not hand-picked numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps import bandwidth
+from repro.harness.report import render_table
+from repro.harness.runner import make_session
+from repro.unikernel.presets import (
+    native_rust,
+    rustyhermit,
+    rustyhermit_vdpa,
+    rustyhermit_with_tso,
+    unikraft,
+    unikraft_with_csum_offload,
+)
+
+MIB = 1 << 20
+
+
+@dataclass
+class OutlookResult:
+    """Bandwidth and per-call latency for today's and projected guests."""
+
+    h2d_MiBps: dict[str, float] = field(default_factory=dict)
+    call_latency_us: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Render the result as a text table."""
+        rows = [
+            (name, self.call_latency_us[name], self.h2d_MiBps[name])
+            for name in self.h2d_MiBps
+        ]
+        return render_table(
+            "Outlook (paper §5): projected effect of TSO / checksum offload / vDPA",
+            ["configuration", "per-call latency [us]", "H2D bandwidth [MiB/s]"],
+            rows,
+            floatfmt="{:.1f}",
+        )
+
+
+OUTLOOK_PLATFORMS = (
+    native_rust,
+    rustyhermit,
+    rustyhermit_with_tso,
+    rustyhermit_vdpa,
+    unikraft,
+    unikraft_with_csum_offload,
+)
+
+
+def run_outlook(nbytes: int = 256 * MIB, calls: int = 2000) -> OutlookResult:
+    """Measure today's unikernels against the projected configurations."""
+    result = OutlookResult()
+    for factory in OUTLOOK_PLATFORMS:
+        platform = factory()
+        with make_session(platform, device_mem=nbytes + 64 * MIB) as session:
+            start_ns = session.clock.now_ns
+            for _ in range(calls):
+                session.client.get_device_count()
+            result.call_latency_us[platform.name] = (
+                (session.clock.now_ns - start_ns) / calls / 1e3
+            )
+            run = bandwidth.run(session, transfer_bytes=nbytes, verify=False)
+            result.h2d_MiBps[platform.name] = run.h2d_MiBps
+    return result

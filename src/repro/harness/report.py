@@ -1,0 +1,86 @@
+"""Text rendering and persistence for harness results."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Mapping, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
+
+
+def results_path(filename: str) -> str:
+    """Path under the repository's ``results/`` directory (created)."""
+    directory = os.path.abspath(RESULTS_DIR)
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, filename)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width text table."""
+    formatted: list[list[str]] = []
+    for row in rows:
+        formatted.append(
+            [
+                floatfmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in formatted)) if formatted else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(row[i].rjust(widths[i]) if _numeric(row[i]) else row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def render_bars(
+    title: str,
+    values: Mapping[str, float],
+    *,
+    unit: str = "",
+    width: int = 46,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a horizontal bar chart (the text twin of the paper's figures).
+
+    Bars are scaled to the largest value; each row shows label, bar and the
+    numeric value.
+    """
+    if not values:
+        return title
+    peak = max(values.values())
+    label_width = max(len(k) for k in values)
+    lines = [title, ""]
+    for label, value in values.items():
+        bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
+        lines.append(
+            f"{label:<{label_width}}  {bar:<{width}}  {fmt.format(value)} {unit}".rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text.rstrip("%x"))
+        return True
+    except ValueError:
+        return False
+
+
+def save_and_print(filename: str, text: str) -> str:
+    """Write a report to ``results/`` and echo it to stdout."""
+    path = results_path(filename)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(text)
+    return path

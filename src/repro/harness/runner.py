@@ -1,0 +1,52 @@
+"""Session factory and scaled-run helpers for figure generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SessionConfig
+from repro.core.session import GpuSession
+from repro.unikernel.platform import Platform
+
+MIB = 1 << 20
+
+
+def make_session(platform: Platform, *, execute: bool = False, device_mem: int | None = 2048 * MIB) -> GpuSession:
+    """Fresh session (own server, own clock) for one figure cell.
+
+    Figures default to timing-only devices: the RPC/wire path is identical
+    and the numerics are covered by the test suite.
+    """
+    return GpuSession(
+        SessionConfig(platform=platform, execute=execute, device_mem_bytes=device_mem)
+    )
+
+
+@dataclass(frozen=True)
+class ScaledTime:
+    """A measured run plus its exact extrapolation to paper scale.
+
+    ``loop_s`` is the virtual time spent inside the app's iteration loop
+    (reported by the app itself); initialization and one-time setup
+    (uploads, module loading) are *not* scaled.  Under virtual time the
+    loop is exactly linear in the iteration count, so the extrapolation is
+    exact.
+    """
+
+    measured_s: float
+    init_s: float
+    loop_s: float
+    run_iterations: int
+    paper_iterations: int
+    api_calls: int
+
+    @property
+    def setup_s(self) -> float:
+        """One-time non-init work (uploads, module load, teardown)."""
+        return self.measured_s - self.init_s - self.loop_s
+
+    @property
+    def paper_scale_s(self) -> float:
+        """Extrapolated total at the paper's iteration count."""
+        factor = self.paper_iterations / self.run_iterations
+        return self.init_s + self.setup_s + self.loop_s * factor

@@ -1,0 +1,69 @@
+"""Analytic model of one network link.
+
+The time to move a message of ``n`` bytes over a link decomposes into
+
+* a fixed propagation + switching latency (one way),
+* wire serialization at the line rate, and
+* host-side serialization at the sender's effective copy rate -- for a
+  single-threaded RPC implementation this is the single-core ``memcpy`` and
+  checksum throughput, which on the paper's EPYC 7301/7313 testbed is far
+  below the 100 Gbit/s line rate.  This term is what makes the *native*
+  bars of Figure 7 sit near ~3 GiB/s instead of 12.5 GB/s, exactly as the
+  paper explains in §4.2.
+
+Per-platform costs (syscalls, virtio exits, missing offloads, extra guest
+copies) are *not* part of the link; they are charged by the guest network
+stack model in :mod:`repro.unikernel.netstack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GIB = 1024**3
+MIB = 1024**2
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Latency/bandwidth description of a full-duplex point-to-point link."""
+
+    name: str
+    #: line rate in bits per second
+    line_rate_bps: float
+    #: one-way propagation + NIC + switch latency, seconds
+    latency_s: float
+    #: IP maximum transmission unit in bytes (the paper configures 9000)
+    mtu: int = 9000
+
+    @property
+    def line_rate_Bps(self) -> float:
+        """Line rate in bytes per second."""
+        return self.line_rate_bps / 8.0
+
+    def wire_time_s(self, nbytes: int) -> float:
+        """Serialization time of ``nbytes`` at line rate (no latency)."""
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        return nbytes / self.line_rate_Bps
+
+    def one_way_s(self, nbytes: int) -> float:
+        """One-way delivery time: propagation latency plus wire time."""
+        return self.latency_s + self.wire_time_s(nbytes)
+
+    def segments(self, nbytes: int) -> int:
+        """Number of MTU-sized IP segments needed for ``nbytes``."""
+        if nbytes <= 0:
+            return 1 if nbytes == 0 else 0
+        payload = self.mtu - 40  # IPv4 + TCP headers
+        return -(-nbytes // payload)
+
+
+#: The paper's interconnect: ConnectX-5 in IPoIB mode at 100 Gbit/s.
+#: IPoIB one-way latency is on the order of 10 microseconds.
+TETHER_100G = LinkModel(
+    name="100GbE-IPoIB",
+    line_rate_bps=100e9,
+    latency_s=10e-6,
+    mtu=9000,
+)

@@ -1,0 +1,102 @@
+"""ONC RPC (RFC 5531) in pure Python.
+
+This is the Python analogue of the paper's RPC-Lib: a from-scratch
+implementation of Sun/ONC RPC with
+
+* the full ``rpc_msg`` structure set (:mod:`repro.oncrpc.message`),
+* ``AUTH_NONE``/``AUTH_SYS`` authentication (:mod:`repro.oncrpc.auth`),
+* record marking **with multi-fragment support** (:mod:`repro.oncrpc.record`)
+  -- the capability whose absence from the existing ``onc_rpc`` crate
+  motivated RPC-Lib, since Cricket ships GPU-sized buffers as RPC arguments,
+* pluggable transports with traffic metering hooks
+  (:mod:`repro.oncrpc.transport`), and
+* client/server endpoints (:mod:`repro.oncrpc.client`,
+  :mod:`repro.oncrpc.server`).
+
+Only the (Python) standard library is used, mirroring RPC-Lib's
+std-only dependency policy that makes it portable to unikernels.
+"""
+
+from repro.oncrpc.auth import AUTH_NONE, AUTH_SYS, AuthSysParams, NULL_AUTH, OpaqueAuth
+from repro.oncrpc.client import RpcClient
+from repro.oncrpc.errors import (
+    RpcDenied,
+    RpcError,
+    RpcGarbageArgs,
+    RpcProcUnavailable,
+    RpcProgMismatch,
+    RpcProgUnavailable,
+    RpcProtocolError,
+    RpcReplyError,
+    RpcSystemError,
+    RpcTimeoutError,
+    RpcTransportError,
+)
+from repro.oncrpc.portmap import (
+    PMAP_PORT,
+    PMAP_PROG,
+    PMAP_VERS,
+    Mapping,
+    PortMapper,
+    PortMapperClient,
+    connect_via_portmap,
+)
+from repro.oncrpc.udp import MAX_UDP_PAYLOAD, UdpTransport, serve_udp
+from repro.oncrpc.record import (
+    DEFAULT_FRAGMENT_SIZE,
+    LAST_FRAGMENT,
+    RecordReader,
+    encode_record,
+    iter_fragments,
+)
+from repro.oncrpc.server import CallContext, GarbageArgumentsError, RpcServer
+from repro.oncrpc.transport import (
+    LoopbackTransport,
+    NullMeter,
+    TcpTransport,
+    Transport,
+    TransportMeter,
+)
+
+__all__ = [
+    "PortMapper",
+    "PortMapperClient",
+    "Mapping",
+    "connect_via_portmap",
+    "PMAP_PROG",
+    "PMAP_VERS",
+    "PMAP_PORT",
+    "UdpTransport",
+    "serve_udp",
+    "MAX_UDP_PAYLOAD",
+    "OpaqueAuth",
+    "AuthSysParams",
+    "NULL_AUTH",
+    "AUTH_NONE",
+    "AUTH_SYS",
+    "RpcClient",
+    "RpcServer",
+    "CallContext",
+    "GarbageArgumentsError",
+    "RecordReader",
+    "encode_record",
+    "iter_fragments",
+    "DEFAULT_FRAGMENT_SIZE",
+    "LAST_FRAGMENT",
+    "TcpTransport",
+    "LoopbackTransport",
+    "Transport",
+    "TransportMeter",
+    "NullMeter",
+    "RpcError",
+    "RpcTransportError",
+    "RpcTimeoutError",
+    "RpcProtocolError",
+    "RpcReplyError",
+    "RpcProgUnavailable",
+    "RpcProgMismatch",
+    "RpcProcUnavailable",
+    "RpcGarbageArgs",
+    "RpcSystemError",
+    "RpcDenied",
+]

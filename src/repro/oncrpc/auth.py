@@ -1,0 +1,97 @@
+"""ONC RPC authentication flavors (RFC 5531 section 8 / RFC 5531 appendix).
+
+Cricket itself runs with ``AUTH_NONE``; ``AUTH_SYS`` (the classic UNIX
+credential) is provided for completeness and for tests exercising the
+credential path.  Opaque bodies are capped at 400 bytes as the RFC requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xdr import XdrDecoder, XdrEncoder
+from repro.xdr.errors import XdrDecodeError, XdrEncodeError
+
+MAX_AUTH_BYTES = 400
+
+AUTH_NONE = 0
+AUTH_SYS = 1
+AUTH_SHORT = 2
+
+#: ``auth_stat`` values used in MSG_DENIED/AUTH_ERROR replies.
+AUTH_OK = 0
+AUTH_BADCRED = 1
+AUTH_REJECTEDCRED = 2
+AUTH_BADVERF = 3
+AUTH_REJECTEDVERF = 4
+AUTH_TOOWEAK = 5
+
+
+@dataclass(frozen=True)
+class OpaqueAuth:
+    """An ``opaque_auth``: flavor discriminant plus opaque body."""
+
+    flavor: int = AUTH_NONE
+    body: bytes = b""
+
+    def encode(self, encoder: XdrEncoder) -> None:
+        """Pack this auth structure."""
+        if len(self.body) > MAX_AUTH_BYTES:
+            raise XdrEncodeError(
+                f"auth body exceeds {MAX_AUTH_BYTES} bytes ({len(self.body)})"
+            )
+        encoder.pack_enum(self.flavor)
+        encoder.pack_opaque(self.body, MAX_AUTH_BYTES)
+
+    @classmethod
+    def decode(cls, decoder: XdrDecoder) -> "OpaqueAuth":
+        """Unpack an auth structure."""
+        flavor = decoder.unpack_enum()
+        body = decoder.unpack_opaque(MAX_AUTH_BYTES)
+        return cls(flavor, body)
+
+
+NULL_AUTH = OpaqueAuth(AUTH_NONE, b"")
+
+
+@dataclass(frozen=True)
+class AuthSysParams:
+    """The ``authsys_parms`` credential body (RFC 5531 appendix A)."""
+
+    stamp: int = 0
+    machinename: str = "localhost"
+    uid: int = 0
+    gid: int = 0
+    gids: tuple[int, ...] = field(default_factory=tuple)
+
+    MAX_MACHINENAME = 255
+    MAX_GIDS = 16
+
+    def to_opaque(self) -> OpaqueAuth:
+        """Serialize into an ``AUTH_SYS`` flavored :class:`OpaqueAuth`."""
+        if len(self.gids) > self.MAX_GIDS:
+            raise XdrEncodeError(f"at most {self.MAX_GIDS} gids allowed")
+        enc = XdrEncoder()
+        enc.pack_uint(self.stamp & 0xFFFFFFFF)
+        enc.pack_string(self.machinename, self.MAX_MACHINENAME)
+        enc.pack_uint(self.uid)
+        enc.pack_uint(self.gid)
+        enc.pack_array_header(len(self.gids), self.MAX_GIDS)
+        for gid in self.gids:
+            enc.pack_uint(gid)
+        return OpaqueAuth(AUTH_SYS, enc.getvalue())
+
+    @classmethod
+    def from_opaque(cls, auth: OpaqueAuth) -> "AuthSysParams":
+        """Parse an ``AUTH_SYS`` credential body."""
+        if auth.flavor != AUTH_SYS:
+            raise XdrDecodeError(f"not an AUTH_SYS credential (flavor {auth.flavor})")
+        dec = XdrDecoder(auth.body)
+        stamp = dec.unpack_uint()
+        machinename = dec.unpack_string(cls.MAX_MACHINENAME)
+        uid = dec.unpack_uint()
+        gid = dec.unpack_uint()
+        count = dec.unpack_array_header(cls.MAX_GIDS)
+        gids = tuple(dec.unpack_uint() for _ in range(count))
+        dec.assert_done()
+        return cls(stamp, machinename, uid, gid, gids)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ONC RPC layer."""
+
+from __future__ import annotations
+
+
+class RpcError(Exception):
+    """Base class for all RPC-layer failures."""
+
+
+class RpcTransportError(RpcError):
+    """The underlying transport failed (connection reset, short read, ...)."""
+
+
+class RpcProtocolError(RpcError):
+    """A received message violates RFC 5531 framing or structure."""
+
+
+class RpcTimeoutError(RpcTransportError):
+    """No reply arrived within the configured timeout."""
+
+
+class RpcReplyError(RpcError):
+    """The server replied, but with an RPC-level error status."""
+
+
+class RpcProgUnavailable(RpcReplyError):
+    """``PROG_UNAVAIL``: the server does not export the requested program."""
+
+
+class RpcProgMismatch(RpcReplyError):
+    """``PROG_MISMATCH``: requested version outside the supported range."""
+
+    def __init__(self, low: int, high: int) -> None:
+        super().__init__(f"program version mismatch; server supports {low}..{high}")
+        self.low = low
+        self.high = high
+
+
+class RpcProcUnavailable(RpcReplyError):
+    """``PROC_UNAVAIL``: the program does not define the requested procedure."""
+
+
+class RpcGarbageArgs(RpcReplyError):
+    """``GARBAGE_ARGS``: the server could not decode the call arguments."""
+
+
+class RpcSystemError(RpcReplyError):
+    """``SYSTEM_ERR``: the server hit an internal error executing the call."""
+
+
+class RpcDenied(RpcReplyError):
+    """``MSG_DENIED``: authentication rejected or RPC version mismatch."""

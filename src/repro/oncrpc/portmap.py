@@ -1,0 +1,202 @@
+"""Port mapper / rpcbind (RFC 1833, version 2 protocol).
+
+ONC RPC services traditionally register their (program, version, protocol,
+port) binding with the port mapper on port 111, and clients look the port
+up before connecting; upstream Cricket registers its program with rpcbind
+via libtirpc.  This module implements the version-2 portmapper protocol --
+itself an ONC RPC program, so it dogfoods the whole stack:
+
+* :class:`PortMapper` -- the service (register it on any
+  :class:`~repro.oncrpc.server.RpcServer`),
+* :class:`PortMapperClient` -- GETPORT/SET/UNSET/DUMP client calls,
+* :func:`connect_via_portmap` -- the classic client bootstrap: ask the
+  port mapper, then dial the service.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.oncrpc.client import RpcClient
+from repro.oncrpc.errors import RpcProgUnavailable
+from repro.oncrpc.server import CallContext, RpcServer
+from repro.oncrpc.transport import TcpTransport, Transport
+from repro.xdr import XdrDecoder, XdrEncoder
+
+PMAP_PROG = 100000
+PMAP_VERS = 2
+PMAP_PORT = 111
+
+PMAPPROC_NULL = 0
+PMAPPROC_SET = 1
+PMAPPROC_UNSET = 2
+PMAPPROC_GETPORT = 3
+PMAPPROC_DUMP = 4
+
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One (program, version, protocol) -> port binding."""
+
+    prog: int
+    vers: int
+    prot: int
+    port: int
+
+    def encode(self, enc: XdrEncoder) -> None:
+        enc.pack_uint(self.prog)
+        enc.pack_uint(self.vers)
+        enc.pack_uint(self.prot)
+        enc.pack_uint(self.port)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "Mapping":
+        return cls(dec.unpack_uint(), dec.unpack_uint(), dec.unpack_uint(), dec.unpack_uint())
+
+
+class PortMapper:
+    """The portmapper service's registry and procedure handlers."""
+
+    def __init__(self) -> None:
+        self._bindings: dict[tuple[int, int, int], int] = {}
+        self._lock = threading.Lock()
+
+    # -- direct (in-process) interface ---------------------------------------
+
+    def set(self, mapping: Mapping) -> bool:
+        """Register a binding; fails if one already exists (RFC semantics)."""
+        key = (mapping.prog, mapping.vers, mapping.prot)
+        with self._lock:
+            if key in self._bindings:
+                return False
+            self._bindings[key] = mapping.port
+            return True
+
+    def unset(self, mapping: Mapping) -> bool:
+        """Remove all bindings of (prog, vers) regardless of protocol."""
+        removed = False
+        with self._lock:
+            for key in list(self._bindings):
+                if key[0] == mapping.prog and key[1] == mapping.vers:
+                    del self._bindings[key]
+                    removed = True
+        return removed
+
+    def getport(self, prog: int, vers: int, prot: int) -> int:
+        """Port of a binding, or 0 when unregistered (RFC behaviour)."""
+        with self._lock:
+            return self._bindings.get((prog, vers, prot), 0)
+
+    def dump(self) -> list[Mapping]:
+        """All current bindings."""
+        with self._lock:
+            return [
+                Mapping(prog, vers, prot, port)
+                for (prog, vers, prot), port in sorted(self._bindings.items())
+            ]
+
+    # -- RPC handlers ----------------------------------------------------------
+
+    def _handle_set(self, args: bytes, ctx: CallContext) -> bytes:
+        dec = XdrDecoder(args)
+        mapping = Mapping.decode(dec)
+        dec.assert_done()
+        enc = XdrEncoder()
+        enc.pack_bool(self.set(mapping))
+        return enc.getvalue()
+
+    def _handle_unset(self, args: bytes, ctx: CallContext) -> bytes:
+        dec = XdrDecoder(args)
+        mapping = Mapping.decode(dec)
+        dec.assert_done()
+        enc = XdrEncoder()
+        enc.pack_bool(self.unset(mapping))
+        return enc.getvalue()
+
+    def _handle_getport(self, args: bytes, ctx: CallContext) -> bytes:
+        dec = XdrDecoder(args)
+        mapping = Mapping.decode(dec)
+        dec.assert_done()
+        enc = XdrEncoder()
+        enc.pack_uint(self.getport(mapping.prog, mapping.vers, mapping.prot))
+        return enc.getvalue()
+
+    def _handle_dump(self, args: bytes, ctx: CallContext) -> bytes:
+        # pmaplist: XDR linked list (optional struct, recursively)
+        enc = XdrEncoder()
+        for mapping in self.dump():
+            enc.pack_optional_flag(True)
+            mapping.encode(enc)
+        enc.pack_optional_flag(False)
+        return enc.getvalue()
+
+    def register_on(self, server: RpcServer) -> None:
+        """Export the portmapper program from ``server``."""
+        server.register_program(
+            PMAP_PROG,
+            PMAP_VERS,
+            {
+                PMAPPROC_SET: self._handle_set,
+                PMAPPROC_UNSET: self._handle_unset,
+                PMAPPROC_GETPORT: self._handle_getport,
+                PMAPPROC_DUMP: self._handle_dump,
+            },
+        )
+
+
+class PortMapperClient:
+    """Client for a remote portmapper."""
+
+    def __init__(self, transport: Transport) -> None:
+        self._client = RpcClient(transport, PMAP_PROG, PMAP_VERS)
+
+    def set(self, mapping: Mapping) -> bool:
+        enc = XdrEncoder()
+        mapping.encode(enc)
+        raw = self._client.call_raw(PMAPPROC_SET, enc.getvalue())
+        return XdrDecoder(raw).unpack_bool()
+
+    def unset(self, mapping: Mapping) -> bool:
+        enc = XdrEncoder()
+        mapping.encode(enc)
+        raw = self._client.call_raw(PMAPPROC_UNSET, enc.getvalue())
+        return XdrDecoder(raw).unpack_bool()
+
+    def getport(self, prog: int, vers: int, prot: int = IPPROTO_TCP) -> int:
+        enc = XdrEncoder()
+        Mapping(prog, vers, prot, 0).encode(enc)
+        raw = self._client.call_raw(PMAPPROC_GETPORT, enc.getvalue())
+        return XdrDecoder(raw).unpack_uint()
+
+    def dump(self) -> list[Mapping]:
+        raw = self._client.call_raw(PMAPPROC_DUMP, b"")
+        dec = XdrDecoder(raw)
+        mappings: list[Mapping] = []
+        while dec.unpack_optional_flag():
+            mappings.append(Mapping.decode(dec))
+        dec.assert_done()
+        return mappings
+
+    def close(self) -> None:
+        """Close the underlying transport."""
+        self._client.close()
+
+
+def connect_via_portmap(
+    host: str, prog: int, vers: int, *, pmap_port: int = PMAP_PORT
+) -> RpcClient:
+    """Classic client bootstrap: GETPORT, then dial the service over TCP."""
+    pmap = PortMapperClient(TcpTransport(host, pmap_port))
+    try:
+        port = pmap.getport(prog, vers, IPPROTO_TCP)
+    finally:
+        pmap.close()
+    if port == 0:
+        raise RpcProgUnavailable(
+            f"program {prog}/{vers} is not registered with the port mapper"
+        )
+    return RpcClient(TcpTransport(host, port), prog, vers)

@@ -1,0 +1,244 @@
+"""ONC RPC server (the Cricket-server role's RPC engine).
+
+:class:`RpcServer` dispatches CALL messages to registered programs.  It can
+serve real TCP connections (one thread per connection, like the rpcgen C
+skeleton Cricket uses) or be driven in-process through
+:meth:`RpcServer.dispatch_record`, which is what
+:class:`~repro.oncrpc.transport.LoopbackTransport` calls.
+
+Handlers receive ``(proc_args: bytes, context: CallContext)`` and return the
+encoded result bytes.  RPC-level failures (unknown program/version/
+procedure, undecodable arguments, handler crash) are mapped onto the proper
+``accept_stat`` replies rather than tearing down the connection.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.oncrpc import message as msg
+from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth
+from repro.oncrpc.errors import RpcProtocolError, RpcTransportError
+from repro.oncrpc.record import DEFAULT_FRAGMENT_SIZE, RecordReader, encode_record
+from repro.xdr.errors import XdrError
+
+
+@dataclass
+class CallContext:
+    """Per-call context passed to procedure handlers."""
+
+    prog: int
+    vers: int
+    proc: int
+    cred: OpaqueAuth
+    #: opaque identifier of the client connection (address or loopback tag)
+    client_id: str = "loopback"
+    #: scratch space shared by all calls on one connection
+    session: dict = field(default_factory=dict)
+
+
+Handler = Callable[[bytes, CallContext], bytes]
+
+
+class GarbageArgumentsError(Exception):
+    """Raised by handlers to signal undecodable arguments (GARBAGE_ARGS)."""
+
+
+class RpcServer:
+    """Multi-program, multi-version ONC RPC server."""
+
+    #: Largest request record a server accepts; protects against
+    #: memory-exhaustion claims in fragment headers while comfortably
+    #: fitting Cricket's 512 MiB-class memcpy payloads.
+    DEFAULT_MAX_RECORD = 1 << 30
+
+    def __init__(
+        self,
+        *,
+        fragment_size: int = DEFAULT_FRAGMENT_SIZE,
+        max_record_size: int = DEFAULT_MAX_RECORD,
+    ) -> None:
+        self._programs: dict[tuple[int, int], dict[int, Handler]] = {}
+        self.fragment_size = fragment_size
+        self.max_record_size = max_record_size
+        self._tcp_thread: threading.Thread | None = None
+        self._listener: socket.socket | None = None
+        self._shutdown = threading.Event()
+        #: count of successfully dispatched calls (all programs)
+        self.calls_served = 0
+        self._stats_lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------------
+
+    def register_program(
+        self, prog: int, vers: int, procedures: Mapping[int, Handler]
+    ) -> None:
+        """Register handlers for ``(prog, vers)``.
+
+        Procedure 0 (NULL) is added automatically if absent, as every ONC
+        RPC program must answer it.
+        """
+        table = dict(procedures)
+        table.setdefault(0, lambda args, ctx: b"")
+        self._programs[(prog, vers)] = table
+
+    def supported_versions(self, prog: int) -> tuple[int, int] | None:
+        """Return (low, high) versions registered for ``prog``, if any."""
+        versions = [v for (p, v) in self._programs if p == prog]
+        if not versions:
+            return None
+        return min(versions), max(versions)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def dispatch_record(
+        self, record: bytes, *, client_id: str = "loopback", session: dict | None = None
+    ) -> bytes | None:
+        """Process one request record and return the reply record payload.
+
+        Malformed records raise
+        :class:`~repro.oncrpc.errors.RpcProtocolError`; RPC-level errors
+        produce error replies.  Returns ``None`` only if the message was a
+        reply (which a server ignores).
+        """
+        request = msg.RpcMessage.decode(record)
+        if not request.is_call:
+            return None
+        call = request.body
+        assert isinstance(call, msg.CallBody)
+        ctx = CallContext(
+            prog=call.prog,
+            vers=call.vers,
+            proc=call.proc,
+            cred=call.cred,
+            client_id=client_id,
+            session=session if session is not None else {},
+        )
+        reply_body = self._execute(call, ctx)
+        return msg.RpcMessage(request.xid, reply_body, msg.MSG_ACCEPTED).encode()
+
+    def _execute(self, call: msg.CallBody, ctx: CallContext) -> msg.AcceptedReply:
+        table = self._programs.get((call.prog, call.vers))
+        if table is None:
+            versions = self.supported_versions(call.prog)
+            if versions is None:
+                return msg.AcceptedReply(NULL_AUTH, msg.PROG_UNAVAIL)
+            low, high = versions
+            return msg.AcceptedReply(
+                NULL_AUTH, msg.PROG_MISMATCH, mismatch_low=low, mismatch_high=high
+            )
+        handler = table.get(call.proc)
+        if handler is None:
+            return msg.AcceptedReply(NULL_AUTH, msg.PROC_UNAVAIL)
+        try:
+            results = handler(call.args, ctx)
+        except (GarbageArgumentsError, XdrError):
+            return msg.AcceptedReply(NULL_AUTH, msg.GARBAGE_ARGS)
+        except Exception:
+            return msg.AcceptedReply(NULL_AUTH, msg.SYSTEM_ERR)
+        with self._stats_lock:
+            self.calls_served += 1
+        return msg.AcceptedReply(NULL_AUTH, msg.SUCCESS, results)
+
+    # -- TCP serving -------------------------------------------------------
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Start a background TCP accept loop; return the bound address.
+
+        Port 0 binds an ephemeral port, convenient for tests.
+        """
+        if self._listener is not None:
+            raise RuntimeError("server is already listening")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(64)
+        self._listener = listener
+        self._shutdown.clear()
+        self._tcp_thread = threading.Thread(
+            target=self._accept_loop, name="rpc-accept", daemon=True
+        )
+        self._tcp_thread.start()
+        return listener.getsockname()[:2]
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        self._listener.settimeout(0.2)
+        while not self._shutdown.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, f"{addr[0]}:{addr[1]}"),
+                name=f"rpc-conn-{addr[1]}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket, client_id: str) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        session: dict = {}
+        reader = RecordReader(
+            lambda n: self._recv(conn, n), max_record_size=self.max_record_size
+        )
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    record = reader.read_record()
+                except (RpcTransportError, RpcProtocolError):
+                    break
+                if record is None:
+                    break
+                try:
+                    reply = self.dispatch_record(
+                        record, client_id=client_id, session=session
+                    )
+                except RpcProtocolError:
+                    break  # unparseable message: drop the connection
+                if reply is not None:
+                    try:
+                        conn.sendall(encode_record(reply, self.fragment_size))
+                    except OSError:
+                        break
+        finally:
+            self._on_disconnect(client_id, session)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _recv(conn: socket.socket, n: int) -> bytes:
+        try:
+            return conn.recv(min(n, 1 << 20))
+        except OSError:
+            return b""
+
+    def _on_disconnect(self, client_id: str, session: dict) -> None:
+        """Hook for subclasses to release per-connection resources."""
+
+    def shutdown(self) -> None:
+        """Stop the TCP accept loop and close the listening socket."""
+        self._shutdown.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._tcp_thread is not None:
+            self._tcp_thread.join(timeout=2.0)
+            self._tcp_thread = None
+
+    def __enter__(self) -> "RpcServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -1,0 +1,35 @@
+"""RPCL (Remote Procedure Call Language) compiler.
+
+The Python analogue of RPC-Lib's build-time code generation: parse an RPCL
+interface specification (the same language ``rpcgen`` consumes and Cricket's
+``cpu_rpc_prot.x`` is written in) and produce callable client stubs and
+server dispatch tables.
+
+Pipeline::
+
+    source (.x text)
+      -> lexer  (repro.rpcl.lexer)
+      -> parser (repro.rpcl.parser)    -> AST (repro.rpcl.ast)
+      -> compiler (repro.rpcl.compiler) -> XDR codecs + signatures
+      -> stubgen (repro.rpcl.stubgen)   -> dynamic ClientStub / server table
+      -> codegen (repro.rpcl.codegen)   -> standalone Python source (rpcgen)
+"""
+
+from repro.rpcl.codegen import generate_module
+from repro.rpcl.compiler import ProcedureSignature, SpecCompiler
+from repro.rpcl.errors import RpclError, RpclSemanticError, RpclSyntaxError
+from repro.rpcl.parser import parse
+from repro.rpcl.stubgen import ClientStub, ProgramInterface, bind_client
+
+__all__ = [
+    "parse",
+    "generate_module",
+    "SpecCompiler",
+    "ProcedureSignature",
+    "ProgramInterface",
+    "ClientStub",
+    "bind_client",
+    "RpclError",
+    "RpclSyntaxError",
+    "RpclSemanticError",
+]

@@ -1,0 +1,158 @@
+"""Abstract syntax tree for RPCL specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """A reference to a type in declaration position.
+
+    ``name`` is a primitive name (``int``, ``unsigned hyper``, ``float``,
+    ``bool``, ``string``, ``opaque``, ``void``, ...) or a user-defined type
+    identifier.  Array/optional decorations live on :class:`Declaration`.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """A declared item: a struct field, union arm body, or typedef body.
+
+    ``kind`` is one of:
+
+    * ``"plain"``     -- ``T name``
+    * ``"fixed"``     -- ``T name[n]`` (``opaque`` included)
+    * ``"variable"``  -- ``T name<n>`` / ``T name<>`` (``opaque``/``string``)
+    * ``"optional"``  -- ``T *name``
+    * ``"void"``      -- the void declaration
+    """
+
+    type: TypeSpec
+    name: str
+    kind: str = "plain"
+    size: int | None = None  # bound for fixed/variable kinds
+
+
+@dataclass(frozen=True)
+class ConstDef:
+    """``const NAME = value;``"""
+
+    name: str
+    value: int
+
+
+@dataclass(frozen=True)
+class EnumDef:
+    """``enum name { MEMBER = value, ... };``"""
+
+    name: str
+    members: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class StructDef:
+    """``struct name { declarations };``"""
+
+    name: str
+    fields: tuple[Declaration, ...]
+
+
+@dataclass(frozen=True)
+class UnionCase:
+    """One or more ``case`` labels sharing a declaration arm."""
+
+    values: tuple[int, ...]
+    declaration: Declaration
+
+
+@dataclass(frozen=True)
+class UnionDef:
+    """``union name switch (disc) { cases... default: decl; };``"""
+
+    name: str
+    discriminant: Declaration
+    cases: tuple[UnionCase, ...]
+    default: Declaration | None = None
+
+
+@dataclass(frozen=True)
+class TypedefDef:
+    """``typedef declaration;`` -- aliases the declared shape to its name."""
+
+    declaration: Declaration
+
+    @property
+    def name(self) -> str:
+        """The typedef's alias name."""
+        return self.declaration.name
+
+
+@dataclass(frozen=True)
+class ProcDef:
+    """One procedure of a program version."""
+
+    name: str
+    number: int
+    result: TypeSpec
+    args: tuple[TypeSpec, ...]
+
+
+@dataclass(frozen=True)
+class VersionDef:
+    """One version block of a program."""
+
+    name: str
+    number: int
+    procedures: tuple[ProcDef, ...]
+
+
+@dataclass(frozen=True)
+class ProgramDef:
+    """``program NAME { versions } = number;``"""
+
+    name: str
+    number: int
+    versions: tuple[VersionDef, ...]
+
+    def version(self, number: int) -> VersionDef:
+        """Return the version block with the given number."""
+        for vers in self.versions:
+            if vers.number == number:
+                return vers
+        raise KeyError(f"program {self.name} has no version {number}")
+
+
+Definition = ConstDef | EnumDef | StructDef | UnionDef | TypedefDef | ProgramDef
+
+
+@dataclass
+class Specification:
+    """A parsed RPCL file: ordered definitions plus lookup tables."""
+
+    definitions: list[Definition] = field(default_factory=list)
+
+    @property
+    def constants(self) -> dict[str, int]:
+        """All named integer constants (const defs and enum members)."""
+        out: dict[str, int] = {}
+        for d in self.definitions:
+            if isinstance(d, ConstDef):
+                out[d.name] = d.value
+            elif isinstance(d, EnumDef):
+                out.update(d.members)
+        return out
+
+    @property
+    def programs(self) -> dict[str, ProgramDef]:
+        """Program definitions keyed by name."""
+        return {d.name: d for d in self.definitions if isinstance(d, ProgramDef)}
+
+    def program(self, name: str) -> ProgramDef:
+        """Return the program definition called ``name``."""
+        try:
+            return self.programs[name]
+        except KeyError:
+            raise KeyError(f"specification defines no program {name!r}") from None

@@ -1,0 +1,24 @@
+"""Exception hierarchy for the RPCL compiler."""
+
+from __future__ import annotations
+
+
+class RpclError(Exception):
+    """Base class for RPCL compilation failures."""
+
+
+class RpclSyntaxError(RpclError):
+    """The specification text violates the RPCL grammar."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class RpclSemanticError(RpclError):
+    """The specification parses but is inconsistent.
+
+    Examples: duplicate definitions, references to undefined types,
+    duplicate procedure numbers, non-constant array bounds.
+    """

@@ -1,0 +1,165 @@
+"""Tokenizer for the RPC Language (RPCL, RFC 5531 appendix / rpcgen dialect).
+
+Handles C-style block comments, line comments, ``%`` passthrough lines
+(which rpcgen copies into generated C and we simply skip), decimal, octal
+and hexadecimal integer literals, identifiers/keywords and the punctuation
+set used by the grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.rpcl.errors import RpclSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "bool",
+        "case",
+        "char",
+        "const",
+        "default",
+        "double",
+        "enum",
+        "float",
+        "hyper",
+        "int",
+        "long",
+        "opaque",
+        "program",
+        "quadruple",
+        "short",
+        "string",
+        "struct",
+        "switch",
+        "typedef",
+        "union",
+        "unsigned",
+        "version",
+        "void",
+    }
+)
+
+PUNCTUATION = frozenset("{}()[]<>*=,;:")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with source position for diagnostics."""
+
+    kind: str  # "ident", "keyword", "number", "punct", "eof"
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize RPCL ``source`` into a list ending with an EOF token."""
+    return list(_iter_tokens(source))
+
+
+def _iter_tokens(source: str) -> Iterator[Token]:
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> RpclSyntaxError:
+        return RpclSyntaxError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # % passthrough lines (rpcgen copies these verbatim into C output)
+        if ch == "%" and col == 1:
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # block comments
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        # line comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # numbers (decimal, hex, octal; optional leading minus)
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and source[i + 1].isdigit()
+        ):
+            start = i
+            start_col = col
+            if ch == "-":
+                i += 1
+                col += 1
+            if source.startswith(("0x", "0X"), i):
+                i += 2
+                col += 2
+                digits = 0
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                    col += 1
+                    digits += 1
+                if digits == 0:
+                    raise error("malformed hexadecimal literal")
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                    col += 1
+            yield Token("number", source[start:i], line, start_col)
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+                col += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            yield Token(kind, word, line, start_col)
+            continue
+        # punctuation
+        if ch in PUNCTUATION:
+            yield Token("punct", ch, line, col)
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+    yield Token("eof", "", line, col)
+
+
+def parse_int_literal(text: str) -> int:
+    """Parse an RPCL integer literal (decimal, 0x hex, or 0-prefixed octal)."""
+    negative = text.startswith("-")
+    body = text[1:] if negative else text
+    if body.lower().startswith("0x"):
+        value = int(body, 16)
+    elif body.startswith("0") and len(body) > 1:
+        value = int(body, 8)
+    else:
+        value = int(body, 10)
+    return -value if negative else value

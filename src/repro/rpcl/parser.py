@@ -1,0 +1,324 @@
+"""Recursive-descent parser for RPCL (RFC 5531 appendix grammar).
+
+The parser produces the AST of :mod:`repro.rpcl.ast`.  Constants referenced
+in array bounds, enum values, case labels and program/version/procedure
+numbers may be earlier ``const`` definitions or enum members, matching
+rpcgen semantics.
+
+Procedures may take multiple arguments (the rpcgen ``-N``/newstyle
+convention, which Cricket's interface file uses); arguments are encoded
+back-to-back in declaration order.
+"""
+
+from __future__ import annotations
+
+from repro.rpcl import ast
+from repro.rpcl.errors import RpclSemanticError, RpclSyntaxError
+from repro.rpcl.lexer import Token, parse_int_literal, tokenize
+
+_PRIMITIVE_STARTERS = {
+    "int",
+    "unsigned",
+    "hyper",
+    "long",
+    "short",
+    "char",
+    "float",
+    "double",
+    "quadruple",
+    "bool",
+    "void",
+    "string",
+    "opaque",
+}
+
+
+class Parser:
+    """Single-use parser over a token stream."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+        self._constants: dict[str, int] = {}
+
+    # -- token plumbing --------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> RpclSyntaxError:
+        tok = self._peek()
+        return RpclSyntaxError(message + f" (found {tok.value!r})", tok.line, tok.column)
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self._peek()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            expected = value if value is not None else kind
+            raise self._error(f"expected {expected!r}")
+        return self._advance()
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        tok = self._peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self._advance()
+        return None
+
+    # -- entry point ------------------------------------------------------
+
+    def parse(self) -> ast.Specification:
+        """Parse a full specification."""
+        spec = ast.Specification()
+        while self._peek().kind != "eof":
+            spec.definitions.append(self._definition())
+        self._check_semantics(spec)
+        return spec
+
+    # -- definitions -------------------------------------------------------
+
+    def _definition(self) -> ast.Definition:
+        tok = self._peek()
+        if tok.kind != "keyword":
+            raise self._error("expected a definition keyword")
+        if tok.value == "const":
+            return self._const_def()
+        if tok.value == "enum":
+            return self._enum_def()
+        if tok.value == "struct":
+            return self._struct_def()
+        if tok.value == "union":
+            return self._union_def()
+        if tok.value == "typedef":
+            return self._typedef_def()
+        if tok.value == "program":
+            return self._program_def()
+        raise self._error(f"unexpected keyword {tok.value!r} at top level")
+
+    def _const_def(self) -> ast.ConstDef:
+        self._expect("keyword", "const")
+        name = self._expect("ident").value
+        self._expect("punct", "=")
+        value = self._constant_value()
+        self._expect("punct", ";")
+        self._constants[name] = value
+        return ast.ConstDef(name, value)
+
+    def _constant_value(self) -> int:
+        tok = self._peek()
+        if tok.kind == "number":
+            self._advance()
+            return parse_int_literal(tok.value)
+        if tok.kind == "ident":
+            self._advance()
+            try:
+                return self._constants[tok.value]
+            except KeyError:
+                raise RpclSemanticError(
+                    f"line {tok.line}: undefined constant {tok.value!r}"
+                ) from None
+        raise self._error("expected a constant")
+
+    def _enum_def(self) -> ast.EnumDef:
+        self._expect("keyword", "enum")
+        name = self._expect("ident").value
+        members = self._enum_body()
+        self._expect("punct", ";")
+        for member, value in members:
+            self._constants[member] = value
+        return ast.EnumDef(name, members)
+
+    def _enum_body(self) -> tuple[tuple[str, int], ...]:
+        self._expect("punct", "{")
+        members: list[tuple[str, int]] = []
+        while True:
+            member = self._expect("ident").value
+            self._expect("punct", "=")
+            value = self._constant_value()
+            members.append((member, value))
+            if not self._accept("punct", ","):
+                break
+        self._expect("punct", "}")
+        return tuple(members)
+
+    def _struct_def(self) -> ast.StructDef:
+        self._expect("keyword", "struct")
+        name = self._expect("ident").value
+        fields = self._struct_body()
+        self._expect("punct", ";")
+        return ast.StructDef(name, fields)
+
+    def _struct_body(self) -> tuple[ast.Declaration, ...]:
+        self._expect("punct", "{")
+        fields: list[ast.Declaration] = []
+        while not self._accept("punct", "}"):
+            decl = self._declaration()
+            self._expect("punct", ";")
+            if decl.kind != "void":
+                fields.append(decl)
+        return tuple(fields)
+
+    def _union_def(self) -> ast.UnionDef:
+        self._expect("keyword", "union")
+        name = self._expect("ident").value
+        self._expect("keyword", "switch")
+        self._expect("punct", "(")
+        discriminant = self._declaration()
+        self._expect("punct", ")")
+        self._expect("punct", "{")
+        cases: list[ast.UnionCase] = []
+        default: ast.Declaration | None = None
+        while not self._accept("punct", "}"):
+            if self._accept("keyword", "default"):
+                self._expect("punct", ":")
+                default = self._declaration()
+                self._expect("punct", ";")
+                continue
+            values: list[int] = []
+            while self._accept("keyword", "case"):
+                values.append(self._constant_value())
+                self._expect("punct", ":")
+            if not values:
+                raise self._error("expected 'case' or 'default' in union body")
+            decl = self._declaration()
+            self._expect("punct", ";")
+            cases.append(ast.UnionCase(tuple(values), decl))
+        self._expect("punct", ";")
+        if not cases and default is None:
+            raise RpclSemanticError(f"union {name} has no cases")
+        return ast.UnionDef(name, discriminant, tuple(cases), default)
+
+    def _typedef_def(self) -> ast.TypedefDef:
+        self._expect("keyword", "typedef")
+        decl = self._declaration()
+        self._expect("punct", ";")
+        if decl.kind == "void":
+            raise RpclSemanticError("cannot typedef void")
+        return ast.TypedefDef(decl)
+
+    # -- declarations -----------------------------------------------------
+
+    def _type_spec(self) -> ast.TypeSpec:
+        tok = self._peek()
+        if tok.kind == "ident":
+            self._advance()
+            return ast.TypeSpec(tok.value)
+        if tok.kind == "keyword":
+            if tok.value == "unsigned":
+                self._advance()
+                nxt = self._peek()
+                if nxt.kind == "keyword" and nxt.value in ("int", "hyper", "long", "short", "char"):
+                    self._advance()
+                    return ast.TypeSpec(f"unsigned {nxt.value}")
+                return ast.TypeSpec("unsigned int")  # bare 'unsigned'
+            if tok.value in _PRIMITIVE_STARTERS or tok.value in ("struct", "enum", "union"):
+                if tok.value in ("struct", "enum", "union"):
+                    # inline reference: 'struct foo' names a defined type
+                    self._advance()
+                    name = self._expect("ident").value
+                    return ast.TypeSpec(name)
+                self._advance()
+                return ast.TypeSpec(tok.value)
+        raise self._error("expected a type specifier")
+
+    def _declaration(self) -> ast.Declaration:
+        if self._accept("keyword", "void"):
+            return ast.Declaration(ast.TypeSpec("void"), "", kind="void")
+        spec = self._type_spec()
+        if self._accept("punct", "*"):
+            name = self._expect("ident").value
+            return ast.Declaration(spec, name, kind="optional")
+        name = self._expect("ident").value
+        if self._accept("punct", "["):
+            size = self._constant_value()
+            self._expect("punct", "]")
+            return ast.Declaration(spec, name, kind="fixed", size=size)
+        if self._accept("punct", "<"):
+            size: int | None = None
+            nxt = self._peek()
+            if not (nxt.kind == "punct" and nxt.value == ">"):
+                size = self._constant_value()
+            self._expect("punct", ">")
+            return ast.Declaration(spec, name, kind="variable", size=size)
+        return ast.Declaration(spec, name, kind="plain")
+
+    # -- programs ----------------------------------------------------------
+
+    def _program_def(self) -> ast.ProgramDef:
+        self._expect("keyword", "program")
+        name = self._expect("ident").value
+        self._expect("punct", "{")
+        versions: list[ast.VersionDef] = []
+        while not self._accept("punct", "}"):
+            versions.append(self._version_def())
+        self._expect("punct", "=")
+        number = self._constant_value()
+        self._expect("punct", ";")
+        if not versions:
+            raise RpclSemanticError(f"program {name} defines no versions")
+        return ast.ProgramDef(name, number, tuple(versions))
+
+    def _version_def(self) -> ast.VersionDef:
+        self._expect("keyword", "version")
+        name = self._expect("ident").value
+        self._expect("punct", "{")
+        procedures: list[ast.ProcDef] = []
+        while not self._accept("punct", "}"):
+            procedures.append(self._proc_def())
+        self._expect("punct", "=")
+        number = self._constant_value()
+        self._expect("punct", ";")
+        return ast.VersionDef(name, number, tuple(procedures))
+
+    def _proc_def(self) -> ast.ProcDef:
+        result = self._type_spec()
+        name = self._expect("ident").value
+        self._expect("punct", "(")
+        args: list[ast.TypeSpec] = []
+        first = self._type_spec()
+        if first.name != "void":
+            args.append(first)
+            while self._accept("punct", ","):
+                args.append(self._type_spec())
+        self._expect("punct", ")")
+        self._expect("punct", "=")
+        number = self._constant_value()
+        self._expect("punct", ";")
+        return ast.ProcDef(name, number, result, tuple(args))
+
+    # -- semantic checks ---------------------------------------------------
+
+    @staticmethod
+    def _check_semantics(spec: ast.Specification) -> None:
+        names: set[str] = set()
+        for d in spec.definitions:
+            if isinstance(d, (ast.EnumDef, ast.StructDef, ast.UnionDef, ast.TypedefDef)):
+                if d.name in names:
+                    raise RpclSemanticError(f"duplicate type definition {d.name!r}")
+                names.add(d.name)
+        for prog in spec.programs.values():
+            vers_numbers = [v.number for v in prog.versions]
+            if len(set(vers_numbers)) != len(vers_numbers):
+                raise RpclSemanticError(
+                    f"duplicate version numbers in program {prog.name}"
+                )
+            for vers in prog.versions:
+                proc_numbers = [p.number for p in vers.procedures]
+                if len(set(proc_numbers)) != len(proc_numbers):
+                    raise RpclSemanticError(
+                        f"duplicate procedure numbers in {prog.name}/{vers.name}"
+                    )
+                proc_names = [p.name for p in vers.procedures]
+                if len(set(proc_names)) != len(proc_names):
+                    raise RpclSemanticError(
+                        f"duplicate procedure names in {prog.name}/{vers.name}"
+                    )
+
+
+def parse(source: str) -> ast.Specification:
+    """Parse RPCL ``source`` text into a :class:`~repro.rpcl.ast.Specification`."""
+    return Parser(source).parse()

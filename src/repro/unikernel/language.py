@@ -1,0 +1,54 @@
+"""Application language/runtime profiles (the C vs. Rust dimension).
+
+The paper compares C clients (libtirpc) with Rust clients (RPC-Lib) and
+attributes the measured differences to two concrete mechanisms:
+
+* **Kernel launches**: the C path keeps extra compatibility logic for the
+  ``<<<...>>>`` launch operator; Rust omits it, making Rust launches
+  ~6.3 % faster (§4.2, Figure 6c).
+* **Initialization**: the C samples use a slower random number generator
+  (glibc ``rand()``), which the paper found responsible for a large part of
+  histogram's C-vs-Rust gap (§4.1).
+
+A profile captures those per-client-call CPU costs; they are charged on the
+client side of each RPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LanguageProfile:
+    """Client-side runtime characteristics of one implementation language."""
+
+    name: str
+    #: fixed client CPU cost to marshal/issue any RPC, seconds
+    call_overhead_s: float
+    #: extra client CPU per *kernel launch* call (C's <<<>>> compatibility
+    #: logic; zero for Rust), seconds
+    launch_extra_s: float
+    #: random-number generation throughput for input initialization, bytes/s
+    rng_rate_Bps: float
+
+
+#: libtirpc-based C client.  glibc rand() produces ~4 bytes per ~10ns-ish
+#: call chain; measured C samples initialize at a few hundred MiB/s.
+C_PROFILE = LanguageProfile(
+    name="C",
+    call_overhead_s=1.6e-6,
+    launch_extra_s=1.35e-6,
+    rng_rate_Bps=0.30e9,
+)
+
+#: RPC-Lib-based Rust client: same marshalling work, no launch-compat
+#: logic, and a fast PRNG (SmallRng-class) for initialization.
+RUST_PROFILE = LanguageProfile(
+    name="Rust",
+    call_overhead_s=1.6e-6,
+    launch_extra_s=0.0,
+    rng_rate_Bps=1.6e9,
+)
+
+PROFILES = {p.name: p for p in (C_PROFILE, RUST_PROFILE)}

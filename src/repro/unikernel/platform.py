@@ -1,0 +1,177 @@
+"""Execution-platform models and the end-to-end RPC path timing.
+
+A :class:`Platform` bundles what Table 1 of the paper calls a
+*configuration*: guest OS, hypervisor presence, network plumbing and the
+application language.  :class:`RpcPathModel` composes a client platform, the
+physical link and the (always native-Linux) GPU-node server into per-message
+latency charges, and :class:`PlatformMeter` plugs that model into the
+transport layer so every record crossing the wire advances the experiment's
+virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.net.link import LinkModel
+from repro.net.simclock import SimClock
+from repro.unikernel.language import LanguageProfile
+from repro.unikernel.netstack import NetstackModel
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One evaluated configuration (a row of Table 1)."""
+
+    name: str
+    #: operating system label ("Rocky Linux", "Fedora VM", "Unikraft", "Hermit")
+    os_name: str
+    #: hypervisor label or None for bare metal
+    hypervisor: str | None
+    #: network plumbing label ("native" or "virtio")
+    network: str
+    netstack: NetstackModel
+    language: LanguageProfile
+
+    @property
+    def virtualized(self) -> bool:
+        """True when a hypervisor sits under this platform."""
+        return self.hypervisor is not None
+
+    def with_language(self, language: LanguageProfile) -> "Platform":
+        """Copy of this platform with a different application language."""
+        return replace(self, language=language)
+
+    def with_netstack(self, netstack: NetstackModel) -> "Platform":
+        """Copy of this platform with a different network stack model."""
+        return replace(self, netstack=netstack)
+
+
+@dataclass(frozen=True)
+class RpcPathModel:
+    """Timing of one message along client -> link -> server (and back).
+
+    The server side is the Cricket server's host: the GPU node running
+    native Linux, so its stack is always the native model.  Request and
+    reply charges are:
+
+    ``request(n) = client.tx(n) + link.latency + wire(n) + server.rx(n)``
+    ``reply(n)   = server.tx(n) + link.latency + wire(n) + client.rx(n)``
+
+    Summing CPU time and wire time (instead of overlapping them) models a
+    single-threaded RPC implementation that cannot pipeline marshalling
+    with transmission -- the paper's explanation for why Cricket's
+    RPC-argument transfers are CPU-bound (§4.2).
+    """
+
+    client: Platform
+    link: LinkModel
+    server_stack: NetstackModel
+
+    def request_components_s(self, nbytes: int) -> dict[str, float]:
+        """Per-component seconds of the request path (for cost attribution)."""
+        return {
+            "client_stack": self.client.netstack.tx_time_s(nbytes, self.link),
+            "wire": self.link.one_way_s(nbytes),
+            "server_stack": self.server_stack.rx_time_s(nbytes, self.link),
+        }
+
+    def reply_components_s(self, nbytes: int) -> dict[str, float]:
+        """Per-component seconds of the reply path."""
+        return {
+            "server_stack": self.server_stack.tx_time_s(nbytes, self.link),
+            "wire": self.link.one_way_s(nbytes),
+            "client_stack": self.client.netstack.rx_time_s(nbytes, self.link),
+        }
+
+    def request_time_s(self, nbytes: int) -> float:
+        """Seconds for a request record of ``nbytes`` to reach the server."""
+        return sum(self.request_components_s(nbytes).values())
+
+    def reply_time_s(self, nbytes: int) -> float:
+        """Seconds for a reply record of ``nbytes`` to reach the client."""
+        return sum(self.reply_components_s(nbytes).values())
+
+    def round_trip_s(self, request_bytes: int, reply_bytes: int) -> float:
+        """Convenience: request plus reply (no server processing)."""
+        return self.request_time_s(request_bytes) + self.reply_time_s(reply_bytes)
+
+
+class PlatformMeter:
+    """Transport meter charging RPC path time to a virtual clock.
+
+    Attached to a client transport
+    (:class:`repro.oncrpc.transport.TcpTransport` or
+    :class:`~repro.oncrpc.transport.LoopbackTransport`); every sent record
+    charges the request path, every received record the reply path, plus
+    the language profile's per-call marshalling overhead on sends.
+    """
+
+    def __init__(self, path: RpcPathModel, clock: SimClock) -> None:
+        self.path = path
+        self.clock = clock
+        #: cumulative bytes, for bandwidth reporting
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: extra client CPU to charge on the next send (e.g. C launch logic)
+        self._pending_extra_s = 0.0
+        self._batched_sends = 0
+        self._batched_recvs = 0
+        #: cost attribution, seconds per component (client_cpu includes the
+        #: language marshalling overhead and app-charged extras)
+        self.breakdown_s: dict[str, float] = {
+            "client_cpu": 0.0,
+            "client_stack": 0.0,
+            "wire": 0.0,
+            "server_stack": 0.0,
+        }
+
+    def add_client_cpu_s(self, seconds: float) -> None:
+        """Charge additional client CPU before the next message (launch
+        compatibility logic, input generation, ...)."""
+        self._pending_extra_s += seconds
+
+    def mark_batched(self, sends: int = 0, recvs: int = 0) -> None:
+        """Declare upcoming messages as pipelined (ONC RPC batching).
+
+        A batched send charges only the client's transmit CPU (the wire and
+        server work overlap with the client's next operation); a batched
+        reply charges only the client's receive CPU.
+        """
+        self._batched_sends += sends
+        self._batched_recvs += recvs
+
+    def on_send(self, nbytes: int) -> None:
+        """Charge the request path for one outbound record."""
+        extra, self._pending_extra_s = self._pending_extra_s, 0.0
+        cpu = self.path.client.language.call_overhead_s + extra
+        self.breakdown_s["client_cpu"] += cpu
+        if self._batched_sends > 0:
+            self._batched_sends -= 1
+            stack = self.path.client.netstack.tx_time_s(nbytes, self.path.link)
+            self.breakdown_s["client_stack"] += stack
+            cost = cpu + stack
+        else:
+            components = self.path.request_components_s(nbytes)
+            for key, value in components.items():
+                self.breakdown_s[key] += value
+            cost = cpu + sum(components.values())
+        self.clock.advance_s(cost)
+        self.bytes_sent += nbytes
+
+    def on_recv(self, nbytes: int) -> None:
+        """Charge the reply path for one inbound record."""
+        if self._batched_recvs > 0:
+            self._batched_recvs -= 1
+            # Pipelined replies arrive back to back: interrupts coalesce and
+            # per-segment work overlaps, leaving entry cost plus copies.
+            stack = self.path.client.netstack
+            cost = stack.rx_entry_s + nbytes * stack.rx_copies / stack.copy_rate_Bps
+            self.breakdown_s["client_stack"] += cost
+        else:
+            components = self.path.reply_components_s(nbytes)
+            for key, value in components.items():
+                self.breakdown_s[key] += value
+            cost = sum(components.values())
+        self.clock.advance_s(cost)
+        self.bytes_received += nbytes

@@ -1,0 +1,64 @@
+"""Virtio-net device model: feature negotiation and per-operation costs.
+
+The paper's virtualized configurations (Linux VM, Unikraft, RustyHermit)
+reach the network through a QEMU/KVM virtio-net device on a TAP backend.
+Which virtio features a guest negotiates decides how much per-byte and
+per-segment work stays in software:
+
+* ``VIRTIO_NET_F_CSUM`` / ``VIRTIO_NET_F_GUEST_CSUM`` -- transmit/receive
+  checksum offload.  The paper *added* these to RustyHermit; Unikraft's
+  lwIP port lacked checksum offload at the time (their footnote 4).
+* ``VIRTIO_NET_F_HOST_TSO4`` -- TCP segmentation offload.  Neither unikernel
+  supported it; its absence is the paper's main explanation for the
+  bandwidth collapse in Figure 7.
+* ``VIRTIO_NET_F_MRG_RXBUF`` -- mergeable receive buffers, reducing
+  receive-side buffer management (added to RustyHermit by the paper).
+* Scatter-gather (``VIRTIO_NET_F_SG`` in the historical naming) -- avoids
+  linearizing skbs before transmission.
+
+Costs below are per *operation* on the virtual device: a queue notification
+("kick") costs a VM exit; each descriptor costs ring-processing work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VirtioFeatures:
+    """Negotiated virtio-net feature bits (the subset the paper discusses)."""
+
+    csum: bool = True          # VIRTIO_NET_F_CSUM (transmit csum offload)
+    guest_csum: bool = True    # VIRTIO_NET_F_GUEST_CSUM (receive csum offload)
+    host_tso4: bool = True     # VIRTIO_NET_F_HOST_TSO4 (segmentation offload)
+    mrg_rxbuf: bool = True     # VIRTIO_NET_F_MRG_RXBUF
+    sg: bool = True            # scatter-gather transmission
+
+    def describe(self) -> str:
+        """Human-readable feature list (for Table 1-style reports)."""
+        bits = [
+            ("CSUM", self.csum),
+            ("GUEST_CSUM", self.guest_csum),
+            ("HOST_TSO4", self.host_tso4),
+            ("MRG_RXBUF", self.mrg_rxbuf),
+            ("SG", self.sg),
+        ]
+        on = [name for name, enabled in bits if enabled]
+        return "+".join(on) if on else "none"
+
+
+@dataclass(frozen=True)
+class VirtioCosts:
+    """CPU costs of driving the virtual device."""
+
+    #: one guest->host queue notification (VM exit + vhost wakeup), seconds
+    kick_s: float = 1.8e-6
+    #: one host->guest interrupt (injection + guest handler + wakeup), seconds
+    irq_s: float = 2.5e-6
+    #: ring descriptor processing, per descriptor/chunk, seconds
+    descriptor_s: float = 0.25e-6
+
+    def __post_init__(self) -> None:  # pragma: no cover - dataclass guard
+        if self.kick_s < 0 or self.irq_s < 0 or self.descriptor_s < 0:
+            raise ValueError("virtio costs cannot be negative")

@@ -1,0 +1,155 @@
+"""Imperative XDR unpacking (RFC 4506 section 4).
+
+The decoder walks a bytes-like buffer with an explicit cursor.  Every unpack
+method raises :class:`~repro.xdr.errors.XdrDecodeError` on truncation or
+malformed padding rather than returning partial data.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.xdr.errors import XdrDecodeError
+
+
+class XdrDecoder:
+    """Unpacks Python values from an XDR byte stream.
+
+    Parameters
+    ----------
+    data:
+        The encoded bytes.  The buffer is not copied; a ``memoryview`` is
+        taken so slicing during decode is cheap.
+    strict_padding:
+        When true (the default), non-zero padding bytes are rejected as the
+        RFC requires of conforming decoders.
+    """
+
+    __slots__ = ("_mv", "_pos", "_strict")
+
+    def __init__(self, data: bytes, *, strict_padding: bool = True) -> None:
+        self._mv = memoryview(bytes(data))
+        self._pos = 0
+        self._strict = strict_padding
+
+    @property
+    def position(self) -> int:
+        """Current cursor offset into the buffer."""
+        return self._pos
+
+    def remaining(self) -> int:
+        """Number of not-yet-consumed bytes."""
+        return len(self._mv) - self._pos
+
+    def done(self) -> bool:
+        """True when the whole buffer has been consumed."""
+        return self._pos == len(self._mv)
+
+    def assert_done(self) -> None:
+        """Raise unless the buffer was fully consumed (trailing-bytes check)."""
+        if not self.done():
+            raise XdrDecodeError(
+                f"{self.remaining()} trailing byte(s) after XDR message"
+            )
+
+    def _take(self, n: int) -> memoryview:
+        if self.remaining() < n:
+            raise XdrDecodeError(
+                f"buffer exhausted: need {n} byte(s), have {self.remaining()}"
+            )
+        chunk = self._mv[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def _skip_padding(self, data_len: int) -> None:
+        pad = (4 - data_len % 4) % 4
+        if pad:
+            padding = bytes(self._take(pad))
+            if self._strict and padding != b"\x00" * pad:
+                raise XdrDecodeError(f"non-zero XDR padding {padding!r}")
+
+    # -- integral types ---------------------------------------------------
+
+    def unpack_int(self) -> int:
+        """Unpack a 32-bit signed integer."""
+        return int.from_bytes(self._take(4), "big", signed=True)
+
+    def unpack_uint(self) -> int:
+        """Unpack a 32-bit unsigned integer."""
+        return int.from_bytes(self._take(4), "big")
+
+    def unpack_hyper(self) -> int:
+        """Unpack a 64-bit signed integer."""
+        return int.from_bytes(self._take(8), "big", signed=True)
+
+    def unpack_uhyper(self) -> int:
+        """Unpack a 64-bit unsigned integer."""
+        return int.from_bytes(self._take(8), "big")
+
+    def unpack_bool(self) -> bool:
+        """Unpack an XDR boolean, rejecting values other than 0 and 1."""
+        value = self.unpack_int()
+        if value == 0:
+            return False
+        if value == 1:
+            return True
+        raise XdrDecodeError(f"invalid boolean encoding {value}")
+
+    def unpack_enum(self) -> int:
+        """Unpack an enum value (wire-identical to a signed int)."""
+        return self.unpack_int()
+
+    # -- floating point ----------------------------------------------------
+
+    def unpack_float(self) -> float:
+        """Unpack an IEEE 754 single-precision float."""
+        return struct.unpack(">f", self._take(4))[0]
+
+    def unpack_double(self) -> float:
+        """Unpack an IEEE 754 double-precision float."""
+        return struct.unpack(">d", self._take(8))[0]
+
+    # -- opaque data and strings -------------------------------------------
+
+    def unpack_fixed_opaque(self, size: int) -> bytes:
+        """Unpack exactly ``size`` opaque bytes, consuming padding."""
+        data = bytes(self._take(size))
+        self._skip_padding(size)
+        return data
+
+    def unpack_opaque(self, max_size: int | None = None) -> bytes:
+        """Unpack variable-length opaque data."""
+        length = self.unpack_uint()
+        if max_size is not None and length > max_size:
+            raise XdrDecodeError(
+                f"opaque longer than declared maximum ({length} > {max_size})"
+            )
+        if length > self.remaining():
+            raise XdrDecodeError(
+                f"opaque length {length} exceeds remaining buffer "
+                f"({self.remaining()} bytes)"
+            )
+        return self.unpack_fixed_opaque(length)
+
+    def unpack_string(self, max_size: int | None = None) -> str:
+        """Unpack a UTF-8 string."""
+        raw = self.unpack_opaque(max_size)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise XdrDecodeError(f"invalid UTF-8 in XDR string: {exc}") from exc
+
+    # -- structural helpers --------------------------------------------------
+
+    def unpack_array_header(self, max_size: int | None = None) -> int:
+        """Unpack and validate the element count of a variable-length array."""
+        length = self.unpack_uint()
+        if max_size is not None and length > max_size:
+            raise XdrDecodeError(
+                f"array longer than declared maximum ({length} > {max_size})"
+            )
+        return length
+
+    def unpack_optional_flag(self) -> bool:
+        """Unpack the presence flag of an XDR optional value."""
+        return self.unpack_bool()

@@ -1,0 +1,162 @@
+"""Imperative XDR packing (RFC 4506 section 4).
+
+The encoder appends to an internal :class:`bytearray`; call
+:meth:`XdrEncoder.getvalue` to obtain the encoded bytes.  All multi-byte
+quantities are big-endian and every item is padded to a multiple of four
+bytes, as the standard mandates.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.xdr.errors import XdrEncodeError
+
+_INT_MIN = -(2**31)
+_INT_MAX = 2**31 - 1
+_UINT_MAX = 2**32 - 1
+_HYPER_MIN = -(2**63)
+_HYPER_MAX = 2**63 - 1
+_UHYPER_MAX = 2**64 - 1
+
+_PAD = (b"", b"\x00\x00\x00", b"\x00\x00", b"\x00")
+
+
+class XdrEncoder:
+    """Packs Python values into an XDR byte stream.
+
+    The pack methods mirror RFC 4506's primitive types.  Composite types
+    (structs, unions, arrays of typed elements) are layered on top by
+    :mod:`repro.xdr.types`.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def getvalue(self) -> bytes:
+        """Return everything packed so far as immutable bytes."""
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def reset(self) -> None:
+        """Discard all packed data, making the encoder reusable."""
+        self._buf.clear()
+
+    # -- integral types ---------------------------------------------------
+
+    def pack_int(self, value: int) -> None:
+        """Pack a 32-bit signed integer."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise XdrEncodeError(f"int expected, got {type(value).__name__}")
+        if not _INT_MIN <= value <= _INT_MAX:
+            raise XdrEncodeError(f"value {value} out of range for XDR int")
+        self._buf += value.to_bytes(4, "big", signed=True)
+
+    def pack_uint(self, value: int) -> None:
+        """Pack a 32-bit unsigned integer."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise XdrEncodeError(f"int expected, got {type(value).__name__}")
+        if not 0 <= value <= _UINT_MAX:
+            raise XdrEncodeError(f"value {value} out of range for XDR unsigned int")
+        self._buf += value.to_bytes(4, "big")
+
+    def pack_hyper(self, value: int) -> None:
+        """Pack a 64-bit signed integer (XDR ``hyper``)."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise XdrEncodeError(f"int expected, got {type(value).__name__}")
+        if not _HYPER_MIN <= value <= _HYPER_MAX:
+            raise XdrEncodeError(f"value {value} out of range for XDR hyper")
+        self._buf += value.to_bytes(8, "big", signed=True)
+
+    def pack_uhyper(self, value: int) -> None:
+        """Pack a 64-bit unsigned integer (XDR ``unsigned hyper``)."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise XdrEncodeError(f"int expected, got {type(value).__name__}")
+        if not 0 <= value <= _UHYPER_MAX:
+            raise XdrEncodeError(f"value {value} out of range for XDR unsigned hyper")
+        self._buf += value.to_bytes(8, "big")
+
+    def pack_bool(self, value: bool) -> None:
+        """Pack an XDR boolean (encoded as int 0 or 1)."""
+        if not isinstance(value, (bool, int)):
+            raise XdrEncodeError(f"bool expected, got {type(value).__name__}")
+        self._buf += (b"\x00\x00\x00\x01" if value else b"\x00\x00\x00\x00")
+
+    def pack_enum(self, value: int) -> None:
+        """Pack an enum value (wire-identical to a signed int)."""
+        self.pack_int(int(value))
+
+    # -- floating point ----------------------------------------------------
+
+    def pack_float(self, value: float) -> None:
+        """Pack an IEEE 754 single-precision float."""
+        try:
+            self._buf += struct.pack(">f", value)
+        except (struct.error, TypeError) as exc:
+            raise XdrEncodeError(f"cannot pack {value!r} as float: {exc}") from exc
+
+    def pack_double(self, value: float) -> None:
+        """Pack an IEEE 754 double-precision float."""
+        try:
+            self._buf += struct.pack(">d", value)
+        except (struct.error, TypeError) as exc:
+            raise XdrEncodeError(f"cannot pack {value!r} as double: {exc}") from exc
+
+    # -- opaque data and strings -------------------------------------------
+
+    def pack_fixed_opaque(self, value: bytes, size: int) -> None:
+        """Pack exactly ``size`` opaque bytes plus alignment padding."""
+        data = bytes(value)
+        if len(data) != size:
+            raise XdrEncodeError(
+                f"fixed opaque of size {size} expected, got {len(data)} bytes"
+            )
+        self._buf += data
+        self._buf += _PAD[len(data) % 4]
+
+    def pack_opaque(self, value: bytes, max_size: int | None = None) -> None:
+        """Pack variable-length opaque data: a length word then padded bytes."""
+        data = bytes(value)
+        if max_size is not None and len(data) > max_size:
+            raise XdrEncodeError(
+                f"opaque longer than declared maximum ({len(data)} > {max_size})"
+            )
+        self.pack_uint(len(data))
+        self._buf += data
+        self._buf += _PAD[len(data) % 4]
+
+    def pack_string(self, value: str, max_size: int | None = None) -> None:
+        """Pack a string as UTF-8 encoded variable-length opaque data."""
+        if not isinstance(value, str):
+            raise XdrEncodeError(f"str expected, got {type(value).__name__}")
+        self.pack_opaque(value.encode("utf-8"), max_size)
+
+    # -- structural helpers --------------------------------------------------
+
+    def pack_array_header(self, length: int, max_size: int | None = None) -> None:
+        """Pack the element count of a variable-length array."""
+        if length < 0:
+            raise XdrEncodeError("array length cannot be negative")
+        if max_size is not None and length > max_size:
+            raise XdrEncodeError(
+                f"array longer than declared maximum ({length} > {max_size})"
+            )
+        self.pack_uint(length)
+
+    def pack_optional_flag(self, present: bool) -> None:
+        """Pack the presence flag of an XDR optional (``*``) value."""
+        self.pack_bool(present)
+
+    def append_raw(self, data: bytes) -> None:
+        """Append pre-encoded XDR bytes verbatim.
+
+        ``data`` must already be 4-byte aligned; this is used to splice
+        separately produced encodings (e.g. RPC body after RPC header).
+        """
+        if len(data) % 4 != 0:
+            raise XdrEncodeError("raw XDR splice must be 4-byte aligned")
+        self._buf += data

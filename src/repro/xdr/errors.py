@@ -1,0 +1,22 @@
+"""Exception hierarchy for the XDR codec."""
+
+
+class XdrError(Exception):
+    """Base class for all XDR serialization failures."""
+
+
+class XdrEncodeError(XdrError):
+    """A Python value cannot be represented in the requested XDR type.
+
+    Raised for out-of-range integers, over-long strings/opaques, unknown enum
+    members, and similar schema violations discovered while packing.
+    """
+
+
+class XdrDecodeError(XdrError):
+    """The byte stream does not contain a valid encoding of the XDR type.
+
+    Raised for truncated buffers, non-zero padding, out-of-range booleans,
+    unknown enum values and over-long counted items discovered while
+    unpacking.
+    """

@@ -1,0 +1,367 @@
+"""Declarative XDR type descriptors.
+
+These objects describe a wire format once and provide symmetric
+``encode``/``decode`` operations.  The RPCL compiler (:mod:`repro.rpcl`)
+lowers interface specifications into compositions of these descriptors, and
+the ONC RPC layer uses them for message headers.
+
+Every descriptor implements the small :class:`XdrType` interface:
+
+* ``encode(encoder, value)`` -- pack ``value`` onto an ``XdrEncoder``.
+* ``decode(decoder)`` -- unpack and return a value from an ``XdrDecoder``.
+* ``to_bytes(value)`` / ``from_bytes(data)`` -- one-shot conveniences.
+
+Structs decode to dictionaries keyed by field name, unions to
+``(discriminant, value)`` tuples, optionals to ``value | None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.xdr.decoder import XdrDecoder
+from repro.xdr.encoder import XdrEncoder
+from repro.xdr.errors import XdrDecodeError, XdrEncodeError
+
+
+@runtime_checkable
+class XdrType(Protocol):
+    """Minimal protocol every XDR type descriptor satisfies."""
+
+    def encode(self, encoder: XdrEncoder, value: Any) -> None:
+        """Pack ``value`` onto ``encoder``."""
+        ...
+
+    def decode(self, decoder: XdrDecoder) -> Any:
+        """Unpack one value from ``decoder``."""
+        ...
+
+
+class _BaseType:
+    """Shared conveniences for all descriptors."""
+
+    def to_bytes(self, value: Any) -> bytes:
+        """Encode ``value`` into a standalone byte string."""
+        enc = XdrEncoder()
+        self.encode(enc, value)
+        return enc.getvalue()
+
+    def from_bytes(self, data: bytes, *, exact: bool = True) -> Any:
+        """Decode a value from ``data``.
+
+        With ``exact`` (the default) trailing bytes raise
+        :class:`~repro.xdr.errors.XdrDecodeError`.
+        """
+        dec = XdrDecoder(data)
+        value = self.decode(dec)
+        if exact:
+            dec.assert_done()
+        return value
+
+
+class _Primitive(_BaseType):
+    """A primitive type delegating to one encoder/decoder method pair."""
+
+    __slots__ = ("name", "_enc", "_dec")
+
+    def __init__(self, name: str, enc: str, dec: str) -> None:
+        self.name = name
+        self._enc = enc
+        self._dec = dec
+
+    def encode(self, encoder: XdrEncoder, value: Any) -> None:
+        getattr(encoder, self._enc)(value)
+
+    def decode(self, decoder: XdrDecoder) -> Any:
+        return getattr(decoder, self._dec)()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<xdr {self.name}>"
+
+
+class _Void(_BaseType):
+    """The XDR ``void`` type: zero bytes on the wire, value is ``None``."""
+
+    name = "void"
+
+    def encode(self, encoder: XdrEncoder, value: Any) -> None:
+        if value is not None:
+            raise XdrEncodeError(f"void takes None, got {value!r}")
+
+    def decode(self, decoder: XdrDecoder) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<xdr void>"
+
+
+INT = _Primitive("int", "pack_int", "unpack_int")
+UINT = _Primitive("unsigned int", "pack_uint", "unpack_uint")
+HYPER = _Primitive("hyper", "pack_hyper", "unpack_hyper")
+UHYPER = _Primitive("unsigned hyper", "pack_uhyper", "unpack_uhyper")
+FLOAT = _Primitive("float", "pack_float", "unpack_float")
+DOUBLE = _Primitive("double", "pack_double", "unpack_double")
+BOOL = _Primitive("bool", "pack_bool", "unpack_bool")
+VOID = _Void()
+
+
+class StringType(_BaseType):
+    """``string<max>`` -- a UTF-8 string with an optional length bound."""
+
+    __slots__ = ("max_size",)
+
+    def __init__(self, max_size: int | None = None) -> None:
+        self.max_size = max_size
+
+    def encode(self, encoder: XdrEncoder, value: str) -> None:
+        encoder.pack_string(value, self.max_size)
+
+    def decode(self, decoder: XdrDecoder) -> str:
+        return decoder.unpack_string(self.max_size)
+
+
+class VarOpaque(_BaseType):
+    """``opaque<max>`` -- counted bytes with an optional length bound."""
+
+    __slots__ = ("max_size",)
+
+    def __init__(self, max_size: int | None = None) -> None:
+        self.max_size = max_size
+
+    def encode(self, encoder: XdrEncoder, value: bytes) -> None:
+        encoder.pack_opaque(value, self.max_size)
+
+    def decode(self, decoder: XdrDecoder) -> bytes:
+        return decoder.unpack_opaque(self.max_size)
+
+
+class FixedOpaque(_BaseType):
+    """``opaque[n]`` -- exactly ``n`` bytes, padded to 4-byte alignment."""
+
+    __slots__ = ("size",)
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("fixed opaque size cannot be negative")
+        self.size = size
+
+    def encode(self, encoder: XdrEncoder, value: bytes) -> None:
+        encoder.pack_fixed_opaque(value, self.size)
+
+    def decode(self, decoder: XdrDecoder) -> bytes:
+        return decoder.unpack_fixed_opaque(self.size)
+
+
+class FixedArray(_BaseType):
+    """``T value[n]`` -- a fixed-length array of a homogeneous element type."""
+
+    __slots__ = ("element", "size")
+
+    def __init__(self, element: XdrType, size: int) -> None:
+        if size < 0:
+            raise ValueError("fixed array size cannot be negative")
+        self.element = element
+        self.size = size
+
+    def encode(self, encoder: XdrEncoder, value: Sequence[Any]) -> None:
+        if len(value) != self.size:
+            raise XdrEncodeError(
+                f"fixed array of {self.size} expected, got {len(value)} elements"
+            )
+        for item in value:
+            self.element.encode(encoder, item)
+
+    def decode(self, decoder: XdrDecoder) -> list[Any]:
+        return [self.element.decode(decoder) for _ in range(self.size)]
+
+
+class VarArray(_BaseType):
+    """``T value<max>`` -- a counted array of a homogeneous element type."""
+
+    __slots__ = ("element", "max_size")
+
+    def __init__(self, element: XdrType, max_size: int | None = None) -> None:
+        self.element = element
+        self.max_size = max_size
+
+    def encode(self, encoder: XdrEncoder, value: Sequence[Any]) -> None:
+        encoder.pack_array_header(len(value), self.max_size)
+        for item in value:
+            self.element.encode(encoder, item)
+
+    def decode(self, decoder: XdrDecoder) -> list[Any]:
+        length = decoder.unpack_array_header(self.max_size)
+        return [self.element.decode(decoder) for _ in range(length)]
+
+
+class OptionalType(_BaseType):
+    """``T *value`` -- XDR's optional, i.e. a bool-prefixed maybe-value."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: XdrType) -> None:
+        self.element = element
+
+    def encode(self, encoder: XdrEncoder, value: Any | None) -> None:
+        encoder.pack_optional_flag(value is not None)
+        if value is not None:
+            self.element.encode(encoder, value)
+
+    def decode(self, decoder: XdrDecoder) -> Any | None:
+        if decoder.unpack_optional_flag():
+            return self.element.decode(decoder)
+        return None
+
+
+class EnumType(_BaseType):
+    """``enum { NAME = value, ... }`` -- validated against the member set."""
+
+    __slots__ = ("name", "members", "_values")
+
+    def __init__(self, name: str, members: Mapping[str, int]) -> None:
+        self.name = name
+        self.members = dict(members)
+        self._values = frozenset(self.members.values())
+
+    def encode(self, encoder: XdrEncoder, value: int | str) -> None:
+        if isinstance(value, str):
+            try:
+                value = self.members[value]
+            except KeyError:
+                raise XdrEncodeError(
+                    f"{value!r} is not a member of enum {self.name}"
+                ) from None
+        if int(value) not in self._values:
+            raise XdrEncodeError(f"{value} is not a member of enum {self.name}")
+        encoder.pack_enum(int(value))
+
+    def decode(self, decoder: XdrDecoder) -> int:
+        value = decoder.unpack_enum()
+        if value not in self._values:
+            raise XdrDecodeError(f"{value} is not a member of enum {self.name}")
+        return value
+
+    def name_of(self, value: int) -> str:
+        """Return the symbolic name of ``value`` within this enum."""
+        for name, member in self.members.items():
+            if member == value:
+                return name
+        raise KeyError(value)
+
+
+@dataclass(frozen=True)
+class StructField:
+    """One named field of a :class:`StructType`."""
+
+    name: str
+    type: XdrType
+
+
+class StructType(_BaseType):
+    """``struct { ... }`` -- encodes/decodes as a field-name-keyed dict."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: Sequence[StructField]) -> None:
+        self.name = name
+        self.fields = tuple(fields)
+        seen: set[str] = set()
+        for field in self.fields:
+            if field.name in seen:
+                raise ValueError(f"duplicate field {field.name!r} in {name}")
+            seen.add(field.name)
+
+    def encode(self, encoder: XdrEncoder, value: Mapping[str, Any]) -> None:
+        for field in self.fields:
+            try:
+                item = value[field.name]
+            except (KeyError, TypeError):
+                raise XdrEncodeError(
+                    f"struct {self.name} missing field {field.name!r}"
+                ) from None
+            field.type.encode(encoder, item)
+
+    def decode(self, decoder: XdrDecoder) -> dict[str, Any]:
+        return {field.name: field.type.decode(decoder) for field in self.fields}
+
+
+@dataclass(frozen=True)
+class UnionArm:
+    """One case of a discriminated union."""
+
+    discriminant: int
+    type: XdrType
+
+
+class UnionType(_BaseType):
+    """``union switch (T disc) { case ...; default: ... }``.
+
+    Values are ``(discriminant, payload)`` tuples; ``payload`` is ``None``
+    for void arms.
+    """
+
+    __slots__ = ("name", "discriminant_type", "arms", "default")
+
+    def __init__(
+        self,
+        name: str,
+        discriminant_type: XdrType,
+        arms: Sequence[UnionArm],
+        default: XdrType | None = None,
+    ) -> None:
+        self.name = name
+        self.discriminant_type = discriminant_type
+        self.arms = {arm.discriminant: arm.type for arm in arms}
+        if len(self.arms) != len(arms):
+            raise ValueError(f"duplicate union case in {name}")
+        self.default = default
+
+    def _arm_for(self, disc: int, *, decoding: bool) -> XdrType:
+        arm = self.arms.get(disc, self.default)
+        if arm is None:
+            exc = XdrDecodeError if decoding else XdrEncodeError
+            raise exc(f"union {self.name} has no arm for discriminant {disc}")
+        return arm
+
+    def encode(self, encoder: XdrEncoder, value: tuple[int, Any]) -> None:
+        try:
+            disc, payload = value
+        except (TypeError, ValueError):
+            raise XdrEncodeError(
+                f"union {self.name} expects a (discriminant, value) tuple"
+            ) from None
+        arm = self._arm_for(int(disc), decoding=False)
+        self.discriminant_type.encode(encoder, disc)
+        arm.encode(encoder, payload)
+
+    def decode(self, decoder: XdrDecoder) -> tuple[int, Any]:
+        disc = self.discriminant_type.decode(decoder)
+        arm = self._arm_for(int(disc), decoding=True)
+        return int(disc), arm.decode(decoder)
+
+
+class TransparentType(_BaseType):
+    """Adapter mapping a custom Python object to/from an underlying type.
+
+    Used by generated code to expose dataclasses instead of raw dicts while
+    keeping the wire format defined by ``inner``.
+    """
+
+    __slots__ = ("inner", "_to_wire", "_from_wire")
+
+    def __init__(
+        self,
+        inner: XdrType,
+        to_wire: Callable[[Any], Any],
+        from_wire: Callable[[Any], Any],
+    ) -> None:
+        self.inner = inner
+        self._to_wire = to_wire
+        self._from_wire = from_wire
+
+    def encode(self, encoder: XdrEncoder, value: Any) -> None:
+        self.inner.encode(encoder, self._to_wire(value))
+
+    def decode(self, decoder: XdrDecoder) -> Any:
+        return self._from_wire(self.inner.decode(decoder))

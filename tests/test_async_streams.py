@@ -1,0 +1,137 @@
+"""Tests for stream-ordered operations: waits and async memcpys."""
+
+import numpy as np
+import pytest
+
+from repro.cricket import CricketClient, CricketServer
+from repro.cuda import constants as C
+from repro.cuda.errors import CudaError
+from repro.cuda.runtime import CudaRuntime
+from repro.gpu import A100, GpuDevice
+from repro.net import SimClock
+
+MIB = 1 << 20
+
+
+@pytest.fixture()
+def rt():
+    return CudaRuntime([GpuDevice(A100, mem_bytes=128 * MIB)], SimClock())
+
+
+class TestStreamWaitEvent:
+    def test_stream_waits_for_event(self, rt):
+        device = rt.devices[0]
+        _, s1 = rt.cudaStreamCreate()
+        _, s2 = rt.cudaStreamCreate()
+        _, ev = rt.cudaEventCreate()
+        # long work on s1, record event at its tail
+        n = 1 << 22
+        _, a = rt.cudaMalloc(4 * n)
+        _, b = rt.cudaMalloc(4 * n)
+        _, c = rt.cudaMalloc(4 * n)
+        rt.cudaLaunchKernel("vectorAdd", (n // 256, 1, 1), (256, 1, 1), (a, b, c, n), stream=s1)
+        rt.cudaEventRecord(ev, s1)
+        tail_s1 = device.streams.stream(s1).tail_ns
+        # s2 is idle; after the wait its work cannot start before s1's tail
+        assert rt.cudaStreamWaitEvent(s2, ev) == C.cudaSuccess
+        rt.cudaLaunchKernel("_Z9nopKernelv", (1, 1, 1), (1, 1, 1), (), stream=s2)
+        assert device.streams.stream(s2).tail_ns >= tail_s1
+
+    def test_wait_on_unrecorded_event_is_noop(self, rt):
+        _, s = rt.cudaStreamCreate()
+        _, ev = rt.cudaEventCreate()
+        before = rt.devices[0].streams.stream(s).tail_ns
+        assert rt.cudaStreamWaitEvent(s, ev) == C.cudaSuccess
+        assert rt.devices[0].streams.stream(s).tail_ns == before
+
+    def test_wait_bad_handles(self, rt):
+        assert rt.cudaStreamWaitEvent(99, 1) == C.cudaErrorInvalidResourceHandle
+        _, s = rt.cudaStreamCreate()
+        assert rt.cudaStreamWaitEvent(s, 99) == C.cudaErrorInvalidResourceHandle
+
+
+class TestMemcpyAsync:
+    def test_h2d_async_does_not_advance_clock(self, rt):
+        _, ptr = rt.cudaMalloc(4 * MIB)
+        _, stream = rt.cudaStreamCreate()
+        before = rt.clock.now_ns
+        err, _ = rt.cudaMemcpyAsync(ptr, b"\x01" * (4 * MIB), 4 * MIB,
+                                    C.cudaMemcpyHostToDevice, stream)
+        assert err == C.cudaSuccess
+        assert rt.clock.now_ns == before
+        # synchronizing charges the queued copy time
+        rt.cudaStreamSynchronize(stream)
+        assert rt.clock.now_ns > before
+
+    def test_h2d_async_moves_data(self, rt):
+        _, ptr = rt.cudaMalloc(1024)
+        _, stream = rt.cudaStreamCreate()
+        rt.cudaMemcpyAsync(ptr, b"\x2a" * 1024, 1024, C.cudaMemcpyHostToDevice, stream)
+        rt.cudaStreamSynchronize(stream)
+        _, data = rt.cudaMemcpy(0, ptr, 1024, C.cudaMemcpyDeviceToHost)
+        assert data == b"\x2a" * 1024
+
+    def test_d2h_async_returns_data(self, rt):
+        _, ptr = rt.cudaMalloc(512)
+        rt.cudaMemcpy(ptr, b"\x11" * 512, 512, C.cudaMemcpyHostToDevice)
+        _, stream = rt.cudaStreamCreate()
+        err, data = rt.cudaMemcpyAsync(0, ptr, 512, C.cudaMemcpyDeviceToHost, stream)
+        assert err == C.cudaSuccess
+        assert data == b"\x11" * 512
+
+    def test_async_copies_queue_in_stream_order(self, rt):
+        _, ptr = rt.cudaMalloc(8 * MIB)
+        _, stream = rt.cudaStreamCreate()
+        rt.cudaMemcpyAsync(ptr, b"\x00" * (8 * MIB), 8 * MIB,
+                           C.cudaMemcpyHostToDevice, stream)
+        tail1 = rt.devices[0].streams.stream(stream).tail_ns
+        rt.cudaMemcpyAsync(ptr, b"\x00" * (8 * MIB), 8 * MIB,
+                           C.cudaMemcpyHostToDevice, stream)
+        tail2 = rt.devices[0].streams.stream(stream).tail_ns
+        assert tail2 > tail1 * 1.5
+
+    def test_async_invalid_direction(self, rt):
+        err, _ = rt.cudaMemcpyAsync(1, 2, 4, 9, 0)
+        assert err == C.cudaErrorInvalidMemcpyDirection
+
+    def test_async_bad_stream(self, rt):
+        _, ptr = rt.cudaMalloc(16)
+        err, _ = rt.cudaMemcpyAsync(ptr, b"\x00" * 16, 16,
+                                    C.cudaMemcpyHostToDevice, 42)
+        assert err == C.cudaErrorInvalidResourceHandle
+
+
+class TestAsyncOverRpc:
+    def test_full_async_pipeline(self):
+        """Upload, compute and download, all stream-ordered, over RPC."""
+        server = CricketServer([GpuDevice(A100, mem_bytes=64 * MIB)])
+        client = CricketClient.loopback(server)
+        from repro.cubin import build_cubin_for_registry
+        from repro.cubin.metadata import KernelMeta
+
+        cubin = build_cubin_for_registry(server.device.registry, ["saxpy"])
+        module = client.module_load(cubin)
+        fn = client.get_function(
+            module, "saxpy", KernelMeta.from_kinds("saxpy", ("ptr", "ptr", "f32", "i32"))
+        )
+        stream = client.stream_create()
+        n = 1024
+        x = client.malloc(4 * n)
+        y = client.malloc(4 * n)
+        client.memcpy_h2d_async(x, np.full(n, 3.0, np.float32).tobytes(), stream)
+        client.memcpy_h2d_async(y, np.full(n, 1.0, np.float32).tobytes(), stream)
+        client.launch_kernel(fn, (n // 256, 1, 1), (256, 1, 1), (y, x, 2.0, n), stream=stream)
+        client.stream_synchronize(stream)
+        out = np.frombuffer(client.memcpy_d2h_async(y, 4 * n, stream), np.float32)
+        np.testing.assert_allclose(out, 7.0)
+
+    def test_stream_wait_event_over_rpc(self):
+        server = CricketServer()
+        client = CricketClient.loopback(server)
+        s1 = client.stream_create()
+        s2 = client.stream_create()
+        ev = client.event_create()
+        client.event_record(ev, s1)
+        client.stream_wait_event(s2, ev)  # no error
+        with pytest.raises(CudaError):
+            client.stream_wait_event(77, ev)

@@ -1,0 +1,111 @@
+"""Tests for generated server skeletons and CUDA sticky-error semantics."""
+
+import pytest
+
+from repro.cricket import CricketClient, CricketServer
+from repro.cuda import constants as C
+from repro.cuda.runtime import CudaRuntime
+from repro.gpu import A100, GpuDevice
+from repro.oncrpc import LoopbackTransport, RpcServer
+from repro.rpcl import generate_module
+
+MIB = 1 << 20
+
+SPEC = """
+struct point { int x; int y; };
+program GEO {
+    version V1 {
+        int    MANHATTAN(point, point) = 1;
+        point  MIDPOINT(point, point)  = 2;
+        void   PING(void)              = 3;
+    } = 1;
+} = 0x20003002;
+"""
+
+
+class GeoImpl:
+    def MANHATTAN(self, a, b):
+        return abs(a["x"] - b["x"]) + abs(a["y"] - b["y"])
+
+    def MIDPOINT(self, a, b):
+        return {"x": (a["x"] + b["x"]) // 2, "y": (a["y"] + b["y"]) // 2}
+
+    def PING(self):
+        return None
+
+
+@pytest.fixture()
+def generated():
+    namespace: dict = {}
+    exec(compile(generate_module(SPEC), "geo_gen.py", "exec"), namespace)
+    return namespace
+
+
+class TestGeneratedServerSkeleton:
+    def test_server_class_emitted(self, generated):
+        assert "GeoV1Server" in generated
+        assert generated["GeoV1Server"].PROGRAM == 0x20003002
+
+    def test_end_to_end_generated_both_sides(self, generated):
+        server = RpcServer()
+        generated["GeoV1Server"].register(server, GeoImpl())
+        client = generated["GeoV1Client"](LoopbackTransport(server.dispatch_record))
+        assert client.MANHATTAN({"x": 0, "y": 0}, {"x": 3, "y": 4}) == 7
+        assert client.MIDPOINT({"x": 0, "y": 0}, {"x": 10, "y": 20}) == {"x": 5, "y": 10}
+        assert client.PING() is None
+        client.close()
+
+    def test_generated_handler_rejects_garbage_args(self, generated):
+        from repro.oncrpc import RpcGarbageArgs, RpcClient
+
+        server = RpcServer()
+        generated["GeoV1Server"].register(server, GeoImpl())
+        raw = RpcClient(LoopbackTransport(server.dispatch_record), 0x20003002, 1)
+        with pytest.raises(RpcGarbageArgs):
+            raw.call_raw(1, b"\x00\x00\x00\x01")  # half a point
+
+    def test_multiple_registrations_coexist(self, generated):
+        server = RpcServer()
+        generated["GeoV1Server"].register(server, GeoImpl())
+        server.register_program(42, 1, {1: lambda a, c: a})
+        client = generated["GeoV1Client"](LoopbackTransport(server.dispatch_record))
+        assert client.MANHATTAN({"x": 1, "y": 1}, {"x": 1, "y": 1}) == 0
+
+
+class TestStickyErrors:
+    @pytest.fixture()
+    def rt(self):
+        return CudaRuntime([GpuDevice(A100, mem_bytes=MIB)])
+
+    def test_initially_success(self, rt):
+        assert rt.cudaGetLastError() == C.cudaSuccess
+
+    def test_failed_launch_sets_error(self, rt):
+        rt.cudaLaunchKernel("ghostKernel", (1, 1, 1), (1, 1, 1), ())
+        assert rt.cudaPeekAtLastError() == C.cudaErrorInvalidKernelImage
+        # peek does not clear
+        assert rt.cudaPeekAtLastError() == C.cudaErrorInvalidKernelImage
+        # get clears
+        assert rt.cudaGetLastError() == C.cudaErrorInvalidKernelImage
+        assert rt.cudaGetLastError() == C.cudaSuccess
+
+    def test_failed_free_sets_error(self, rt):
+        rt.cudaFree(0xBAD)
+        assert rt.cudaGetLastError() == C.cudaErrorInvalidDevicePointer
+
+    def test_success_does_not_clear_sticky(self, rt):
+        rt.cudaLaunchKernel("ghostKernel", (1, 1, 1), (1, 1, 1), ())
+        rt.cudaGetDeviceCount()  # a successful call in between
+        assert rt.cudaPeekAtLastError() == C.cudaErrorInvalidKernelImage
+
+    def test_over_rpc(self):
+        server = CricketServer()
+        client = CricketClient.loopback(server)
+        assert client.get_last_error() == C.cudaSuccess
+        from repro.cuda.errors import CudaError
+
+        with pytest.raises(CudaError):
+            client.free(0xBAD)
+        assert client.peek_last_error() == C.cudaErrorInvalidDevicePointer
+        assert client.get_last_error() == C.cudaErrorInvalidDevicePointer
+        assert client.get_last_error() == C.cudaSuccess

@@ -1,0 +1,204 @@
+"""Integration tests for checkpoint/restart and memory-transfer methods."""
+
+import numpy as np
+import pytest
+
+from repro.cricket import (
+    CricketClient,
+    CricketServer,
+    TransferEngine,
+    TransferMethod,
+    TransferTimingModel,
+    load_checkpoint,
+    save_checkpoint,
+    supported_on,
+)
+from repro.cubin import build_cubin_for_registry
+from repro.cubin.metadata import KernelMeta
+from repro.gpu import A100, GpuDevice
+from repro.unikernel import EVAL_LINK, linux_vm, native_c, native_rust, rustyhermit, unikraft
+
+MIB = 1 << 20
+
+
+def small_server() -> CricketServer:
+    return CricketServer([GpuDevice(A100, mem_bytes=128 * MIB)])
+
+
+class TestCheckpointRestart:
+    def _populate(self, client, server):
+        cubin = build_cubin_for_registry(server.device.registry, ["vectorAdd"])
+        module = client.module_load(cubin)
+        meta = KernelMeta.from_kinds("vectorAdd", ("ptr", "ptr", "ptr", "i32"))
+        fn = client.get_function(module, "vectorAdd", meta)
+        n = 256
+        a, b, c = (client.malloc(4 * n) for _ in range(3))
+        client.memcpy_h2d(a, np.full(n, 1.5, np.float32).tobytes())
+        client.memcpy_h2d(b, np.full(n, 2.5, np.float32).tobytes())
+        client.launch_kernel(fn, (1, 1, 1), (256, 1, 1), (a, b, c, n))
+        client.device_synchronize()
+        return module, fn, (a, b, c, n)
+
+    def test_resume_on_fresh_server(self):
+        server = small_server()
+        client = CricketClient.loopback(server)
+        _module, fn, (a, b, c, n) = self._populate(client, server)
+        blob = client.checkpoint()
+
+        # new GPU node, same device model
+        server2 = small_server()
+        client2 = CricketClient.loopback(server2)
+        client2.restore(blob)
+        # resume: read results computed before the checkpoint
+        out = np.frombuffer(client2.memcpy_d2h(c, 4 * n), np.float32)
+        np.testing.assert_allclose(out, 4.0)
+        # resume: launch with the *old* function handle -- it must survive
+        meta = KernelMeta.from_kinds("vectorAdd", ("ptr", "ptr", "ptr", "i32"))
+        client2._function_meta[fn] = meta
+        client2.launch_kernel(fn, (1, 1, 1), (256, 1, 1), (c, a, b, n))
+        client2.device_synchronize()
+        out2 = np.frombuffer(client2.memcpy_d2h(b, 4 * n), np.float32)
+        np.testing.assert_allclose(out2, 5.5)  # c (4.0) + a (1.5)
+
+    def test_allocations_after_restore_dont_collide(self):
+        server = small_server()
+        client = CricketClient.loopback(server)
+        old_ptr = client.malloc(4096)
+        client.memcpy_h2d(old_ptr, b"\x11" * 4096)
+        blob = client.checkpoint()
+
+        server2 = small_server()
+        client2 = CricketClient.loopback(server2)
+        client2.restore(blob)
+        new_ptr = client2.malloc(4096)
+        assert new_ptr != old_ptr
+        client2.memcpy_h2d(new_ptr, b"\x22" * 4096)
+        assert client2.memcpy_d2h(old_ptr, 4096) == b"\x11" * 4096
+
+    def test_checkpoint_file_roundtrip(self, tmp_path):
+        server = small_server()
+        client = CricketClient.loopback(server)
+        ptr = client.malloc(1024)
+        client.memcpy_h2d(ptr, b"\x42" * 1024)
+        path = str(tmp_path / "cricket.ckpt")
+        size = save_checkpoint(server, path)
+        assert size > 0
+
+        server2 = small_server()
+        load_checkpoint(server2, path)
+        client2 = CricketClient.loopback(server2)
+        assert client2.memcpy_d2h(ptr, 1024) == b"\x42" * 1024
+
+    def test_streams_survive(self):
+        server = small_server()
+        client = CricketClient.loopback(server)
+        stream = client.stream_create()
+        blob = client.checkpoint()
+        server2 = small_server()
+        client2 = CricketClient.loopback(server2)
+        client2.restore(blob)
+        client2.stream_synchronize(stream)  # handle still valid
+        client2.stream_destroy(stream)
+
+    def test_restore_rejects_garbage(self):
+        server = small_server()
+        client = CricketClient.loopback(server)
+        from repro.cuda.errors import CudaError
+
+        with pytest.raises(CudaError):
+            client.restore(b"not a checkpoint")
+
+
+class TestSupportMatrix:
+    @pytest.mark.parametrize("platform_fn", [rustyhermit, unikraft])
+    def test_unikernels_only_rpc_args(self, platform_fn):
+        platform = platform_fn()
+        assert supported_on(TransferMethod.RPC_ARGS, platform)
+        for method in (
+            TransferMethod.PARALLEL_SOCKETS,
+            TransferMethod.IB_GPUDIRECT,
+            TransferMethod.SHARED_MEMORY,
+        ):
+            assert not supported_on(method, platform)
+
+    def test_native_supports_everything(self):
+        for method in TransferMethod:
+            assert supported_on(method, native_c())
+
+    def test_vm_no_ib_or_shm(self):
+        vm = linux_vm()
+        assert supported_on(TransferMethod.PARALLEL_SOCKETS, vm)
+        assert not supported_on(TransferMethod.IB_GPUDIRECT, vm)
+        assert not supported_on(TransferMethod.SHARED_MEMORY, vm)
+
+
+class TestTransferEngine:
+    def make_engine(self, platform):
+        server = small_server()
+        client = CricketClient.loopback(server, platform=platform)
+        timing = TransferTimingModel(link=EVAL_LINK)
+        return (
+            TransferEngine(client, server.device, server.clock, timing),
+            server,
+            client,
+        )
+
+    def test_rpc_args_functional(self):
+        engine, _server, client = self.make_engine(native_rust())
+        dst = client.malloc(MIB)
+        payload = bytes(range(256)) * (MIB // 256)
+        engine.h2d(TransferMethod.RPC_ARGS, dst, payload)
+        assert engine.d2h(TransferMethod.RPC_ARGS, dst, MIB) == payload
+
+    def test_gpudirect_faster_than_rpc_args(self):
+        engine, server, client = self.make_engine(native_rust())
+        dst = client.malloc(8 * MIB)
+        payload = b"\x01" * (8 * MIB)
+
+        t0 = server.clock.now_ns
+        engine.h2d(TransferMethod.RPC_ARGS, dst, payload)
+        rpc_time = server.clock.now_ns - t0
+
+        t0 = server.clock.now_ns
+        engine.h2d(TransferMethod.IB_GPUDIRECT, dst, payload)
+        ib_time = server.clock.now_ns - t0
+        assert ib_time < rpc_time
+
+    def test_gpudirect_moves_data(self):
+        engine, server, client = self.make_engine(native_rust())
+        dst = client.malloc(1024)
+        engine.h2d(TransferMethod.IB_GPUDIRECT, dst, b"\x77" * 1024)
+        assert server.device.allocator.read(dst, 1024) == b"\x77" * 1024
+        assert engine.d2h(TransferMethod.SHARED_MEMORY, dst, 1024) == b"\x77" * 1024
+
+    def test_unsupported_method_raises_on_unikernel(self):
+        engine, _server, client = self.make_engine(rustyhermit())
+        dst = client.malloc(1024)
+        with pytest.raises(NotImplementedError):
+            engine.h2d(TransferMethod.IB_GPUDIRECT, dst, b"\x00" * 1024)
+        with pytest.raises(NotImplementedError):
+            engine.d2h(TransferMethod.PARALLEL_SOCKETS, dst, 1024)
+
+    def test_parallel_sockets_scale_with_threads(self):
+        timing = TransferTimingModel(link=EVAL_LINK)
+        one = timing.parallel_sockets_s(64 * MIB, 5e9, threads=1)
+        four = timing.parallel_sockets_s(64 * MIB, 5e9, threads=4)
+        assert four < one
+
+    def test_parallel_sockets_validates_threads(self):
+        timing = TransferTimingModel(link=EVAL_LINK)
+        with pytest.raises(ValueError):
+            timing.parallel_sockets_s(1024, 5e9, threads=0)
+
+    def test_method_ordering_matches_paper(self):
+        """RPC args < parallel sockets < shared memory <= GPUDirect."""
+        timing = TransferTimingModel(link=EVAL_LINK)
+        n = 256 * MIB
+        rpc_rate = n / (
+            timing.parallel_sockets_s(n, 5e9, threads=1)
+        )  # 1 thread ~ RPC args upper bound
+        psock = n / timing.parallel_sockets_s(n, 5e9, threads=4)
+        ib = n / timing.ib_gpudirect_s(n)
+        shm = n / timing.shared_memory_s(n)
+        assert rpc_rate < psock < ib
+        assert psock < shm

@@ -1,0 +1,265 @@
+"""Unit tests for the driver API (modules/launch) and cuBLAS/cuSOLVER."""
+
+import numpy as np
+import pytest
+
+from repro.cubin import GlobalMeta, KernelMeta, build_cubin, build_cubin_for_registry, compress
+from repro.cuda import constants as C
+from repro.cuda.cublas import CublasContext
+from repro.cuda.cusolver import CusolverContext
+from repro.cuda.driver import CudaDriver
+from repro.gpu import A100, GpuDevice
+from repro.net import SimClock
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture()
+def device():
+    return GpuDevice(A100, mem_bytes=128 * MIB)
+
+
+@pytest.fixture()
+def driver(device):
+    return CudaDriver(device, SimClock())
+
+
+class TestModuleLifecycle:
+    def test_load_get_launch(self, driver, device):
+        cubin = build_cubin_for_registry(device.registry, ["vectorAdd"])
+        err, module = driver.cuModuleLoadData(cubin)
+        assert err == C.CUDA_SUCCESS
+        err, func = driver.cuModuleGetFunction(module, "vectorAdd")
+        assert err == C.CUDA_SUCCESS
+
+        n = 256
+        a = device.alloc(4 * n)
+        b = device.alloc(4 * n)
+        out = device.alloc(4 * n)
+        device.allocator.view(a, 4 * n).view(np.float32)[:] = 3.0
+        device.allocator.view(b, 4 * n).view(np.float32)[:] = 4.0
+        assert (
+            driver.cuLaunchKernel(func, (1, 1, 1), (256, 1, 1), (a, b, out, n))
+            == C.CUDA_SUCCESS
+        )
+        np.testing.assert_allclose(
+            device.allocator.view(out, 4 * n).view(np.float32), 7.0
+        )
+
+    def test_load_compressed_cubin(self, driver, device):
+        cubin = build_cubin_for_registry(device.registry, ["saxpy"], compress_text=True)
+        err, module = driver.cuModuleLoadData(compress(cubin))
+        assert err == C.CUDA_SUCCESS
+        err, _func = driver.cuModuleGetFunction(module, "saxpy")
+        assert err == C.CUDA_SUCCESS
+
+    def test_load_garbage(self, driver):
+        err, module = driver.cuModuleLoadData(b"not a cubin at all")
+        assert err == C.CUDA_ERROR_INVALID_IMAGE
+        assert module == 0
+
+    def test_kernel_not_on_device(self, driver):
+        cubin = build_cubin([KernelMeta.from_kinds("ghostKernel", ())])
+        err, _ = driver.cuModuleLoadData(cubin)
+        assert err == C.CUDA_ERROR_INVALID_IMAGE
+
+    def test_metadata_param_mismatch_rejected(self, driver):
+        # Cubin claims vectorAdd takes no parameters; device code disagrees.
+        cubin = build_cubin([KernelMeta.from_kinds("vectorAdd", ())])
+        err, _ = driver.cuModuleLoadData(cubin)
+        assert err == C.CUDA_ERROR_INVALID_VALUE
+
+    def test_get_function_missing(self, driver, device):
+        cubin = build_cubin_for_registry(device.registry, ["vectorAdd"])
+        _, module = driver.cuModuleLoadData(cubin)
+        err, func = driver.cuModuleGetFunction(module, "nothere")
+        assert err == C.CUDA_ERROR_NOT_FOUND
+        assert func == 0
+
+    def test_get_function_bad_module(self, driver):
+        err, _ = driver.cuModuleGetFunction(999, "vectorAdd")
+        assert err == C.CUDA_ERROR_INVALID_HANDLE
+
+    def test_globals_materialized(self, driver, device):
+        cubin = build_cubin(
+            [KernelMeta.from_kinds("_Z9nopKernelv", ())],
+            globals_=[GlobalMeta("lut", 8, b"\x01\x02\x03\x04\x05\x06\x07\x08")],
+        )
+        _, module = driver.cuModuleLoadData(cubin)
+        err, ptr, size = driver.cuModuleGetGlobal(module, "lut")
+        assert err == C.CUDA_SUCCESS
+        assert size == 8
+        assert device.allocator.read(ptr, 8) == b"\x01\x02\x03\x04\x05\x06\x07\x08"
+
+    def test_global_missing(self, driver, device):
+        cubin = build_cubin_for_registry(device.registry, ["vectorAdd"])
+        _, module = driver.cuModuleLoadData(cubin)
+        err, _, _ = driver.cuModuleGetGlobal(module, "nope")
+        assert err == C.CUDA_ERROR_NOT_FOUND
+
+    def test_unload_frees_globals_and_functions(self, driver, device):
+        cubin = build_cubin(
+            [KernelMeta.from_kinds("_Z9nopKernelv", ())],
+            globals_=[GlobalMeta("g", 4096)],
+        )
+        _, module = driver.cuModuleLoadData(cubin)
+        _, func = driver.cuModuleGetFunction(module, "_Z9nopKernelv")
+        used = device.allocator.used_bytes
+        assert used > 0
+        assert driver.cuModuleUnload(module) == C.CUDA_SUCCESS
+        assert device.allocator.used_bytes == 0
+        assert driver.cuLaunchKernel(func, (1, 1, 1), (1, 1, 1), ()) == C.CUDA_ERROR_INVALID_HANDLE
+        assert driver.cuModuleUnload(module) == C.CUDA_ERROR_INVALID_HANDLE
+
+    def test_launch_bad_handle(self, driver):
+        assert driver.cuLaunchKernel(77, (1, 1, 1), (1, 1, 1), ()) == C.CUDA_ERROR_INVALID_HANDLE
+
+    def test_fatbin_load(self, driver, device):
+        from repro.cubin import FatBinary
+
+        fb = FatBinary()
+        fb.add_cubin(
+            "sm_80", build_cubin_for_registry(device.registry, ["vectorAdd"]), compress=True
+        )
+        err, module = driver.cuModuleLoadFatBinary(fb.to_bytes())
+        assert err == C.CUDA_SUCCESS
+        err, _ = driver.cuModuleGetFunction(module, "vectorAdd")
+        assert err == C.CUDA_SUCCESS
+
+
+class TestCublas:
+    def test_sgemm_matches_numpy(self, device):
+        blas = CublasContext(device, SimClock())
+        _, handle = blas.cublasCreate()
+        m, n, k = 17, 13, 29
+        rng = np.random.default_rng(3)
+        a_host = rng.random((m, k), dtype=np.float32)
+        b_host = rng.random((k, n), dtype=np.float32)
+        # column-major device buffers
+        a = device.alloc(4 * m * k)
+        b = device.alloc(4 * k * n)
+        c = device.alloc(4 * m * n)
+        device.allocator.write(a, a_host.T.copy().tobytes())  # F-order
+        device.allocator.write(b, b_host.T.copy().tobytes())
+        status = blas.cublasSgemm(
+            handle, C.CUBLAS_OP_N, C.CUBLAS_OP_N, m, n, k, 1.0, a, m, b, k, 0.0, c, m
+        )
+        assert status == C.CUBLAS_STATUS_SUCCESS
+        out = device.allocator.view(c, 4 * m * n).view(np.float32).reshape(n, m).T
+        np.testing.assert_allclose(out, a_host @ b_host, rtol=1e-5)
+
+    def test_sgemm_transpose_a(self, device):
+        blas = CublasContext(device)
+        _, handle = blas.cublasCreate()
+        m, n, k = 8, 6, 4
+        rng = np.random.default_rng(4)
+        at_host = rng.random((k, m), dtype=np.float32)  # A^T stored (k x m)
+        b_host = rng.random((k, n), dtype=np.float32)
+        a = device.alloc(4 * k * m)
+        b = device.alloc(4 * k * n)
+        c = device.alloc(4 * m * n)
+        device.allocator.write(a, at_host.T.copy().tobytes())
+        device.allocator.write(b, b_host.T.copy().tobytes())
+        status = blas.cublasSgemm(
+            handle, C.CUBLAS_OP_T, C.CUBLAS_OP_N, m, n, k, 1.0, a, k, b, k, 0.0, c, m
+        )
+        assert status == C.CUBLAS_STATUS_SUCCESS
+        out = device.allocator.view(c, 4 * m * n).view(np.float32).reshape(n, m).T
+        np.testing.assert_allclose(out, at_host.T @ b_host, rtol=1e-5)
+
+    def test_beta_accumulation(self, device):
+        blas = CublasContext(device)
+        _, handle = blas.cublasCreate()
+        n = 4
+        ident = np.eye(n, dtype=np.float32)
+        a = device.alloc(4 * n * n)
+        b = device.alloc(4 * n * n)
+        c = device.alloc(4 * n * n)
+        device.allocator.write(a, ident.tobytes())
+        device.allocator.write(b, ident.tobytes())
+        device.allocator.view(c, 4 * n * n).view(np.float32)[:] = 1.0
+        blas.cublasSgemm(handle, 0, 0, n, n, n, 2.0, a, n, b, n, 3.0, c, n)
+        out = device.allocator.view(c, 4 * n * n).view(np.float32).reshape(n, n)
+        np.testing.assert_allclose(out, 2 * np.eye(n) + 3 * np.ones((n, n)))
+
+    def test_uninitialized_handle(self, device):
+        blas = CublasContext(device)
+        assert blas.cublasSgemm(42, 0, 0, 1, 1, 1, 1.0, 0, 1, 0, 1, 0.0, 0, 1) == (
+            C.CUBLAS_STATUS_NOT_INITIALIZED
+        )
+
+    def test_destroy(self, device):
+        blas = CublasContext(device)
+        _, handle = blas.cublasCreate()
+        assert blas.cublasDestroy(handle) == C.CUBLAS_STATUS_SUCCESS
+        assert blas.cublasDestroy(handle) == C.CUBLAS_STATUS_NOT_INITIALIZED
+
+    def test_invalid_dims(self, device):
+        blas = CublasContext(device)
+        _, handle = blas.cublasCreate()
+        assert (
+            blas.cublasSgemm(handle, 0, 0, -1, 1, 1, 1.0, 0, 1, 0, 1, 0.0, 0, 1)
+            == C.CUBLAS_STATUS_INVALID_VALUE
+        )
+
+
+class TestCusolver:
+    def _setup_system(self, device, n=32, nrhs=1, seed=5):
+        rng = np.random.default_rng(seed)
+        a_host = rng.random((n, n)) + n * np.eye(n)  # well conditioned
+        x_true = rng.random((n, nrhs))
+        b_host = a_host @ x_true
+        a = device.alloc(8 * n * n)
+        b = device.alloc(8 * n * nrhs)
+        ipiv = device.alloc(4 * n)
+        info = device.alloc(4)
+        device.allocator.write(a, a_host.T.copy().tobytes())  # column-major
+        device.allocator.write(b, b_host.T.copy().tobytes())
+        return a_host, x_true, a, b, ipiv, info
+
+    def test_getrf_getrs_solves(self, device):
+        solver = CusolverContext(device, SimClock())
+        _, handle = solver.cusolverDnCreate()
+        n, nrhs = 32, 3
+        _a_host, x_true, a, b, ipiv, info = self._setup_system(device, n, nrhs)
+        err, lwork = solver.cusolverDnDgetrf_bufferSize(handle, n, n, a, n)
+        assert err == C.CUSOLVER_STATUS_SUCCESS and lwork > 0
+        work = device.alloc(8 * lwork)
+        assert (
+            solver.cusolverDnDgetrf(handle, n, n, a, n, work, ipiv, info)
+            == C.CUSOLVER_STATUS_SUCCESS
+        )
+        assert device.allocator.view(info, 4).view(np.int32)[0] == 0
+        assert (
+            solver.cusolverDnDgetrs(handle, 0, n, nrhs, a, n, ipiv, b, n, info)
+            == C.CUSOLVER_STATUS_SUCCESS
+        )
+        x = device.allocator.view(b, 8 * n * nrhs).view(np.float64).reshape(nrhs, n).T
+        np.testing.assert_allclose(x, x_true, rtol=1e-9)
+
+    def test_non_square_rejected(self, device):
+        solver = CusolverContext(device)
+        _, handle = solver.cusolverDnCreate()
+        assert (
+            solver.cusolverDnDgetrf(handle, 3, 4, 0, 3, 0, 0, 0)
+            == C.CUSOLVER_STATUS_INVALID_VALUE
+        )
+
+    def test_uninitialized_handle(self, device):
+        solver = CusolverContext(device)
+        err, _ = solver.cusolverDnDgetrf_bufferSize(9, 4, 4, 0, 4)
+        assert err == C.CUSOLVER_STATUS_NOT_INITIALIZED
+
+    def test_bad_pointer_is_execution_failure(self, device):
+        solver = CusolverContext(device)
+        _, handle = solver.cusolverDnCreate()
+        assert (
+            solver.cusolverDnDgetrf(handle, 4, 4, 0xBAD, 4, 0xBAD, 0xBAD, 0xBAD)
+            == C.CUSOLVER_STATUS_EXECUTION_FAILED
+        )
+
+    def test_destroy(self, device):
+        solver = CusolverContext(device)
+        _, handle = solver.cusolverDnCreate()
+        assert solver.cusolverDnDestroy(handle) == C.CUSOLVER_STATUS_SUCCESS
+        assert solver.cusolverDnDestroy(handle) == C.CUSOLVER_STATUS_NOT_INITIALIZED

@@ -1,0 +1,139 @@
+"""Tests for the cuFFT subset (local and over Cricket RPC)."""
+
+import numpy as np
+import pytest
+
+from repro.cricket import CricketClient, CricketServer
+from repro.cuda.cufft import (
+    CUFFT_C2C,
+    CUFFT_FORWARD,
+    CUFFT_INVALID_PLAN,
+    CUFFT_INVALID_VALUE,
+    CUFFT_INVERSE,
+    CUFFT_R2C,
+    CUFFT_SUCCESS,
+    CufftContext,
+)
+from repro.gpu import A100, GpuDevice
+
+MIB = 1 << 20
+
+
+@pytest.fixture()
+def fft():
+    device = GpuDevice(A100, mem_bytes=64 * MIB)
+    return CufftContext(device), device
+
+
+class TestPlans:
+    def test_plan_lifecycle(self, fft):
+        ctx, _ = fft
+        err, plan = ctx.cufftPlan1d(1024, CUFFT_C2C, 1)
+        assert err == CUFFT_SUCCESS and plan > 0
+        assert ctx.cufftDestroy(plan) == CUFFT_SUCCESS
+        assert ctx.cufftDestroy(plan) == CUFFT_INVALID_PLAN
+
+    def test_invalid_sizes(self, fft):
+        ctx, _ = fft
+        assert ctx.cufftPlan1d(0, CUFFT_C2C, 1)[0] == CUFFT_INVALID_VALUE
+        assert ctx.cufftPlan1d(64, CUFFT_C2C, 0)[0] == CUFFT_INVALID_VALUE
+        assert ctx.cufftPlan1d(64, 0x99, 1)[0] == CUFFT_INVALID_VALUE
+
+    def test_exec_wrong_plan_type(self, fft):
+        ctx, device = fft
+        _, plan = ctx.cufftPlan1d(64, CUFFT_R2C, 1)
+        buf = device.alloc(8 * 64)
+        assert ctx.cufftExecC2C(plan, buf, buf, CUFFT_FORWARD) == CUFFT_INVALID_VALUE
+
+    def test_exec_invalid_plan(self, fft):
+        ctx, _ = fft
+        assert ctx.cufftExecC2C(77, 0, 0, CUFFT_FORWARD) == CUFFT_INVALID_PLAN
+
+
+class TestNumerics:
+    def test_c2c_matches_numpy(self, fft):
+        ctx, device = fft
+        n = 256
+        rng = np.random.default_rng(4)
+        signal = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(np.complex64)
+        src = device.alloc(8 * n)
+        dst = device.alloc(8 * n)
+        device.allocator.write(src, signal.tobytes())
+        _, plan = ctx.cufftPlan1d(n, CUFFT_C2C, 1)
+        assert ctx.cufftExecC2C(plan, src, dst, CUFFT_FORWARD) == CUFFT_SUCCESS
+        out = device.allocator.view(dst, 8 * n).view(np.complex64)
+        np.testing.assert_allclose(out, np.fft.fft(signal), rtol=1e-3, atol=1e-3)
+
+    def test_inverse_is_unnormalized(self, fft):
+        """cuFFT's inverse does not divide by n (unlike numpy.ifft)."""
+        ctx, device = fft
+        n = 64
+        signal = np.ones(n, dtype=np.complex64)
+        src = device.alloc(8 * n)
+        dst = device.alloc(8 * n)
+        device.allocator.write(src, signal.tobytes())
+        _, plan = ctx.cufftPlan1d(n, CUFFT_C2C, 1)
+        ctx.cufftExecC2C(plan, src, dst, CUFFT_FORWARD)
+        ctx.cufftExecC2C(plan, dst, dst, CUFFT_INVERSE)
+        out = device.allocator.view(dst, 8 * n).view(np.complex64)
+        np.testing.assert_allclose(out, n * signal, rtol=1e-4)
+
+    def test_batched_transforms(self, fft):
+        ctx, device = fft
+        n, batch = 128, 4
+        rng = np.random.default_rng(5)
+        signals = (rng.standard_normal((batch, n)) + 0j).astype(np.complex64)
+        src = device.alloc(8 * n * batch)
+        dst = device.alloc(8 * n * batch)
+        device.allocator.write(src, signals.tobytes())
+        _, plan = ctx.cufftPlan1d(n, CUFFT_C2C, batch)
+        assert ctx.cufftExecC2C(plan, src, dst, CUFFT_FORWARD) == CUFFT_SUCCESS
+        out = device.allocator.view(dst, 8 * n * batch).view(np.complex64).reshape(batch, n)
+        np.testing.assert_allclose(out, np.fft.fft(signals, axis=1), rtol=1e-3, atol=1e-3)
+
+    def test_r2c_half_spectrum(self, fft):
+        ctx, device = fft
+        n = 128
+        rng = np.random.default_rng(6)
+        signal = rng.standard_normal(n).astype(np.float32)
+        src = device.alloc(4 * n)
+        dst = device.alloc(8 * (n // 2 + 1))
+        device.allocator.write(src, signal.tobytes())
+        _, plan = ctx.cufftPlan1d(n, CUFFT_R2C, 1)
+        assert ctx.cufftExecR2C(plan, src, dst) == CUFFT_SUCCESS
+        out = device.allocator.view(dst, 8 * (n // 2 + 1)).view(np.complex64)
+        np.testing.assert_allclose(out, np.fft.rfft(signal), rtol=1e-3, atol=1e-3)
+
+    def test_exec_charges_gpu_time(self, fft):
+        ctx, device = fft
+        n = 1 << 16
+        src = device.alloc(8 * n)
+        _, plan = ctx.cufftPlan1d(n, CUFFT_C2C, 1)
+        before = device.streams.stream(0).tail_ns
+        ctx.cufftExecC2C(plan, src, src, CUFFT_FORWARD)
+        assert device.streams.stream(0).tail_ns > before
+
+
+class TestOverRpc:
+    def test_fft_pipeline_over_cricket(self):
+        server = CricketServer([GpuDevice(A100, mem_bytes=64 * MIB)])
+        client = CricketClient.loopback(server)
+        n = 512
+        signal = np.exp(2j * np.pi * 5 * np.arange(n) / n).astype(np.complex64)
+        src = client.malloc(8 * n)
+        dst = client.malloc(8 * n)
+        client.memcpy_h2d(src, signal.tobytes())
+        plan = client.cufft_plan1d(n, CUFFT_C2C)
+        client.cufft_exec_c2c(plan, src, dst, CUFFT_FORWARD)
+        spectrum = np.frombuffer(client.memcpy_d2h(dst, 8 * n), np.complex64)
+        # a pure tone concentrates its energy in bin 5
+        assert np.argmax(np.abs(spectrum)) == 5
+        client.cufft_destroy(plan)
+
+    def test_bad_plan_over_rpc(self):
+        from repro.cuda.errors import CudaError
+
+        server = CricketServer()
+        client = CricketClient.loopback(server)
+        with pytest.raises(CudaError):
+            client.cufft_destroy(12345)

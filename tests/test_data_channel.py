@@ -1,0 +1,112 @@
+"""Tests for the parallel-socket data channels (real TCP striping)."""
+
+import numpy as np
+import pytest
+
+from repro.cricket.data_channel import (
+    DataChannelClient,
+    DataChannelServer,
+    _stripe_slices,
+)
+from repro.gpu import A100, GpuDevice
+
+MIB = 1 << 20
+
+
+@pytest.fixture()
+def channel():
+    device = GpuDevice(A100, mem_bytes=64 * MIB)
+    server = DataChannelServer(device)
+    yield device, server
+    server.close()
+
+
+class TestStriping:
+    def test_stripes_partition_payload_exactly(self):
+        total, chunk, n = 1_000_000, 4096, 4
+        seen = []
+        for stripe in range(n):
+            seen.extend(
+                range(offset, offset + size)
+                for offset, size in _stripe_slices(total, chunk, stripe, n)
+            )
+        covered = sorted((r.start, r.stop) for r in seen)
+        cursor = 0
+        for start, stop in covered:
+            assert start == cursor
+            cursor = stop
+        assert cursor == total
+
+    def test_single_stripe_owns_everything(self):
+        slices = list(_stripe_slices(10_000, 1024, 0, 1))
+        assert sum(size for _o, size in slices) == 10_000
+
+    def test_stripe_beyond_payload_is_empty(self):
+        assert list(_stripe_slices(100, 1024, 3, 4)) == []
+
+
+class TestTransfers:
+    def test_write_roundtrip(self, channel):
+        device, server = channel
+        dptr = device.alloc(4 * MIB)
+        payload = np.random.default_rng(0).integers(
+            0, 256, 4 * MIB, dtype=np.uint8
+        ).tobytes()
+        client = DataChannelClient(server.address, sockets=4)
+        client.write(dptr, payload)
+        assert device.allocator.read(dptr, 4 * MIB) == payload
+
+    def test_read_roundtrip(self, channel):
+        device, server = channel
+        dptr = device.alloc(2 * MIB)
+        payload = bytes(range(256)) * (2 * MIB // 256)
+        device.allocator.write(dptr, payload)
+        client = DataChannelClient(server.address, sockets=4)
+        assert client.read(dptr, 2 * MIB) == payload
+
+    def test_single_socket_degenerate(self, channel):
+        device, server = channel
+        dptr = device.alloc(256 * 1024)
+        payload = b"\xab" * (256 * 1024)
+        client = DataChannelClient(server.address, sockets=1)
+        client.write(dptr, payload)
+        assert client.read(dptr, len(payload)) == payload
+
+    def test_many_sockets_small_payload(self, channel):
+        device, server = channel
+        dptr = device.alloc(1000)
+        payload = bytes(range(250)) * 4
+        client = DataChannelClient(server.address, sockets=8, chunk=64)
+        client.write(dptr, payload)
+        assert client.read(dptr, 1000) == payload
+
+    def test_odd_sizes_and_chunks(self, channel):
+        device, server = channel
+        size = 777_777
+        dptr = device.alloc(size)
+        payload = np.random.default_rng(1).integers(0, 256, size, dtype=np.uint8).tobytes()
+        client = DataChannelClient(server.address, sockets=3, chunk=10_007)
+        client.write(dptr, payload)
+        assert client.read(dptr, size) == payload
+
+    def test_sequential_transfers_reuse_channel(self, channel):
+        device, server = channel
+        client = DataChannelClient(server.address, sockets=2)
+        for i in range(3):
+            dptr = device.alloc(64 * 1024)
+            payload = bytes([i]) * (64 * 1024)
+            client.write(dptr, payload)
+            assert client.read(dptr, 64 * 1024) == payload
+
+    def test_zero_sockets_rejected(self, channel):
+        _device, server = channel
+        with pytest.raises(ValueError):
+            DataChannelClient(server.address, sockets=0)
+
+    def test_write_to_bad_device_pointer_does_not_hang(self, channel):
+        """A transfer to an unmapped pointer fails; the client sees the
+        connection die rather than hanging."""
+        _device, server = channel
+        client = DataChannelClient(server.address, sockets=2)
+        with pytest.raises((ConnectionError, AssertionError, OSError)):
+            client.write(0xDEAD0000, b"\x00" * 8192)

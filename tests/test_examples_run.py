@@ -1,0 +1,50 @@
+"""Every example script must run to completion (they self-verify).
+
+The heavy sweep examples (platform_comparison, bandwidth_survey) are
+exercised at reduced scale elsewhere; here we run the fast ones end to end
+as real subprocesses, the way a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_kernel_cubin.py",
+    "checkpoint_migration.py",
+    "multi_tenant_scheduling.py",
+    "rpclib_universality.py",
+    "figure2_cluster.py",
+    "profiling_trace.py",
+    "spectral_analysis.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=tmp_path,  # examples may write artifacts (trace.json)
+    )
+    assert result.returncode == 0, (
+        f"{script} failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 10
+    for script in scripts:
+        source = script.read_text()
+        assert source.lstrip().startswith(("#!", '"""')), f"{script.name} lacks a header"
+        assert '"""' in source, f"{script.name} lacks a docstring"
+        assert "__main__" in source, f"{script.name} is not runnable"

@@ -1,0 +1,198 @@
+"""Failure-injection tests: the stack must fail loudly and cleanly.
+
+Covers: garbage on the wire, truncated streams, a server dying mid-call, a
+flaky transport, version/program skew, and poisoned payloads through the
+full Cricket path.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cricket import CricketClient, CricketServer
+from repro.cuda.errors import CudaError
+from repro.oncrpc import (
+    LoopbackTransport,
+    RpcClient,
+    RpcProtocolError,
+    RpcServer,
+    RpcTransportError,
+    TcpTransport,
+    encode_record,
+)
+from repro.oncrpc import message as msg
+
+PROG, VERS = 0x20000099, 3
+
+
+def echo_server() -> RpcServer:
+    server = RpcServer()
+    server.register_program(PROG, VERS, {1: lambda args, ctx: args})
+    return server
+
+
+class TestWireGarbage:
+    def test_garbage_reply_record(self):
+        """A reply that is not a valid rpc_msg raises a protocol error."""
+
+        def dispatch(record: bytes) -> bytes:
+            return b"\x00\x01\x02\x03"  # 4 aligned garbage bytes
+
+        client = RpcClient(LoopbackTransport(dispatch), PROG, VERS)
+        with pytest.raises((RpcProtocolError, Exception)):
+            client.null_call()
+
+    def test_mismatched_xid_reply(self):
+        def dispatch(record: bytes) -> bytes:
+            request = msg.RpcMessage.decode(record)
+            wrong = msg.RpcMessage(request.xid ^ 0xFFFF, msg.AcceptedReply())
+            return wrong.encode()
+
+        client = RpcClient(LoopbackTransport(dispatch), PROG, VERS)
+        with pytest.raises(RpcProtocolError):
+            client.null_call()
+
+    def test_server_drops_unparseable_tcp_connection(self):
+        """Garbage bytes over TCP kill that connection but not the server."""
+        server = echo_server()
+        host, port = server.serve_tcp("127.0.0.1", 0)
+        try:
+            raw = socket.create_connection((host, port))
+            raw.sendall(encode_record(b"\xde\xad\xbe\xef" * 4))
+            # server closes on us rather than crashing
+            raw.settimeout(2.0)
+            assert raw.recv(1024) == b""
+            raw.close()
+            # a well-behaved client still works afterwards
+            with RpcClient(TcpTransport(host, port), PROG, VERS) as client:
+                assert client.call_raw(1, b"ok\x00\x00") == b"ok\x00\x00"
+        finally:
+            server.shutdown()
+
+    def test_oversized_record_rejected_server_side(self):
+        server = echo_server()
+        host, port = server.serve_tcp("127.0.0.1", 0)
+        try:
+            raw = socket.create_connection((host, port))
+            # claim a 2 GiB fragment: reader must refuse, not allocate
+            header = (0x7FFFFFF0).to_bytes(4, "big")
+            raw.sendall(header)
+            raw.settimeout(2.0)
+            assert raw.recv(1024) == b""
+            raw.close()
+        finally:
+            server.shutdown()
+
+
+class TestServerDeath:
+    def test_server_dies_mid_call(self):
+        """Connection reset during a call surfaces as a transport error."""
+        server = echo_server()
+        host, port = server.serve_tcp("127.0.0.1", 0)
+        client = RpcClient(TcpTransport(host, port), PROG, VERS)
+        client.call_raw(1, b"warm")  # connection established and healthy
+        server.shutdown()
+        with pytest.raises(RpcTransportError):
+            for _ in range(5):
+                client.call_raw(1, b"dead")
+        client.close()
+
+    def test_client_of_closed_transport(self):
+        server = echo_server()
+        client = RpcClient(LoopbackTransport(server.dispatch_record), PROG, VERS)
+        client.close()
+        with pytest.raises(RpcTransportError):
+            client.null_call()
+
+
+class TestFlakyTransport:
+    def test_truncating_transport_detected(self):
+        """A transport that corrupts length framing is caught."""
+        server = echo_server()
+
+        class TruncatingTransport(LoopbackTransport):
+            def recv_record(self):
+                record = super().recv_record()
+                return record[: len(record) // 2]  # chop the reply
+
+        client = RpcClient(TruncatingTransport(server.dispatch_record), PROG, VERS)
+        with pytest.raises(Exception):
+            client.call_raw(1, b"12345678")
+
+
+class TestVersionSkew:
+    def test_old_client_new_server(self):
+        server = echo_server()  # exports version 3 only
+        client = RpcClient(LoopbackTransport(server.dispatch_record), PROG, 1)
+        from repro.oncrpc import RpcProgMismatch
+
+        with pytest.raises(RpcProgMismatch) as exc:
+            client.null_call()
+        assert exc.value.low == VERS and exc.value.high == VERS
+
+
+class TestCricketPoisonedPayloads:
+    @pytest.fixture()
+    def client(self):
+        server = CricketServer()
+        return CricketClient.loopback(server)
+
+    def test_negative_malloc_size_rejected(self, client):
+        from repro.xdr.errors import XdrEncodeError
+
+        with pytest.raises((CudaError, XdrEncodeError, OverflowError)):
+            client.malloc(-5)
+
+    def test_huge_d2h_request(self, client):
+        ptr = client.malloc(1024)
+        with pytest.raises(CudaError):
+            client.memcpy_d2h(ptr, 1 << 40)
+
+    def test_free_of_wild_pointer(self, client):
+        with pytest.raises(CudaError):
+            client.free(0xDEADBEEF)
+
+    def test_launch_with_wild_pointers_fails_at_execution(self):
+        """A launch whose pointers are bogus fails server-side with a code,
+        not a crash."""
+        from repro.cubin import build_cubin_for_registry
+        from repro.cubin.metadata import KernelMeta
+
+        server = CricketServer()
+        c = CricketClient.loopback(server)
+        cubin = build_cubin_for_registry(server.device.registry, ["vectorAdd"])
+        module = c.module_load(cubin)
+        meta = KernelMeta.from_kinds("vectorAdd", ("ptr", "ptr", "ptr", "i32"))
+        fn = c.get_function(module, "vectorAdd", meta)
+        with pytest.raises(CudaError):
+            c.launch_kernel(fn, (1, 1, 1), (64, 1, 1), (0x1, 0x2, 0x3, 64))
+
+    def test_concurrent_tcp_clients_with_one_crashing(self):
+        """One client violating the protocol must not disturb the others."""
+        server = CricketServer()
+        host, port = server.serve_tcp("127.0.0.1", 0)
+        errors: list[Exception] = []
+
+        def good_worker():
+            try:
+                client = CricketClient.connect_tcp(host, port)
+                for _ in range(20):
+                    assert client.get_device_count() == 1
+                client.close()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def evil_worker():
+            raw = socket.create_connection((host, port))
+            raw.sendall(b"\x80\x00\x00\x08GARBAGE!")
+            raw.close()
+
+        threads = [threading.Thread(target=good_worker) for _ in range(3)]
+        threads.append(threading.Thread(target=evil_worker))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        server.shutdown()
+        assert errors == []

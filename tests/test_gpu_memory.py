@@ -1,0 +1,191 @@
+"""Unit and property tests for the device memory allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.errors import (
+    AllocationOverlapError,
+    DoubleFreeError,
+    InvalidDevicePointerError,
+    OutOfMemoryError,
+)
+from repro.gpu.memory import ALIGNMENT, DEVICE_VA_BASE, DeviceAllocator
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture()
+def allocator():
+    return DeviceAllocator(16 * MIB)
+
+
+class TestAllocFree:
+    def test_alloc_returns_aligned_nonnull(self, allocator):
+        ptr = allocator.alloc(100)
+        assert ptr >= DEVICE_VA_BASE
+        assert ptr % ALIGNMENT == 0
+
+    def test_distinct_allocations_disjoint(self, allocator):
+        a = allocator.alloc(1000)
+        b = allocator.alloc(1000)
+        assert abs(a - b) >= 1000
+
+    def test_zero_byte_alloc(self, allocator):
+        ptr = allocator.alloc(0)
+        assert ptr != 0
+        allocator.free(ptr)
+
+    def test_free_null_is_noop(self, allocator):
+        allocator.free(0)
+
+    def test_double_free_detected(self, allocator):
+        ptr = allocator.alloc(64)
+        allocator.free(ptr)
+        with pytest.raises(DoubleFreeError):
+            allocator.free(ptr)
+
+    def test_free_interior_pointer_detected(self, allocator):
+        ptr = allocator.alloc(1024)
+        with pytest.raises(InvalidDevicePointerError):
+            allocator.free(ptr + 8)
+
+    def test_oom(self):
+        allocator = DeviceAllocator(1 * MIB)
+        allocator.alloc(MIB // 2)
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc(MIB)
+
+    def test_free_makes_space_reusable(self):
+        allocator = DeviceAllocator(1 * MIB)
+        ptr = allocator.alloc(MIB - ALIGNMENT)
+        allocator.free(ptr)
+        ptr2 = allocator.alloc(MIB - ALIGNMENT)
+        assert ptr2 == ptr
+
+    def test_coalescing_allows_large_realloc(self):
+        allocator = DeviceAllocator(1 * MIB)
+        ptrs = [allocator.alloc(MIB // 4 - ALIGNMENT) for _ in range(4)]
+        for p in ptrs:
+            allocator.free(p)
+        big = allocator.alloc(MIB - 4 * ALIGNMENT)
+        assert big == ptrs[0]
+
+    def test_used_and_free_bytes(self, allocator):
+        before = allocator.free_bytes
+        ptr = allocator.alloc(1000)
+        assert allocator.used_bytes >= 1000
+        assert allocator.free_bytes < before
+        allocator.free(ptr)
+        assert allocator.used_bytes == 0
+        assert allocator.free_bytes == allocator.capacity
+
+    def test_counters(self, allocator):
+        p = allocator.alloc(10)
+        allocator.free(p)
+        assert allocator.alloc_count == 1
+        assert allocator.free_count == 1
+
+
+class TestAccess:
+    def test_write_read_roundtrip(self, allocator):
+        ptr = allocator.alloc(256)
+        data = bytes(range(256))
+        allocator.write(ptr, data)
+        assert allocator.read(ptr, 256) == data
+
+    def test_offset_access(self, allocator):
+        ptr = allocator.alloc(1024)
+        allocator.write(ptr + 100, b"hello")
+        assert allocator.read(ptr + 100, 5) == b"hello"
+
+    def test_view_is_writable(self, allocator):
+        ptr = allocator.alloc(16)
+        view = allocator.view(ptr, 16)
+        view[:] = 7
+        assert allocator.read(ptr, 16) == b"\x07" * 16
+
+    def test_typed_view_via_numpy(self, allocator):
+        ptr = allocator.alloc(32)
+        allocator.view(ptr, 32).view(np.float32)[:] = 1.5
+        assert allocator.read(ptr, 4) == np.float32(1.5).tobytes()
+
+    def test_out_of_bounds_access(self, allocator):
+        ptr = allocator.alloc(100)
+        with pytest.raises(AllocationOverlapError):
+            allocator.view(ptr + 90, 20)
+
+    def test_unmapped_access(self, allocator):
+        with pytest.raises(InvalidDevicePointerError):
+            allocator.read(DEVICE_VA_BASE + 123456789, 4)
+
+    def test_use_after_free(self, allocator):
+        ptr = allocator.alloc(64)
+        allocator.free(ptr)
+        with pytest.raises(InvalidDevicePointerError):
+            allocator.read(ptr, 4)
+
+    def test_memset(self, allocator):
+        ptr = allocator.alloc(64)
+        allocator.memset(ptr, 0xAB, 64)
+        assert allocator.read(ptr, 64) == b"\xab" * 64
+
+    def test_copy_within(self, allocator):
+        a = allocator.alloc(64)
+        b = allocator.alloc(64)
+        allocator.write(a, bytes(range(64)))
+        allocator.copy_within(b, a, 64)
+        assert allocator.read(b, 64) == bytes(range(64))
+
+    def test_copy_within_overlapping(self, allocator):
+        ptr = allocator.alloc(64)
+        allocator.write(ptr, bytes(range(64)))
+        allocator.copy_within(ptr + 8, ptr, 32)
+        assert allocator.read(ptr + 8, 32) == bytes(range(32))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(min_value=0, max_value=4096)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=80,
+    )
+)
+def test_allocator_invariants_hold_under_random_workload(ops):
+    """The allocator's address space is always exactly partitioned."""
+    allocator = DeviceAllocator(1 * MIB)
+    live: list[int] = []
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                live.append(allocator.alloc(arg))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            allocator.free(live.pop(arg % len(live)))
+        allocator.check_invariants()
+    for ptr in live:
+        allocator.free(ptr)
+    allocator.check_invariants()
+    assert allocator.used_bytes == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_no_two_live_allocations_overlap(data):
+    allocator = DeviceAllocator(1 * MIB)
+    sizes = data.draw(st.lists(st.integers(1, 2048), min_size=1, max_size=40))
+    spans = []
+    for size in sizes:
+        try:
+            ptr = allocator.alloc(size)
+        except OutOfMemoryError:
+            break
+        spans.append((ptr, size))
+    spans.sort()
+    for (a, sa), (b, _sb) in zip(spans, spans[1:]):
+        assert a + sa <= b

@@ -1,0 +1,148 @@
+"""Unit tests for the evaluation harness (cheap scales only)."""
+
+import pytest
+
+from repro.harness import (
+    PAPER_TABLE1,
+    render_table,
+    run_figure6,
+    run_transfer_method_comparison,
+    table1,
+    table1_rows,
+)
+from repro.harness.runner import ScaledTime, make_session
+from repro.unikernel import native_rust
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = table1_rows()
+        got = [(r.name, r.app_language, r.os_name, r.hypervisor, r.network) for r in rows]
+        assert got == PAPER_TABLE1
+
+    def test_render_contains_all_platforms(self):
+        text = table1()
+        for name in ("Rust", "Linux VM", "Unikraft", "Hermit"):
+            assert name in text
+
+
+class TestScaledTime:
+    def test_extrapolation_scales_loop_only(self):
+        t = ScaledTime(
+            measured_s=10.0, init_s=2.0, loop_s=5.0,
+            run_iterations=100, paper_iterations=1000, api_calls=100,
+        )
+        assert t.setup_s == pytest.approx(3.0)
+        assert t.paper_scale_s == pytest.approx(2.0 + 3.0 + 50.0)
+
+    def test_identity_at_full_scale(self):
+        t = ScaledTime(
+            measured_s=7.0, init_s=1.0, loop_s=4.0,
+            run_iterations=500, paper_iterations=500, api_calls=500,
+        )
+        assert t.paper_scale_s == pytest.approx(7.0)
+
+
+class TestFigure6Small:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_figure6(scale=500)  # 200 calls per cell: fast
+
+    def test_all_cells_present(self, fig6):
+        assert set(fig6.times) == {
+            "cudaGetDeviceCount",
+            "cudaMalloc/cudaFree",
+            "kernel launch",
+        }
+        for by_platform in fig6.times.values():
+            assert set(by_platform) == {"C", "Rust", "Linux VM", "Unikraft", "Hermit"}
+
+    def test_ordering_stable_at_small_scale(self, fig6):
+        for bench in fig6.times:
+            assert fig6.seconds(bench, "Linux VM") > fig6.seconds(bench, "Hermit")
+            assert fig6.seconds(bench, "Hermit") > fig6.seconds(bench, "Rust")
+
+    def test_render_mentions_call_count(self, fig6):
+        assert "100,000 calls" in fig6.render()
+
+    def test_ratio_helper(self, fig6):
+        assert fig6.ratio("kernel launch", "Rust") == pytest.approx(1.0)
+
+
+class TestTransferComparison:
+    def test_methods_all_present(self):
+        result = run_transfer_method_comparison(nbytes=32 << 20)
+        assert set(result.bandwidth_MiBps) == {
+            "rpc-args",
+            "parallel-sockets",
+            "ib-gpudirect",
+            "shared-memory",
+        }
+
+    def test_render(self):
+        result = run_transfer_method_comparison(nbytes=32 << 20)
+        text = result.render()
+        assert "rpc-args" in text and "MiB/s" in text
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(
+            "T", ["name", "value"], [("a", 1.5), ("bb", 22.25)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "1.500" in text
+
+    def test_make_session_defaults_to_timing_only(self):
+        with make_session(native_rust()) as session:
+            assert session.config.execute is False
+            assert session.client.get_device_count() == 1
+
+
+class TestRenderBars:
+    def test_bars_scale_to_peak(self):
+        from repro.harness.report import render_bars
+
+        text = render_bars("T", {"a": 1.0, "b": 2.0}, unit="s", width=10)
+        lines = text.splitlines()
+        bar_a = lines[2].count("#")
+        bar_b = lines[3].count("#")
+        assert bar_b == 10 and bar_a == 5
+
+    def test_bars_zero_values(self):
+        from repro.harness.report import render_bars
+
+        text = render_bars("T", {"a": 0.0, "b": 0.0})
+        assert "a" in text and "b" in text
+
+    def test_bars_empty(self):
+        from repro.harness.report import render_bars
+
+        assert render_bars("title", {}) == "title"
+
+    def test_figure_renders_include_bars(self):
+        from repro.harness import run_figure6
+
+        out = run_figure6(scale=1000).render()
+        assert "#" in out  # bar charts included
+
+
+class TestExtrapolationExactness:
+    def test_scaled_extrapolation_matches_direct_run(self):
+        """The 1/10-scale claim: extrapolated loop time equals a direct run.
+
+        Virtual time is deterministic and the micro-benchmark loops are
+        linear, so running 200 calls and extrapolating x10 must equal
+        running 2000 calls directly (up to the constant setup portion).
+        """
+        from repro.harness.figure6 import run_figure6
+
+        scaled = run_figure6(scale=500)    # 200 calls, extrapolated x500
+        direct = run_figure6(scale=100)    # 1000 calls, extrapolated x100
+        for bench in scaled.times:
+            for platform in ("Rust", "Hermit"):
+                a = scaled.seconds(bench, platform)
+                b = direct.seconds(bench, platform)
+                assert a == pytest.approx(b, rel=1e-3)

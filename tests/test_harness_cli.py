@@ -1,0 +1,33 @@
+"""Tests for the command-line harness entry point."""
+
+import pytest
+
+from repro.harness.__main__ import ARTIFACTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in ARTIFACTS:
+            assert key in out
+
+    def test_single_artifact(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Hermit" in out
+        assert "regenerated" in out
+
+    def test_unknown_artifact_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure9000"])
+
+    def test_artifact_registry_complete(self):
+        assert set(ARTIFACTS) == {
+            "table1", "fig5", "fig6", "fig7", "offloads", "methods", "outlook",
+        }
+
+    def test_outlook_artifact_runs(self, capsys):
+        assert main(["outlook"]) == 0
+        out = capsys.readouterr().out
+        assert "vDPA" in out

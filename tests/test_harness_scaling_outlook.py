@@ -1,0 +1,97 @@
+"""Unit tests for the scaling and outlook harness modules (cheap scales)."""
+
+import pytest
+
+from repro.harness.breakdown import (
+    CostBreakdown,
+    bulk_upload_workload,
+    chatty_workload,
+    measure_breakdown,
+)
+from repro.harness.scaling import TenantLoad, run_scaling, tenant_items
+from repro.unikernel import native_rust, rustyhermit
+from repro.unikernel.presets import (
+    rustyhermit_vdpa,
+    rustyhermit_with_tso,
+    unikraft_with_csum_offload,
+)
+
+MIB = 1 << 20
+
+
+class TestScalingModel:
+    def test_tenant_items_staggered(self):
+        load = TenantLoad(kernels=3)
+        a = tenant_items(0, load, 0)
+        b = tenant_items(1, load, 100)
+        assert len(a) == len(b) == 3
+        assert a[0].submit_ns != b[0].submit_ns  # staggered arrivals
+
+    def test_result_has_all_counts(self):
+        result = run_scaling(tenant_counts=(1, 2, 4))
+        for policy in ("fifo", "round-robin"):
+            assert [p.tenants for p in result.curves[policy]] == [1, 2, 4]
+
+    def test_utilization_bounded(self):
+        result = run_scaling(tenant_counts=(1, 8))
+        for points in result.curves.values():
+            for p in points:
+                assert 0 < p.utilization <= 1.0
+
+    def test_render(self):
+        result = run_scaling(tenant_counts=(1, 2))
+        text = result.render()
+        assert "fifo" in text and "round-robin" in text
+        assert "GPU utilization" in text
+
+    def test_saturation_emerges(self):
+        result = run_scaling(tenant_counts=(1, 16))
+        curve = result.utilization_curve("fifo")
+        assert curve[1] > curve[0]
+
+
+class TestOutlookPresets:
+    def test_tso_preset_only_flips_tso(self):
+        base = rustyhermit()
+        tso = rustyhermit_with_tso()
+        assert not base.netstack.virtio.host_tso4
+        assert tso.netstack.virtio.host_tso4
+        assert tso.netstack.tx_copies == base.netstack.tx_copies
+
+    def test_vdpa_preset_reduces_virtio_costs(self):
+        base = rustyhermit()
+        vdpa = rustyhermit_vdpa()
+        assert vdpa.netstack.virtio_costs.kick_s < base.netstack.virtio_costs.kick_s
+        assert vdpa.netstack.virtio_costs.irq_s < base.netstack.virtio_costs.irq_s
+
+    def test_csum_preset_negotiates_offload(self):
+        platform = unikraft_with_csum_offload()
+        assert platform.netstack.virtio.csum
+        assert platform.netstack.virtio.guest_csum
+        assert not platform.netstack.virtio.host_tso4  # TSO still missing
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self):
+        bd = measure_breakdown(native_rust(), chatty_workload(calls=50))
+        assert sum(bd.components_s.values()) == pytest.approx(bd.total_s, rel=0.02)
+
+    def test_fraction_and_dominant(self):
+        bd = CostBreakdown("x", 10.0, {"a": 7.0, "b": 3.0})
+        assert bd.fraction("a") == pytest.approx(0.7)
+        assert bd.fraction("missing") == 0.0
+        assert bd.dominant() == "a"
+
+    def test_zero_total(self):
+        bd = CostBreakdown("x", 0.0, {"a": 0.0})
+        assert bd.fraction("a") == 0.0
+
+    def test_bulk_workload_attributes_to_stacks(self):
+        bd = measure_breakdown(rustyhermit(), bulk_upload_workload(nbytes=16 * MIB))
+        assert bd.fraction("client_stack") > bd.fraction("wire")
+
+    def test_render_mentions_all_components(self):
+        bd = measure_breakdown(native_rust(), chatty_workload(calls=10))
+        text = bd.render()
+        for component in ("client_cpu", "wire", "server_dispatch", "cuda"):
+            assert component in text

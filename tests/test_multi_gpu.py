@@ -1,0 +1,114 @@
+"""Multi-device tests: the paper's four-GPU node (A100, 2x T4, P40)."""
+
+import numpy as np
+import pytest
+
+from repro.cricket import CricketClient, CricketServer
+from repro.cubin import build_cubin_for_registry
+from repro.cubin.metadata import KernelMeta
+from repro.cuda.errors import CudaError
+from repro.gpu import GpuDevice
+from repro.gpu.catalog import A100, P40, T4, paper_gpu_node
+
+MIB = 1 << 20
+
+
+@pytest.fixture()
+def gpu_node():
+    devices = [
+        GpuDevice(spec, ordinal=i, mem_bytes=64 * MIB)
+        for i, spec in enumerate(paper_gpu_node())
+    ]
+    return CricketServer(devices)
+
+
+@pytest.fixture()
+def client(gpu_node):
+    return CricketClient.loopback(gpu_node)
+
+
+class TestDeviceInventory:
+    def test_paper_node_inventory(self):
+        assert paper_gpu_node() == [A100, T4, T4, P40]
+
+    def test_client_sees_four_devices(self, client):
+        assert client.get_device_count() == 4
+
+    def test_properties_per_device(self, client):
+        names = [client.get_device_properties(i)["name"] for i in range(4)]
+        assert "A100" in names[0]
+        assert names[1] == names[2] == "NVIDIA T4"
+        assert "P40" in names[3]
+
+
+class TestPerDeviceState:
+    def test_allocations_are_per_device(self, client, gpu_node):
+        client.set_device(0)
+        ptr0 = client.malloc(4096)
+        client.set_device(1)
+        ptr1 = client.malloc(4096)
+        assert gpu_node.devices[0].allocator.is_live(ptr0)
+        assert gpu_node.devices[1].allocator.is_live(ptr1)
+        assert not gpu_node.devices[1].allocator.is_live(ptr0) or ptr0 == ptr1
+
+    def test_free_on_wrong_device_fails(self, client):
+        client.set_device(0)
+        ptr = client.malloc(4096)
+        client.set_device(1)
+        with pytest.raises(CudaError):
+            client.free(ptr)
+        client.set_device(0)
+        client.free(ptr)
+
+    def test_memcpy_targets_current_device(self, client, gpu_node):
+        client.set_device(3)  # the P40
+        ptr = client.malloc(256)
+        client.memcpy_h2d(ptr, b"\x42" * 256)
+        assert gpu_node.devices[3].allocator.read(ptr, 256) == b"\x42" * 256
+        assert client.memcpy_d2h(ptr, 256) == b"\x42" * 256
+
+    def test_modules_are_per_device(self, client, gpu_node):
+        client.set_device(1)
+        cubin = build_cubin_for_registry(
+            gpu_node.devices[1].registry, ["vectorAdd"], arch=T4.arch
+        )
+        module = client.module_load(cubin)
+        meta = KernelMeta.from_kinds("vectorAdd", ("ptr", "ptr", "ptr", "i32"))
+        fn = client.get_function(module, "vectorAdd", meta)
+        # the module handle belongs to device 1's driver; on device 0 it is
+        # unknown
+        client.set_device(0)
+        with pytest.raises(CudaError):
+            client.get_function(module, "vectorAdd", meta)
+        client.set_device(1)
+        n = 32
+        a, b, c = (client.malloc(4 * n) for _ in range(3))
+        client.memcpy_h2d(a, np.full(n, 1.0, np.float32).tobytes())
+        client.memcpy_h2d(b, np.full(n, 2.0, np.float32).tobytes())
+        client.launch_kernel(fn, (1, 1, 1), (32, 1, 1), (a, b, c, n))
+        client.device_synchronize()
+        out = np.frombuffer(client.memcpy_d2h(c, 4 * n), np.float32)
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_kernel_slower_on_t4_than_a100(self, gpu_node):
+        """The timing model reflects per-generation performance."""
+        from repro.gpu.kernels import KernelCost
+        from repro.gpu.timing import GpuTimingModel
+
+        cost = KernelCost(flops=1e12)
+        a100 = GpuTimingModel(A100).kernel_time_s(cost)
+        t4 = GpuTimingModel(T4).kernel_time_s(cost)
+        assert t4 > 2 * a100
+
+    def test_set_device_out_of_range(self, client):
+        with pytest.raises(CudaError):
+            client.set_device(4)
+
+    def test_reset_only_clears_current_device(self, client, gpu_node):
+        client.set_device(0)
+        client.malloc(4096)
+        client.set_device(1)
+        client.malloc(4096)
+        client.device_reset()  # resets device 1
+        assert gpu_node.devices[1].allocator.used_bytes == 0
+        assert gpu_node.devices[0].allocator.used_bytes > 0

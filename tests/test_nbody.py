@@ -1,0 +1,85 @@
+"""Tests for the nbody app and kernel."""
+
+import numpy as np
+import pytest
+
+from repro import GpuSession, SessionConfig
+from repro.apps import nbody
+from repro.gpu import A100, GpuDevice
+from repro.unikernel import native_rust, rustyhermit
+
+MIB = 1 << 20
+
+
+class TestKernel:
+    def test_energy_like_sanity(self):
+        """Bodies attract: two point masses drift toward each other."""
+        device = GpuDevice(A100, mem_bytes=MIB)
+        pos = np.zeros((2, 4), dtype=np.float32)
+        pos[0] = [-1.0, 0, 0, 1.0]
+        pos[1] = [1.0, 0, 0, 1.0]
+        vel = np.zeros((2, 4), dtype=np.float32)
+        p_in = device.alloc(32)
+        p_out = device.alloc(32)
+        v = device.alloc(32)
+        device.allocator.write(p_in, pos.tobytes())
+        device.allocator.write(v, vel.tobytes())
+        device.launch("integrateBodies", (1, 1, 1), (2, 1, 1), (p_out, p_in, v, 2, 0.1))
+        out = device.allocator.view(p_out, 32).view(np.float32).reshape(2, 4)
+        assert out[0, 0] > -1.0  # moved right, toward the other body
+        assert out[1, 0] < 1.0   # moved left
+
+    def test_mass_preserved(self):
+        device = GpuDevice(A100, mem_bytes=MIB)
+        rng = np.random.default_rng(0)
+        n = 16
+        pos = rng.standard_normal((n, 4)).astype(np.float32)
+        pos[:, 3] = np.abs(pos[:, 3]) + 0.5
+        p_in = device.alloc(16 * n)
+        p_out = device.alloc(16 * n)
+        v = device.alloc(16 * n)
+        device.allocator.write(p_in, pos.tobytes())
+        device.memset(v, 0, 16 * n)
+        device.launch("integrateBodies", (1, 1, 1), (n, 1, 1), (p_out, p_in, v, n, 0.01))
+        out = device.allocator.view(p_out, 16 * n).view(np.float32).reshape(n, 4)
+        np.testing.assert_array_equal(out[:, 3], pos[:, 3])
+
+    def test_cost_quadratic(self):
+        from repro.gpu.kernels import LaunchContext
+
+        device = GpuDevice(A100, mem_bytes=MIB)
+        kernel = device.registry.get("integrateBodies")
+        small = LaunchContext(device, (1, 1, 1), (1, 1, 1), 0, (0, 0, 0, 100, 0.1))
+        large = LaunchContext(device, (1, 1, 1), (1, 1, 1), 0, (0, 0, 0, 1000, 0.1))
+        assert kernel.cost(large).flops == pytest.approx(100 * kernel.cost(small).flops)
+
+
+class TestApp:
+    def test_verified_against_reference(self):
+        with GpuSession(SessionConfig(device_mem_bytes=64 * MIB)) as session:
+            result = nbody.run(session, bodies=128, iterations=5)
+        assert result.verified is True
+        assert result.api_calls > 5
+
+    def test_call_count_one_launch_per_iteration(self):
+        config = SessionConfig(platform=native_rust(), execute=False, device_mem_bytes=64 * MIB)
+        with GpuSession(config) as session:
+            result = nbody.run(session, bodies=1024, iterations=200, verify=False)
+        assert 200 < result.api_calls < 230
+
+    def test_compute_bound_overhead_small(self):
+        times = {}
+        for platform in (native_rust(), rustyhermit()):
+            config = SessionConfig(platform=platform, execute=False, device_mem_bytes=64 * MIB)
+            with GpuSession(config) as session:
+                times[platform.name] = nbody.run(
+                    session, bodies=16_384, iterations=30, verify=False
+                ).elapsed_s
+        overhead = times["Hermit"] / times["Rust"] - 1
+        assert overhead < 0.10
+
+    def test_loop_time_reported(self):
+        config = SessionConfig(execute=False, device_mem_bytes=64 * MIB)
+        with GpuSession(config) as session:
+            result = nbody.run(session, bodies=512, iterations=10, verify=False)
+        assert 0 < result.extra["loop_s"] <= result.elapsed_s

@@ -1,0 +1,140 @@
+"""Unit tests for rpc_msg encoding/decoding and auth structures."""
+
+import pytest
+
+from repro.oncrpc import message as msg
+from repro.oncrpc.auth import (
+    AUTH_NONE,
+    AUTH_SYS,
+    AuthSysParams,
+    NULL_AUTH,
+    OpaqueAuth,
+)
+from repro.oncrpc.errors import RpcProtocolError
+from repro.xdr import XdrDecoder, XdrEncoder
+from repro.xdr.errors import XdrEncodeError
+
+
+class TestCallMessages:
+    def test_call_roundtrip(self):
+        call = msg.RpcMessage(
+            0xDEADBEEF,
+            msg.CallBody(prog=99, vers=1, proc=7, args=b"\x00\x00\x00\x2a"),
+        )
+        decoded = msg.RpcMessage.decode(call.encode())
+        assert decoded.xid == 0xDEADBEEF
+        assert decoded.is_call
+        body = decoded.body
+        assert isinstance(body, msg.CallBody)
+        assert (body.prog, body.vers, body.proc) == (99, 1, 7)
+        assert body.args == b"\x00\x00\x00\x2a"
+
+    def test_call_carries_credentials(self):
+        cred = AuthSysParams(stamp=5, machinename="node-a", uid=1000, gid=100).to_opaque()
+        call = msg.RpcMessage(1, msg.CallBody(1, 1, 1, cred=cred))
+        decoded = msg.RpcMessage.decode(call.encode())
+        assert isinstance(decoded.body, msg.CallBody)
+        parsed = AuthSysParams.from_opaque(decoded.body.cred)
+        assert parsed.machinename == "node-a"
+        assert parsed.uid == 1000
+
+    def test_wrong_rpc_version_rejected(self):
+        raw = bytearray(msg.RpcMessage(1, msg.CallBody(1, 1, 1)).encode())
+        raw[8:12] = (3).to_bytes(4, "big")  # rpcvers field
+        with pytest.raises(RpcProtocolError):
+            msg.RpcMessage.decode(bytes(raw))
+
+    def test_invalid_msg_type(self):
+        enc = XdrEncoder()
+        enc.pack_uint(1)
+        enc.pack_enum(5)
+        with pytest.raises(RpcProtocolError):
+            msg.RpcMessage.decode(enc.getvalue())
+
+
+class TestReplyMessages:
+    def test_success_reply_roundtrip(self):
+        reply = msg.RpcMessage(
+            42, msg.AcceptedReply(stat=msg.SUCCESS, results=b"\x00\x00\x00\x01")
+        )
+        decoded = msg.RpcMessage.decode(reply.encode())
+        assert not decoded.is_call
+        body = decoded.body
+        assert isinstance(body, msg.AcceptedReply)
+        assert body.stat == msg.SUCCESS
+        assert body.results == b"\x00\x00\x00\x01"
+
+    def test_prog_mismatch_reply(self):
+        reply = msg.RpcMessage(
+            1,
+            msg.AcceptedReply(stat=msg.PROG_MISMATCH, mismatch_low=2, mismatch_high=4),
+        )
+        body = msg.RpcMessage.decode(reply.encode()).body
+        assert isinstance(body, msg.AcceptedReply)
+        assert (body.mismatch_low, body.mismatch_high) == (2, 4)
+
+    @pytest.mark.parametrize(
+        "stat",
+        [msg.PROG_UNAVAIL, msg.PROC_UNAVAIL, msg.GARBAGE_ARGS, msg.SYSTEM_ERR],
+    )
+    def test_error_replies_have_void_bodies(self, stat):
+        reply = msg.RpcMessage(1, msg.AcceptedReply(stat=stat))
+        body = msg.RpcMessage.decode(reply.encode()).body
+        assert isinstance(body, msg.AcceptedReply)
+        assert body.stat == stat
+        assert body.results == b""
+
+    def test_rejected_rpc_mismatch(self):
+        reply = msg.RpcMessage(
+            1, msg.RejectedReply(stat=msg.RPC_MISMATCH, mismatch_low=2, mismatch_high=2),
+            msg.MSG_DENIED,
+        )
+        body = msg.RpcMessage.decode(reply.encode()).body
+        assert isinstance(body, msg.RejectedReply)
+        assert body.stat == msg.RPC_MISMATCH
+
+    def test_rejected_auth_error(self):
+        reply = msg.RpcMessage(
+            1, msg.RejectedReply(stat=msg.AUTH_ERROR, auth_stat=3), msg.MSG_DENIED
+        )
+        body = msg.RpcMessage.decode(reply.encode()).body
+        assert isinstance(body, msg.RejectedReply)
+        assert body.auth_stat == 3
+
+    def test_accept_stat_name(self):
+        assert msg.accept_stat_name(msg.SUCCESS) == "SUCCESS"
+        assert "accept_stat" in msg.accept_stat_name(77)
+
+
+class TestAuth:
+    def test_null_auth_wire_form(self):
+        enc = XdrEncoder()
+        NULL_AUTH.encode(enc)
+        assert enc.getvalue() == b"\x00" * 8  # flavor 0, length 0
+
+    def test_opaque_auth_roundtrip(self):
+        auth = OpaqueAuth(AUTH_SYS, b"abc")
+        enc = XdrEncoder()
+        auth.encode(enc)
+        assert OpaqueAuth.decode(XdrDecoder(enc.getvalue())) == auth
+
+    def test_auth_body_size_cap(self):
+        with pytest.raises(XdrEncodeError):
+            enc = XdrEncoder()
+            OpaqueAuth(AUTH_NONE, b"x" * 401).encode(enc)
+
+    def test_authsys_roundtrip(self):
+        params = AuthSysParams(
+            stamp=99, machinename="hermit", uid=1, gid=2, gids=(3, 4, 5)
+        )
+        assert AuthSysParams.from_opaque(params.to_opaque()) == params
+
+    def test_authsys_gid_cap(self):
+        with pytest.raises(XdrEncodeError):
+            AuthSysParams(gids=tuple(range(17))).to_opaque()
+
+    def test_authsys_wrong_flavor(self):
+        from repro.xdr.errors import XdrDecodeError
+
+        with pytest.raises(XdrDecodeError):
+            AuthSysParams.from_opaque(OpaqueAuth(AUTH_NONE, b""))

@@ -1,0 +1,129 @@
+"""Tests for the RFC 1833 port mapper (service + client + bootstrap)."""
+
+import pytest
+
+from repro.oncrpc import LoopbackTransport, RpcProgUnavailable, RpcServer
+from repro.oncrpc.portmap import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    PMAP_PROG,
+    PMAP_VERS,
+    Mapping,
+    PortMapper,
+    PortMapperClient,
+    connect_via_portmap,
+)
+from repro.xdr import XdrDecoder, XdrEncoder
+
+
+@pytest.fixture()
+def pmap_pair():
+    server = RpcServer()
+    pmap = PortMapper()
+    pmap.register_on(server)
+    client = PortMapperClient(LoopbackTransport(server.dispatch_record))
+    yield pmap, client
+    client.close()
+
+
+class TestRegistry:
+    def test_set_and_getport(self, pmap_pair):
+        _pmap, client = pmap_pair
+        assert client.set(Mapping(300_000, 1, IPPROTO_TCP, 9100)) is True
+        assert client.getport(300_000, 1) == 9100
+
+    def test_set_duplicate_rejected(self, pmap_pair):
+        _pmap, client = pmap_pair
+        assert client.set(Mapping(300_000, 1, IPPROTO_TCP, 9100))
+        assert client.set(Mapping(300_000, 1, IPPROTO_TCP, 9200)) is False
+        assert client.getport(300_000, 1) == 9100
+
+    def test_getport_unregistered_returns_zero(self, pmap_pair):
+        _pmap, client = pmap_pair
+        assert client.getport(999_999, 1) == 0
+
+    def test_unset_removes_all_protocols(self, pmap_pair):
+        _pmap, client = pmap_pair
+        client.set(Mapping(300_000, 1, IPPROTO_TCP, 9100))
+        client.set(Mapping(300_000, 1, IPPROTO_UDP, 9100))
+        assert client.unset(Mapping(300_000, 1, 0, 0)) is True
+        assert client.getport(300_000, 1, IPPROTO_TCP) == 0
+        assert client.getport(300_000, 1, IPPROTO_UDP) == 0
+
+    def test_unset_missing_returns_false(self, pmap_pair):
+        _pmap, client = pmap_pair
+        assert client.unset(Mapping(123, 1, 0, 0)) is False
+
+    def test_dump_lists_everything(self, pmap_pair):
+        _pmap, client = pmap_pair
+        client.set(Mapping(300_000, 1, IPPROTO_TCP, 9100))
+        client.set(Mapping(300_001, 2, IPPROTO_TCP, 9200))
+        dump = client.dump()
+        assert Mapping(300_000, 1, IPPROTO_TCP, 9100) in dump
+        assert Mapping(300_001, 2, IPPROTO_TCP, 9200) in dump
+
+    def test_dump_empty(self, pmap_pair):
+        _pmap, client = pmap_pair
+        assert client.dump() == []
+
+    def test_protocols_are_distinct_keys(self, pmap_pair):
+        _pmap, client = pmap_pair
+        client.set(Mapping(300_000, 1, IPPROTO_TCP, 9100))
+        client.set(Mapping(300_000, 1, IPPROTO_UDP, 9101))
+        assert client.getport(300_000, 1, IPPROTO_TCP) == 9100
+        assert client.getport(300_000, 1, IPPROTO_UDP) == 9101
+
+
+class TestWireFormat:
+    def test_mapping_roundtrip(self):
+        enc = XdrEncoder()
+        Mapping(1, 2, 6, 111).encode(enc)
+        assert Mapping.decode(XdrDecoder(enc.getvalue())) == Mapping(1, 2, 6, 111)
+
+    def test_null_proc(self, pmap_pair):
+        """Procedure 0 is auto-registered on the portmapper program too."""
+        _pmap, client = pmap_pair
+        client._client.null_call()
+
+    def test_program_constants(self):
+        assert PMAP_PROG == 100000
+        assert PMAP_VERS == 2
+
+
+class TestBootstrapOverTcp:
+    def test_cricket_discovered_via_portmap(self):
+        """End-to-end: Cricket registers with rpcbind; a client bootstraps."""
+        from repro.cricket import CricketServer
+        from repro.cricket.client import cricket_interface
+
+        # the "GPU node": portmapper and Cricket share one RPC endpoint
+        node = CricketServer()
+        pmap = PortMapper()
+        pmap.register_on(node)
+        host, port = node.serve_tcp("127.0.0.1", 0)
+        iface = cricket_interface()
+        pmap.set(Mapping(iface.prog_number, iface.vers_number, IPPROTO_TCP, port))
+
+        try:
+            client = connect_via_portmap(
+                host, iface.prog_number, iface.vers_number, pmap_port=port
+            )
+            # issue a real Cricket call through the bootstrapped connection
+            raw = client.call_raw(1, b"")  # rpc_cudaGetDeviceCount
+            dec = XdrDecoder(raw)
+            err, count = dec.unpack_int(), dec.unpack_int()
+            assert (err, count) == (0, 1)
+            client.close()
+        finally:
+            node.shutdown()
+
+    def test_bootstrap_unregistered_program(self):
+        node = RpcServer()
+        pmap = PortMapper()
+        pmap.register_on(node)
+        host, port = node.serve_tcp("127.0.0.1", 0)
+        try:
+            with pytest.raises(RpcProgUnavailable):
+                connect_via_portmap(host, 0x31313131, 1, pmap_port=port)
+        finally:
+            node.shutdown()

@@ -1,0 +1,96 @@
+"""Property-based tests for the ONC RPC message layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oncrpc import message as msg
+from repro.oncrpc.auth import AUTH_NONE, AUTH_SYS, OpaqueAuth
+
+uint32 = st.integers(min_value=0, max_value=2**32 - 1)
+aligned_bytes = st.binary(max_size=200).map(
+    lambda b: b + b"\x00" * ((4 - len(b) % 4) % 4)
+)
+auths = st.builds(
+    OpaqueAuth,
+    flavor=st.sampled_from([AUTH_NONE, AUTH_SYS]),
+    body=st.binary(max_size=64),
+)
+
+
+@settings(max_examples=150)
+@given(
+    xid=uint32,
+    prog=uint32,
+    vers=uint32,
+    proc=uint32,
+    cred=auths,
+    verf=auths,
+    args=aligned_bytes,
+)
+def test_call_roundtrip(xid, prog, vers, proc, cred, verf, args):
+    original = msg.RpcMessage(
+        xid, msg.CallBody(prog, vers, proc, cred=cred, verf=verf, args=args)
+    )
+    decoded = msg.RpcMessage.decode(original.encode())
+    assert decoded.xid == xid
+    body = decoded.body
+    assert isinstance(body, msg.CallBody)
+    assert (body.prog, body.vers, body.proc) == (prog, vers, proc)
+    assert body.cred == cred and body.verf == verf
+    assert body.args == args
+
+
+@settings(max_examples=100)
+@given(xid=uint32, verf=auths, results=aligned_bytes)
+def test_success_reply_roundtrip(xid, verf, results):
+    original = msg.RpcMessage(xid, msg.AcceptedReply(verf, msg.SUCCESS, results))
+    decoded = msg.RpcMessage.decode(original.encode())
+    body = decoded.body
+    assert isinstance(body, msg.AcceptedReply)
+    assert body.verf == verf and body.results == results
+
+
+@given(
+    xid=uint32,
+    stat=st.sampled_from(
+        [msg.PROG_UNAVAIL, msg.PROC_UNAVAIL, msg.GARBAGE_ARGS, msg.SYSTEM_ERR]
+    ),
+)
+def test_error_reply_roundtrip(xid, stat):
+    original = msg.RpcMessage(xid, msg.AcceptedReply(stat=stat))
+    decoded = msg.RpcMessage.decode(original.encode())
+    assert isinstance(decoded.body, msg.AcceptedReply)
+    assert decoded.body.stat == stat
+
+
+@given(xid=uint32, low=uint32, high=uint32)
+def test_prog_mismatch_roundtrip(xid, low, high):
+    original = msg.RpcMessage(
+        xid, msg.AcceptedReply(stat=msg.PROG_MISMATCH, mismatch_low=low, mismatch_high=high)
+    )
+    decoded = msg.RpcMessage.decode(original.encode())
+    assert isinstance(decoded.body, msg.AcceptedReply)
+    assert (decoded.body.mismatch_low, decoded.body.mismatch_high) == (low, high)
+
+
+@given(xid=uint32, auth_stat=st.integers(min_value=0, max_value=5))
+def test_auth_error_roundtrip(xid, auth_stat):
+    original = msg.RpcMessage(
+        xid, msg.RejectedReply(stat=msg.AUTH_ERROR, auth_stat=auth_stat), msg.MSG_DENIED
+    )
+    decoded = msg.RpcMessage.decode(original.encode())
+    assert isinstance(decoded.body, msg.RejectedReply)
+    assert decoded.body.auth_stat == auth_stat
+
+
+@settings(max_examples=100)
+@given(data=st.binary(min_size=0, max_size=120))
+def test_decode_never_crashes_uncontrolled(data):
+    """Arbitrary bytes either parse or raise the declared exceptions."""
+    from repro.oncrpc.errors import RpcProtocolError
+    from repro.xdr.errors import XdrError
+
+    try:
+        msg.RpcMessage.decode(data)
+    except (RpcProtocolError, XdrError):
+        pass

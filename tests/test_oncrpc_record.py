@@ -1,0 +1,118 @@
+"""Unit and property tests for record marking / fragmentation (RFC 5531 §11)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.oncrpc.errors import RpcProtocolError, RpcTransportError
+from repro.oncrpc.record import (
+    LAST_FRAGMENT,
+    RecordReader,
+    encode_record,
+    iter_fragments,
+)
+
+
+def make_reader(wire: bytes, chunk: int = 7) -> RecordReader:
+    """Reader that feeds ``wire`` in small chunks, mimicking socket recv."""
+    buf = bytearray(wire)
+
+    def read(n: int) -> bytes:
+        take = min(n, chunk, len(buf))
+        head = bytes(buf[:take])
+        del buf[:take]
+        return head
+
+    return RecordReader(read)
+
+
+class TestFragmentation:
+    def test_single_fragment_header(self):
+        frames = list(iter_fragments(b"abcd", fragment_size=100))
+        assert len(frames) == 1
+        header = int.from_bytes(frames[0][:4], "big")
+        assert header & LAST_FRAGMENT
+        assert header & 0x7FFFFFFF == 4
+        assert frames[0][4:] == b"abcd"
+
+    def test_multi_fragment_split(self):
+        record = bytes(range(10)) * 10  # 100 bytes
+        frames = list(iter_fragments(record, fragment_size=33))
+        assert len(frames) == 4  # 33+33+33+1
+        # only the final frame has the last-fragment bit
+        flags = [bool(int.from_bytes(f[:4], "big") & LAST_FRAGMENT) for f in frames]
+        assert flags == [False, False, False, True]
+        assert b"".join(f[4:] for f in frames) == record
+
+    def test_empty_record_yields_one_last_fragment(self):
+        frames = list(iter_fragments(b"", fragment_size=10))
+        assert len(frames) == 1
+        assert int.from_bytes(frames[0][:4], "big") == LAST_FRAGMENT
+
+    def test_exact_multiple_boundary(self):
+        record = b"x" * 64
+        frames = list(iter_fragments(record, fragment_size=32))
+        assert len(frames) == 2
+        assert bool(int.from_bytes(frames[1][:4], "big") & LAST_FRAGMENT)
+
+    def test_invalid_fragment_size(self):
+        with pytest.raises(ValueError):
+            list(iter_fragments(b"a", fragment_size=0))
+        with pytest.raises(ValueError):
+            list(iter_fragments(b"a", fragment_size=2**31))
+
+
+class TestReassembly:
+    def test_roundtrip_small(self):
+        wire = encode_record(b"hello world", 4)
+        assert make_reader(wire).read_record() == b"hello world"
+
+    def test_roundtrip_large_many_fragments(self):
+        record = bytes(i % 256 for i in range(100_000))
+        wire = encode_record(record, 1024)
+        assert make_reader(wire, chunk=997).read_record() == record
+
+    def test_back_to_back_records(self):
+        wire = encode_record(b"first", 2) + encode_record(b"second", 3)
+        reader = make_reader(wire)
+        assert reader.read_record() == b"first"
+        assert reader.read_record() == b"second"
+        assert reader.read_record() is None
+
+    def test_clean_eof_between_records(self):
+        assert make_reader(b"").read_record() is None
+
+    def test_eof_mid_header(self):
+        with pytest.raises(RpcTransportError):
+            make_reader(b"\x80\x00").read_record()
+
+    def test_eof_mid_payload(self):
+        wire = encode_record(b"abcdef", 100)[:-3]
+        with pytest.raises(RpcTransportError):
+            make_reader(wire).read_record()
+
+    def test_record_size_cap(self):
+        wire = encode_record(b"x" * 100, 10)
+        reader = RecordReader(make_reader(wire)._read, max_record_size=50)
+        with pytest.raises(RpcProtocolError):
+            reader.read_record()
+
+    def test_zero_length_nonterminal_fragment_rejected(self):
+        wire = (0).to_bytes(4, "big") + encode_record(b"a")
+        with pytest.raises(RpcProtocolError):
+            make_reader(wire).read_record()
+
+
+@given(st.binary(max_size=5000), st.integers(min_value=1, max_value=600))
+def test_property_roundtrip(record, fragment_size):
+    wire = encode_record(record, fragment_size)
+    assert make_reader(wire, chunk=13).read_record() == record
+
+
+@given(st.lists(st.binary(max_size=400), min_size=1, max_size=6))
+def test_property_multiple_records_in_stream(records):
+    wire = b"".join(encode_record(r, 37) for r in records)
+    reader = make_reader(wire, chunk=11)
+    for expected in records:
+        assert reader.read_record() == expected
+    assert reader.read_record() is None

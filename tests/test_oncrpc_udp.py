@@ -1,0 +1,142 @@
+"""Tests for the UDP transport -- and why Cricket cannot use it."""
+
+import pytest
+
+from repro.oncrpc import RpcClient, RpcServer, RpcTimeoutError, RpcTransportError
+from repro.oncrpc.udp import MAX_UDP_PAYLOAD, UdpTransport, serve_udp
+from repro.xdr import XdrDecoder, XdrEncoder
+
+PROG, VERS = 0x20000061, 1
+
+
+@pytest.fixture()
+def udp_endpoint():
+    server = RpcServer()
+
+    def double(args, ctx):
+        dec = XdrDecoder(args)
+        value = dec.unpack_int()
+        enc = XdrEncoder()
+        enc.pack_int(2 * value)
+        return enc.getvalue()
+
+    def echo(args, ctx):
+        return args
+
+    server.register_program(PROG, VERS, {1: double, 2: echo})
+    host, port = serve_udp(server)
+    yield server, host, port
+    server.shutdown()
+
+
+class TestUdpCalls:
+    def test_small_call_roundtrip(self, udp_endpoint):
+        _server, host, port = udp_endpoint
+        client = RpcClient(UdpTransport(host, port), PROG, VERS)
+        enc = XdrEncoder()
+        enc.pack_int(21)
+        raw = client.call_raw(1, enc.getvalue())
+        assert XdrDecoder(raw).unpack_int() == 42
+        client.close()
+
+    def test_many_sequential_calls(self, udp_endpoint):
+        _server, host, port = udp_endpoint
+        client = RpcClient(UdpTransport(host, port), PROG, VERS)
+        for i in range(50):
+            enc = XdrEncoder()
+            enc.pack_int(i)
+            assert XdrDecoder(client.call_raw(1, enc.getvalue())).unpack_int() == 2 * i
+        client.close()
+
+    def test_mid_size_payload_within_datagram(self, udp_endpoint):
+        _server, host, port = udp_endpoint
+        client = RpcClient(UdpTransport(host, port), PROG, VERS)
+        payload = bytes(range(256)) * 128  # 32 KiB: fits a datagram
+        enc = XdrEncoder()
+        enc.pack_opaque(payload)
+        raw = client.call_raw(2, enc.getvalue())
+        assert XdrDecoder(raw).unpack_opaque() == payload
+        client.close()
+
+    def test_null_proc(self, udp_endpoint):
+        _server, host, port = udp_endpoint
+        client = RpcClient(UdpTransport(host, port), PROG, VERS)
+        client.null_call()
+        client.close()
+
+
+class TestWhyCricketNeedsTcp:
+    def test_gpu_sized_argument_rejected(self, udp_endpoint):
+        """A cudaMemcpy-sized argument cannot travel by datagram at all."""
+        _server, host, port = udp_endpoint
+        client = RpcClient(UdpTransport(host, port), PROG, VERS)
+        big = b"\x00" * (1 << 20)  # 1 MiB "GPU buffer"
+        enc = XdrEncoder()
+        enc.pack_opaque(big)
+        with pytest.raises(RpcTransportError, match="datagram limit"):
+            client.call_raw(2, enc.getvalue())
+        client.close()
+
+    def test_same_payload_works_over_tcp(self):
+        """The identical call succeeds over TCP with fragmented records."""
+        server = RpcServer()
+        server.register_program(PROG, VERS, {2: lambda args, ctx: args})
+        host, port = server.serve_tcp("127.0.0.1", 0)
+        try:
+            from repro.oncrpc import TcpTransport
+
+            client = RpcClient(TcpTransport(host, port, fragment_size=64 * 1024), PROG, VERS)
+            big = b"\x5a" * (1 << 20)
+            enc = XdrEncoder()
+            enc.pack_opaque(big)
+            raw = client.call_raw(2, enc.getvalue())
+            assert XdrDecoder(raw).unpack_opaque() == big
+            client.close()
+        finally:
+            server.shutdown()
+
+    def test_max_payload_constant_sane(self):
+        assert 60_000 < MAX_UDP_PAYLOAD < 65_536
+
+
+class TestTimeoutsAndRetransmission:
+    def test_timeout_when_no_server(self):
+        transport = UdpTransport("127.0.0.1", 9, timeout_s=0.05, retries=1)
+        client = RpcClient(transport, PROG, VERS)
+        with pytest.raises((RpcTimeoutError, RpcTransportError)):
+            client.null_call()
+        assert transport.retransmissions <= 1
+        client.close()
+
+    def test_retransmission_counter(self, udp_endpoint):
+        """A lossy first attempt is recovered by retransmission."""
+        _server, host, port = udp_endpoint
+
+        class LossyUdp(UdpTransport):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                self._dropped_once = False
+
+            def send_record(self, record):
+                if not self._dropped_once:
+                    # swallow the first datagram: simulate network loss
+                    self._dropped_once = True
+                    self._last_record = record
+                    return
+                super().send_record(record)
+
+        transport = LossyUdp(host, port, timeout_s=0.1, retries=3)
+        client = RpcClient(transport, PROG, VERS)
+        enc = XdrEncoder()
+        enc.pack_int(5)
+        assert XdrDecoder(client.call_raw(1, enc.getvalue())).unpack_int() == 10
+        assert transport.retransmissions >= 1
+        client.close()
+
+    def test_closed_transport(self):
+        transport = UdpTransport("127.0.0.1", 9)
+        transport.close()
+        with pytest.raises(RpcTransportError):
+            transport.send_record(b"x")
+        with pytest.raises(RpcTransportError):
+            transport.recv_record()

@@ -1,0 +1,91 @@
+"""Unit tests for the RPCL tokenizer."""
+
+import pytest
+
+from repro.rpcl.errors import RpclSyntaxError
+from repro.rpcl.lexer import parse_int_literal, tokenize
+
+
+def kinds_values(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        toks = kinds_values("struct foo int bar unsigned")
+        assert toks == [
+            ("keyword", "struct"),
+            ("ident", "foo"),
+            ("keyword", "int"),
+            ("ident", "bar"),
+            ("keyword", "unsigned"),
+        ]
+
+    def test_punctuation(self):
+        toks = kinds_values("{ } ( ) [ ] < > * = , ; :")
+        assert all(k == "punct" for k, _ in toks)
+        assert [v for _, v in toks] == list("{}()[]<>*=,;:")
+
+    def test_numbers(self):
+        toks = kinds_values("0 42 -17 0x1A 010")
+        assert [v for _, v in toks] == ["0", "42", "-17", "0x1A", "010"]
+        assert all(k == "number" for k, _ in toks)
+
+    def test_identifier_with_underscores_and_digits(self):
+        toks = kinds_values("rpc_cudaMalloc_1")
+        assert toks == [("ident", "rpc_cudaMalloc_1")]
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  bb")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+class TestCommentsAndPassthrough:
+    def test_block_comment_skipped(self):
+        assert kinds_values("a /* comment \n more */ b") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds_values("a // rest of line\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_percent_passthrough_line_skipped(self):
+        assert kinds_values("%#include <stdio.h>\nint") == [("keyword", "int")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(RpclSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_line_numbers_after_block_comment(self):
+        toks = tokenize("/* a\nb\nc */ x")
+        assert toks[0].line == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(RpclSyntaxError) as exc:
+            tokenize("int $bad")
+        assert exc.value.line == 1
+
+    def test_malformed_hex(self):
+        with pytest.raises(RpclSyntaxError):
+            tokenize("0xZZ")
+
+
+class TestIntLiterals:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0", 0),
+            ("42", 42),
+            ("-42", -42),
+            ("0x10", 16),
+            ("0X10", 16),
+            ("010", 8),
+            ("-0x20", -32),
+        ],
+    )
+    def test_parse_int_literal(self, text, value):
+        assert parse_int_literal(text) == value

@@ -1,0 +1,185 @@
+"""Unit tests for the RPCL parser and semantic checks."""
+
+import pytest
+
+from repro.rpcl import ast, parse
+from repro.rpcl.errors import RpclSemanticError, RpclSyntaxError
+
+SAMPLE = """
+const MAX_NAME = 64;
+const BLOCK = 0x100;
+
+enum op_kind { OP_READ = 0, OP_WRITE = 1 };
+
+typedef opaque buffer<>;
+typedef unsigned hyper devptr;
+
+struct request {
+    op_kind kind;
+    devptr addr;
+    opaque payload<BLOCK>;
+    string tag<MAX_NAME>;
+    int flags[4];
+    request *next;
+};
+
+union result switch (int status) {
+case 0:
+    buffer data;
+case 1:
+case 2:
+    void;
+default:
+    string message<>;
+};
+
+program MEMSVC {
+    version MEMVERS {
+        void NOOP(void) = 1;
+        result DO(request) = 2;
+        int ADD(int, int) = 3;
+    } = 1;
+    version MEMVERS2 {
+        void NOOP(void) = 1;
+    } = 2;
+} = 0x20000055;
+"""
+
+
+class TestDefinitions:
+    def test_constants(self):
+        spec = parse(SAMPLE)
+        assert spec.constants["MAX_NAME"] == 64
+        assert spec.constants["BLOCK"] == 256
+        assert spec.constants["OP_WRITE"] == 1
+
+    def test_enum(self):
+        spec = parse(SAMPLE)
+        enum = next(d for d in spec.definitions if isinstance(d, ast.EnumDef))
+        assert enum.name == "op_kind"
+        assert enum.members == (("OP_READ", 0), ("OP_WRITE", 1))
+
+    def test_typedefs(self):
+        spec = parse(SAMPLE)
+        tds = [d for d in spec.definitions if isinstance(d, ast.TypedefDef)]
+        names = {t.name for t in tds}
+        assert names == {"buffer", "devptr"}
+        buffer = next(t for t in tds if t.name == "buffer")
+        assert buffer.declaration.kind == "variable"
+        assert buffer.declaration.type.name == "opaque"
+
+    def test_struct_fields(self):
+        spec = parse(SAMPLE)
+        struct = next(d for d in spec.definitions if isinstance(d, ast.StructDef))
+        kinds = [(f.name, f.kind) for f in struct.fields]
+        assert kinds == [
+            ("kind", "plain"),
+            ("addr", "plain"),
+            ("payload", "variable"),
+            ("tag", "variable"),
+            ("flags", "fixed"),
+            ("next", "optional"),
+        ]
+        payload = struct.fields[2]
+        assert payload.size == 256  # resolved from const BLOCK
+
+    def test_union_cases(self):
+        spec = parse(SAMPLE)
+        union = next(d for d in spec.definitions if isinstance(d, ast.UnionDef))
+        assert union.discriminant.name == "status"
+        assert union.cases[0].values == (0,)
+        assert union.cases[1].values == (1, 2)
+        assert union.cases[1].declaration.kind == "void"
+        assert union.default is not None
+
+    def test_program(self):
+        spec = parse(SAMPLE)
+        prog = spec.program("MEMSVC")
+        assert prog.number == 0x20000055
+        assert len(prog.versions) == 2
+        v1 = prog.version(1)
+        assert [p.name for p in v1.procedures] == ["NOOP", "DO", "ADD"]
+        add = v1.procedures[2]
+        assert len(add.args) == 2
+        assert add.result.name == "int"
+
+    def test_program_lookup_missing(self):
+        spec = parse(SAMPLE)
+        with pytest.raises(KeyError):
+            spec.program("NOPE")
+        with pytest.raises(KeyError):
+            spec.program("MEMSVC").version(99)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "const X 5;",  # missing =
+            "struct {};",  # missing name
+            "enum e { A = };",  # missing value
+            "program P { } = 5;",  # no versions
+            "union u switch (int x) { };",  # no cases -- wait, grammar allows? we require case/default
+            "typedef void;",
+        ],
+    )
+    def test_malformed(self, source):
+        with pytest.raises((RpclSyntaxError, RpclSemanticError)):
+            parse(source)
+
+    def test_undefined_constant_reference(self):
+        with pytest.raises(RpclSemanticError):
+            parse("struct s { opaque p<UNKNOWN>; };")
+
+
+class TestSemanticErrors:
+    def test_duplicate_type(self):
+        with pytest.raises(RpclSemanticError):
+            parse("struct a { int x; };\nstruct a { int y; };")
+
+    def test_duplicate_proc_numbers(self):
+        src = """
+        program P { version V { void A(void) = 1; void B(void) = 1; } = 1; } = 9;
+        """
+        with pytest.raises(RpclSemanticError):
+            parse(src)
+
+    def test_duplicate_version_numbers(self):
+        src = """
+        program P {
+            version V1 { void A(void) = 1; } = 1;
+            version V2 { void A(void) = 1; } = 1;
+        } = 9;
+        """
+        with pytest.raises(RpclSemanticError):
+            parse(src)
+
+
+class TestGrammarCorners:
+    def test_unsigned_variants(self):
+        spec = parse("struct s { unsigned int a; unsigned hyper b; unsigned c; };")
+        struct = spec.definitions[0]
+        assert isinstance(struct, ast.StructDef)
+        assert struct.fields[0].type.name == "unsigned int"
+        assert struct.fields[1].type.name == "unsigned hyper"
+        assert struct.fields[2].type.name == "unsigned int"
+
+    def test_struct_keyword_reference(self):
+        spec = parse(
+            "struct inner { int x; };\nstruct outer { struct inner i; };"
+        )
+        outer = spec.definitions[1]
+        assert isinstance(outer, ast.StructDef)
+        assert outer.fields[0].type.name == "inner"
+
+    def test_unbounded_variable_array(self):
+        spec = parse("typedef int many<>;")
+        td = spec.definitions[0]
+        assert isinstance(td, ast.TypedefDef)
+        assert td.declaration.size is None
+
+    def test_comments_everywhere(self):
+        spec = parse(
+            "/* head */ const A /* mid */ = 1; // tail\nconst B = A;"
+        )
+        assert spec.constants == {"A": 1, "B": 1}

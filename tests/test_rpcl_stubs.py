@@ -1,0 +1,192 @@
+"""End-to-end tests for RPCL-driven stub generation and server dispatch."""
+
+import pytest
+
+from repro.oncrpc import LoopbackTransport, RpcServer
+from repro.rpcl import ProgramInterface, generate_module, parse
+from repro.rpcl.compiler import SpecCompiler
+from repro.rpcl.errors import RpclSemanticError
+
+CALC_SPEC = """
+const CALC_PROG = 0x20000077;
+
+enum calc_status { CALC_OK = 0, CALC_DIV_ZERO = 1 };
+
+struct pair { int a; int b; };
+
+union div_result switch (calc_status status) {
+case CALC_OK:
+    int quotient;
+case CALC_DIV_ZERO:
+    void;
+};
+
+typedef opaque blob<>;
+
+struct node { int value; node *next; };
+
+program CALC {
+    version CALC_V1 {
+        int ADD(pair) = 1;
+        div_result DIV(int, int) = 2;
+        blob REVERSE(blob) = 3;
+        int SUM_LIST(node) = 4;
+        string GREET(string) = 5;
+    } = 1;
+} = CALC_PROG;
+"""
+
+
+class CalcImpl:
+    """Reference implementation of the CALC program."""
+
+    def ADD(self, pair):
+        return pair["a"] + pair["b"]
+
+    def DIV(self, a, b):
+        if b == 0:
+            return (1, None)
+        return (0, a // b)
+
+    def REVERSE(self, blob):
+        return blob[::-1]
+
+    def SUM_LIST(self, node):
+        total = 0
+        while node is not None:
+            total += node["value"]
+            node = node["next"]
+        return total
+
+    def GREET(self, name, ctx=None):
+        who = ctx.client_id if ctx is not None else "?"
+        return f"hello {name} from {who}"
+
+
+@pytest.fixture()
+def calc_stub():
+    iface = ProgramInterface.from_source(CALC_SPEC, "CALC", 1)
+    server = RpcServer()
+    server.register_program(
+        iface.prog_number, iface.vers_number, iface.make_server_dispatch(CalcImpl())
+    )
+    stub = iface.bind_client(LoopbackTransport(server.dispatch_record))
+    yield stub
+    stub.close()
+
+
+class TestStubCalls:
+    def test_struct_argument(self, calc_stub):
+        assert calc_stub.ADD({"a": 19, "b": 23}) == 42
+
+    def test_multiple_scalar_args(self, calc_stub):
+        assert calc_stub.DIV(10, 3) == (0, 3)
+
+    def test_union_void_arm(self, calc_stub):
+        assert calc_stub.DIV(10, 0) == (1, None)
+
+    def test_opaque_roundtrip(self, calc_stub):
+        data = bytes(range(200))
+        assert calc_stub.REVERSE(data) == data[::-1]
+
+    def test_recursive_linked_list(self, calc_stub):
+        chain = {"value": 1, "next": {"value": 2, "next": {"value": 3, "next": None}}}
+        assert calc_stub.SUM_LIST(chain) == 6
+
+    def test_handler_receives_context(self, calc_stub):
+        assert calc_stub.GREET("hermit").startswith("hello hermit from ")
+
+    def test_call_by_name(self, calc_stub):
+        assert calc_stub.call("ADD", {"a": 1, "b": 2}) == 3
+
+    def test_unknown_procedure_attribute(self, calc_stub):
+        with pytest.raises(AttributeError):
+            calc_stub.NOPE
+
+    def test_wrong_arity(self, calc_stub):
+        with pytest.raises(TypeError):
+            calc_stub.DIV(1)
+
+    def test_constants_exposed(self, calc_stub):
+        assert calc_stub.constants["CALC_PROG"] == 0x20000077
+        assert calc_stub.constants["CALC_DIV_ZERO"] == 1
+
+    def test_procedures_listed(self, calc_stub):
+        assert set(calc_stub.procedures()) == {"ADD", "DIV", "REVERSE", "SUM_LIST", "GREET"}
+
+
+class TestServerDispatchErrors:
+    def test_missing_implementation_method(self):
+        iface = ProgramInterface.from_source(CALC_SPEC, "CALC", 1)
+        with pytest.raises(RpclSemanticError):
+            iface.make_server_dispatch(object())
+
+    def test_mapping_implementation(self):
+        iface = ProgramInterface.from_source(CALC_SPEC, "CALC", 1)
+        impl = {
+            "ADD": lambda pair: pair["a"] + pair["b"],
+            "DIV": lambda a, b: (0, a // b) if b else (1, None),
+            "REVERSE": lambda blob: blob[::-1],
+            "SUM_LIST": lambda node: 0,
+            "GREET": lambda name: name,
+        }
+        server = RpcServer()
+        server.register_program(
+            iface.prog_number, iface.vers_number, iface.make_server_dispatch(impl)
+        )
+        stub = iface.bind_client(LoopbackTransport(server.dispatch_record))
+        assert stub.ADD({"a": 2, "b": 3}) == 5
+
+
+class TestCompilerTypes:
+    def test_signatures_table(self):
+        compiler = SpecCompiler(parse(CALC_SPEC))
+        prog, vers, sigs = compiler.signatures("CALC", 1)
+        assert prog == 0x20000077
+        assert vers == 1
+        assert sigs["DIV"].number == 2
+        assert len(sigs["DIV"].arg_types) == 2
+
+    def test_undefined_type_reference_raises_on_use(self):
+        spec = parse(
+            "struct s { int x; };\n"
+            "program P { version V { ghost F(void) = 1; } = 1; } = 2;"
+        )
+        compiler = SpecCompiler(spec)
+        _, _, sigs = compiler.signatures("P", 1)
+        with pytest.raises(RpclSemanticError):
+            sigs["F"].encode_result({"whatever": 1})
+
+
+class TestCodegen:
+    def test_generated_module_executes(self, tmp_path):
+        source = generate_module(CALC_SPEC)
+        namespace: dict = {}
+        exec(compile(source, "calc_gen.py", "exec"), namespace)
+        assert namespace["CALC_PROG"] == 0x20000077
+        assert namespace["CALC_DIV_ZERO"] == 1
+        assert "CalcV1Client" in namespace
+
+    def test_generated_client_against_server(self):
+        source = generate_module(CALC_SPEC)
+        namespace: dict = {}
+        exec(compile(source, "calc_gen.py", "exec"), namespace)
+
+        iface = ProgramInterface.from_source(CALC_SPEC, "CALC", 1)
+        server = RpcServer()
+        server.register_program(
+            iface.prog_number, iface.vers_number, iface.make_server_dispatch(CalcImpl())
+        )
+        client = namespace["CalcV1Client"](LoopbackTransport(server.dispatch_record))
+        assert client.ADD({"a": 5, "b": 7}) == 12
+        assert client.DIV(9, 2) == (0, 4)
+        assert client.REVERSE(b"abc") == b"cba"
+        chain = {"value": 4, "next": None}
+        assert client.SUM_LIST(chain) == 4
+        client.close()
+
+    def test_generated_types_registry(self):
+        source = generate_module(CALC_SPEC)
+        namespace: dict = {}
+        exec(compile(source, "calc_gen.py", "exec"), namespace)
+        assert set(namespace["_TYPES"]) >= {"pair", "div_result", "blob", "node"}

@@ -1,0 +1,174 @@
+"""Unit tests for platform, netstack, virtio and language models."""
+
+import pytest
+
+from repro.net import SimClock
+from repro.unikernel import (
+    C_PROFILE,
+    EVAL_LINK,
+    HERMIT_STACK,
+    LINUX_VM_STACK,
+    NATIVE_STACK,
+    RUST_PROFILE,
+    UNIKRAFT_STACK,
+    VirtioCosts,
+    VirtioFeatures,
+    linux_vm,
+    native_c,
+    native_rust,
+    path_for,
+    rustyhermit,
+    table1_platforms,
+    unikraft,
+)
+from repro.unikernel.platform import PlatformMeter
+
+MIB = 1 << 20
+
+
+class TestVirtio:
+    def test_default_features_all_on(self):
+        features = VirtioFeatures()
+        assert features.csum and features.guest_csum and features.host_tso4
+        assert "CSUM" in features.describe()
+
+    def test_describe_empty(self):
+        off = VirtioFeatures(False, False, False, False, False)
+        assert off.describe() == "none"
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            VirtioCosts(kick_s=-1)
+
+    def test_hermit_negotiates_paper_features(self):
+        """The paper added CSUM, GUEST_CSUM and MRG_RXBUF to RustyHermit."""
+        features = HERMIT_STACK.virtio
+        assert features.csum and features.guest_csum and features.mrg_rxbuf
+        assert not features.host_tso4  # TSO still missing (their outlook)
+
+    def test_unikraft_lacks_checksum_offload(self):
+        features = UNIKRAFT_STACK.virtio
+        assert not features.csum and not features.guest_csum
+
+
+class TestNetstackCosts:
+    def test_tx_monotonic_in_size(self):
+        for stack in (NATIVE_STACK, LINUX_VM_STACK, UNIKRAFT_STACK, HERMIT_STACK):
+            small = stack.tx_time_s(100, EVAL_LINK)
+            large = stack.tx_time_s(10 * MIB, EVAL_LINK)
+            assert large > small
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NATIVE_STACK.tx_time_s(-1, EVAL_LINK)
+        with pytest.raises(ValueError):
+            NATIVE_STACK.rx_time_s(-1, EVAL_LINK)
+
+    def test_tso_chunking(self):
+        assert NATIVE_STACK.tx_chunk_bytes(EVAL_LINK) == 65536
+        assert HERMIT_STACK.tx_chunk_bytes(EVAL_LINK) == EVAL_LINK.mtu - 40
+
+    def test_missing_csum_offload_costs_per_byte(self):
+        base = UNIKRAFT_STACK
+        with_offload = base.with_virtio(
+            VirtioFeatures(csum=True, guest_csum=True, host_tso4=False, mrg_rxbuf=True, sg=True)
+        )
+        n = 32 * MIB
+        assert with_offload.tx_time_s(n, EVAL_LINK) < base.tx_time_s(n, EVAL_LINK)
+
+    def test_bulk_threshold_spares_midsize_messages(self):
+        """Sub-threshold messages avoid per-segment stall penalties."""
+        stack = HERMIT_STACK
+        midsize = 6 * MIB  # below the 8 MiB threshold (cuSolver-sized)
+        bulk = 64 * MIB
+        midsize_rate = midsize / stack.tx_time_s(midsize, EVAL_LINK)
+        bulk_rate = bulk / stack.tx_time_s(bulk, EVAL_LINK)
+        assert midsize_rate > 3 * bulk_rate
+
+    def test_rx_inefficiency_multiplies(self):
+        n = 16 * MIB
+        fair = HERMIT_STACK
+        assert fair.rx_time_s(n, EVAL_LINK) > NATIVE_STACK.rx_time_s(n, EVAL_LINK)
+
+    def test_effective_tx_rate(self):
+        rate = NATIVE_STACK.effective_tx_rate_Bps(EVAL_LINK)
+        assert 1e9 < rate < 20e9  # single-core plausible
+
+
+class TestLanguageProfiles:
+    def test_rust_has_no_launch_extra(self):
+        assert RUST_PROFILE.launch_extra_s == 0.0
+        assert C_PROFILE.launch_extra_s > 0.0
+
+    def test_c_rng_slower(self):
+        assert C_PROFILE.rng_rate_Bps < RUST_PROFILE.rng_rate_Bps
+
+
+class TestPlatforms:
+    def test_table1_has_five_rows(self):
+        platforms = table1_platforms()
+        assert [p.name for p in platforms] == ["C", "Rust", "Linux VM", "Unikraft", "Hermit"]
+
+    def test_virtualized_flags(self):
+        assert not native_c().virtualized
+        assert not native_rust().virtualized
+        assert linux_vm().virtualized
+        assert unikraft().virtualized
+        assert rustyhermit().virtualized
+
+    def test_offload_ablation_changes_stack(self):
+        on = linux_vm(offloads=True)
+        off = linux_vm(offloads=False)
+        assert on.netstack.virtio.host_tso4
+        assert not off.netstack.virtio.host_tso4
+        assert not off.netstack.virtio.sg
+
+    def test_with_language(self):
+        hermit_c = rustyhermit().with_language(C_PROFILE)
+        assert hermit_c.language.name == "C"
+        assert hermit_c.netstack is rustyhermit().netstack
+
+
+class TestRpcPathModel:
+    def test_round_trip_is_sum(self):
+        path = path_for(native_rust())
+        assert path.round_trip_s(100, 50) == pytest.approx(
+            path.request_time_s(100) + path.reply_time_s(50)
+        )
+
+    def test_native_fastest_small_call(self):
+        paths = {p.name: path_for(p) for p in table1_platforms()}
+        native = paths["Rust"].round_trip_s(120, 60)
+        for name in ("Linux VM", "Unikraft", "Hermit"):
+            assert paths[name].round_trip_s(120, 60) > native
+
+    def test_linux_vm_slowest_small_call(self):
+        paths = {p.name: path_for(p) for p in table1_platforms()}
+        vm = paths["Linux VM"].round_trip_s(120, 60)
+        for name in ("Rust", "Unikraft", "Hermit"):
+            assert paths[name].round_trip_s(120, 60) < vm
+
+
+class TestPlatformMeter:
+    def test_meter_advances_clock(self):
+        clock = SimClock()
+        meter = PlatformMeter(path_for(native_rust()), clock)
+        meter.on_send(1000)
+        t1 = clock.now_ns
+        assert t1 > 0
+        meter.on_recv(1000)
+        assert clock.now_ns > t1
+        assert meter.bytes_sent == 1000
+        assert meter.bytes_received == 1000
+
+    def test_pending_extra_charged_once(self):
+        clock = SimClock()
+        meter = PlatformMeter(path_for(native_rust()), clock)
+        meter.on_send(100)
+        base = clock.now_ns
+        meter.add_client_cpu_s(1e-3)
+        meter.on_send(100)
+        with_extra = clock.now_ns - base
+        meter.on_send(100)
+        without_extra = clock.now_ns - base - with_extra
+        assert with_extra - without_extra == pytest.approx(1e6, rel=0.01)

@@ -1,0 +1,109 @@
+"""Unit tests for the XDR decoder, including malformed-input handling."""
+
+import pytest
+
+from repro.xdr import XdrDecoder, XdrEncoder
+from repro.xdr.errors import XdrDecodeError
+
+
+class TestRoundTrips:
+    def test_int_roundtrip(self):
+        enc = XdrEncoder()
+        for v in (0, 1, -1, 2**31 - 1, -(2**31)):
+            enc.pack_int(v)
+        dec = XdrDecoder(enc.getvalue())
+        assert [dec.unpack_int() for _ in range(5)] == [0, 1, -1, 2**31 - 1, -(2**31)]
+        assert dec.done()
+
+    def test_uint_roundtrip(self):
+        enc = XdrEncoder()
+        enc.pack_uint(2**32 - 1)
+        assert XdrDecoder(enc.getvalue()).unpack_uint() == 2**32 - 1
+
+    def test_hyper_roundtrip(self):
+        enc = XdrEncoder()
+        enc.pack_hyper(-(2**63))
+        enc.pack_uhyper(2**64 - 1)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_hyper() == -(2**63)
+        assert dec.unpack_uhyper() == 2**64 - 1
+
+    def test_double_roundtrip_exact(self):
+        enc = XdrEncoder()
+        enc.pack_double(3.141592653589793)
+        assert XdrDecoder(enc.getvalue()).unpack_double() == 3.141592653589793
+
+    def test_string_roundtrip(self):
+        enc = XdrEncoder()
+        enc.pack_string("cuDeviceGetCount ü")
+        assert XdrDecoder(enc.getvalue()).unpack_string() == "cuDeviceGetCount ü"
+
+    def test_opaque_roundtrip(self):
+        payload = bytes(range(251))
+        enc = XdrEncoder()
+        enc.pack_opaque(payload)
+        assert XdrDecoder(enc.getvalue()).unpack_opaque() == payload
+
+
+class TestMalformedInputs:
+    def test_truncated_int(self):
+        with pytest.raises(XdrDecodeError):
+            XdrDecoder(b"\x00\x00").unpack_int()
+
+    def test_truncated_opaque_body(self):
+        # Claims 8 bytes but supplies 2.
+        data = (8).to_bytes(4, "big") + b"ab"
+        with pytest.raises(XdrDecodeError):
+            XdrDecoder(data).unpack_opaque()
+
+    def test_opaque_length_exceeding_buffer_rejected_before_alloc(self):
+        data = (2**31).to_bytes(4, "big")
+        with pytest.raises(XdrDecodeError):
+            XdrDecoder(data).unpack_opaque()
+
+    def test_bool_invalid_value(self):
+        with pytest.raises(XdrDecodeError):
+            XdrDecoder(b"\x00\x00\x00\x02").unpack_bool()
+
+    def test_nonzero_padding_rejected(self):
+        data = (1).to_bytes(4, "big") + b"a\x01\x00\x00"
+        with pytest.raises(XdrDecodeError):
+            XdrDecoder(data).unpack_opaque()
+
+    def test_nonzero_padding_tolerated_when_lenient(self):
+        data = (1).to_bytes(4, "big") + b"a\x01\x00\x00"
+        assert XdrDecoder(data, strict_padding=False).unpack_opaque() == b"a"
+
+    def test_string_invalid_utf8(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"\xff\xfe")
+        with pytest.raises(XdrDecodeError):
+            XdrDecoder(enc.getvalue()).unpack_string()
+
+    def test_assert_done_with_trailing_bytes(self):
+        dec = XdrDecoder(b"\x00\x00\x00\x01\x00\x00\x00\x00")
+        dec.unpack_int()
+        with pytest.raises(XdrDecodeError):
+            dec.assert_done()
+
+    def test_array_header_exceeds_max(self):
+        with pytest.raises(XdrDecodeError):
+            XdrDecoder((100).to_bytes(4, "big")).unpack_array_header(max_size=10)
+
+
+class TestCursor:
+    def test_position_and_remaining(self):
+        dec = XdrDecoder(b"\x00" * 12)
+        assert dec.position == 0
+        assert dec.remaining() == 12
+        dec.unpack_int()
+        assert dec.position == 4
+        assert dec.remaining() == 8
+        assert not dec.done()
+
+    def test_fixed_opaque_consumes_padding(self):
+        enc = XdrEncoder()
+        enc.pack_fixed_opaque(b"xyz", 3)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_fixed_opaque(3) == b"xyz"
+        assert dec.done()

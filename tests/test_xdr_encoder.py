@@ -1,0 +1,162 @@
+"""Unit tests for the XDR encoder primitives (RFC 4506 wire forms)."""
+
+import pytest
+
+from repro.xdr import XdrEncoder
+from repro.xdr.errors import XdrEncodeError
+
+
+class TestIntegers:
+    def test_int_positive(self):
+        enc = XdrEncoder()
+        enc.pack_int(1)
+        assert enc.getvalue() == b"\x00\x00\x00\x01"
+
+    def test_int_negative_twos_complement(self):
+        enc = XdrEncoder()
+        enc.pack_int(-1)
+        assert enc.getvalue() == b"\xff\xff\xff\xff"
+
+    def test_int_bounds(self):
+        enc = XdrEncoder()
+        enc.pack_int(2**31 - 1)
+        enc.pack_int(-(2**31))
+        assert enc.getvalue() == b"\x7f\xff\xff\xff\x80\x00\x00\x00"
+
+    def test_int_overflow_rejected(self):
+        enc = XdrEncoder()
+        with pytest.raises(XdrEncodeError):
+            enc.pack_int(2**31)
+        with pytest.raises(XdrEncodeError):
+            enc.pack_int(-(2**31) - 1)
+
+    def test_int_rejects_non_int(self):
+        enc = XdrEncoder()
+        with pytest.raises(XdrEncodeError):
+            enc.pack_int("5")  # type: ignore[arg-type]
+        with pytest.raises(XdrEncodeError):
+            enc.pack_int(True)
+
+    def test_uint_bounds(self):
+        enc = XdrEncoder()
+        enc.pack_uint(0)
+        enc.pack_uint(2**32 - 1)
+        assert enc.getvalue() == b"\x00\x00\x00\x00\xff\xff\xff\xff"
+
+    def test_uint_rejects_negative(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_uint(-1)
+
+    def test_hyper(self):
+        enc = XdrEncoder()
+        enc.pack_hyper(-2)
+        assert enc.getvalue() == b"\xff" * 7 + b"\xfe"
+
+    def test_uhyper_max(self):
+        enc = XdrEncoder()
+        enc.pack_uhyper(2**64 - 1)
+        assert enc.getvalue() == b"\xff" * 8
+
+    def test_uhyper_overflow_rejected(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_uhyper(2**64)
+
+    def test_hyper_overflow_rejected(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_hyper(2**63)
+
+
+class TestBoolEnumFloat:
+    def test_bool_wire_form(self):
+        enc = XdrEncoder()
+        enc.pack_bool(True)
+        enc.pack_bool(False)
+        assert enc.getvalue() == b"\x00\x00\x00\x01\x00\x00\x00\x00"
+
+    def test_enum_is_int(self):
+        enc = XdrEncoder()
+        enc.pack_enum(7)
+        assert enc.getvalue() == b"\x00\x00\x00\x07"
+
+    def test_float_big_endian(self):
+        enc = XdrEncoder()
+        enc.pack_float(1.0)
+        assert enc.getvalue() == b"\x3f\x80\x00\x00"
+
+    def test_double_big_endian(self):
+        enc = XdrEncoder()
+        enc.pack_double(1.0)
+        assert enc.getvalue() == b"\x3f\xf0\x00\x00\x00\x00\x00\x00"
+
+    def test_float_rejects_non_number(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_float("x")  # type: ignore[arg-type]
+
+
+class TestOpaqueAndString:
+    def test_fixed_opaque_padding(self):
+        enc = XdrEncoder()
+        enc.pack_fixed_opaque(b"abcde", 5)
+        assert enc.getvalue() == b"abcde\x00\x00\x00"
+
+    def test_fixed_opaque_wrong_size(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_fixed_opaque(b"abc", 5)
+
+    def test_var_opaque_length_prefix_and_padding(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"ab")
+        assert enc.getvalue() == b"\x00\x00\x00\x02ab\x00\x00"
+
+    def test_var_opaque_aligned_no_padding(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"abcd")
+        assert enc.getvalue() == b"\x00\x00\x00\x04abcd"
+
+    def test_var_opaque_max_enforced(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_opaque(b"abcdef", max_size=4)
+
+    def test_empty_opaque(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"")
+        assert enc.getvalue() == b"\x00\x00\x00\x00"
+
+    def test_string_utf8(self):
+        enc = XdrEncoder()
+        enc.pack_string("héllo")
+        raw = enc.getvalue()
+        assert raw[:4] == (6).to_bytes(4, "big")  # é is 2 bytes in UTF-8
+        assert len(raw) % 4 == 0
+
+    def test_string_rejects_bytes(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_string(b"raw")  # type: ignore[arg-type]
+
+
+class TestStructuralHelpers:
+    def test_array_header(self):
+        enc = XdrEncoder()
+        enc.pack_array_header(3)
+        assert enc.getvalue() == b"\x00\x00\x00\x03"
+
+    def test_array_header_max_enforced(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_array_header(10, max_size=4)
+
+    def test_array_header_negative(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_array_header(-1)
+
+    def test_append_raw_requires_alignment(self):
+        enc = XdrEncoder()
+        enc.append_raw(b"\x00" * 8)
+        with pytest.raises(XdrEncodeError):
+            enc.append_raw(b"\x00" * 3)
+
+    def test_reset(self):
+        enc = XdrEncoder()
+        enc.pack_int(5)
+        enc.reset()
+        assert enc.getvalue() == b""
+        assert len(enc) == 0

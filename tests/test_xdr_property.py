@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for XDR codec invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xdr import (
+    DOUBLE,
+    INT,
+    UINT,
+    EnumType,
+    OptionalType,
+    StringType,
+    StructField,
+    StructType,
+    UnionArm,
+    UnionType,
+    VarArray,
+    VarOpaque,
+    XdrDecoder,
+    XdrEncoder,
+)
+
+ints32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+uints32 = st.integers(min_value=0, max_value=2**32 - 1)
+ints64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+uints64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+@given(ints32)
+def test_int_roundtrip(v):
+    assert INT.from_bytes(INT.to_bytes(v)) == v
+
+
+@given(uints32)
+def test_uint_roundtrip(v):
+    assert UINT.from_bytes(UINT.to_bytes(v)) == v
+
+
+@given(ints64)
+def test_hyper_roundtrip(v):
+    enc = XdrEncoder()
+    enc.pack_hyper(v)
+    assert XdrDecoder(enc.getvalue()).unpack_hyper() == v
+
+
+@given(uints64)
+def test_uhyper_roundtrip(v):
+    enc = XdrEncoder()
+    enc.pack_uhyper(v)
+    assert XdrDecoder(enc.getvalue()).unpack_uhyper() == v
+
+
+@given(st.floats(allow_nan=False))
+def test_double_roundtrip(v):
+    assert DOUBLE.from_bytes(DOUBLE.to_bytes(v)) == v
+
+
+@given(st.binary(max_size=300))
+def test_opaque_roundtrip_and_alignment(data):
+    t = VarOpaque()
+    wire = t.to_bytes(data)
+    assert len(wire) % 4 == 0
+    assert t.from_bytes(wire) == data
+
+
+@given(st.text(max_size=120))
+def test_string_roundtrip(s):
+    t = StringType()
+    assert t.from_bytes(t.to_bytes(s)) == s
+
+
+@given(st.lists(ints32, max_size=60))
+def test_int_array_roundtrip(values):
+    t = VarArray(INT)
+    assert t.from_bytes(t.to_bytes(values)) == values
+
+
+@given(st.one_of(st.none(), ints32))
+def test_optional_roundtrip(v):
+    t = OptionalType(INT)
+    assert t.from_bytes(t.to_bytes(v)) == v
+
+
+struct_t = StructType(
+    "sample",
+    [
+        StructField("id", UINT),
+        StructField("name", StringType()),
+        StructField("payload", VarOpaque()),
+        StructField("tags", VarArray(INT)),
+    ],
+)
+
+struct_values = st.fixed_dictionaries(
+    {
+        "id": uints32,
+        "name": st.text(max_size=40),
+        "payload": st.binary(max_size=80),
+        "tags": st.lists(ints32, max_size=12),
+    }
+)
+
+
+@given(struct_values)
+def test_struct_roundtrip(value):
+    assert struct_t.from_bytes(struct_t.to_bytes(value)) == value
+
+
+union_t = UnionType(
+    "result",
+    INT,
+    [UnionArm(0, VarOpaque()), UnionArm(1, StringType())],
+)
+
+
+@given(
+    st.one_of(
+        st.tuples(st.just(0), st.binary(max_size=50)),
+        st.tuples(st.just(1), st.text(max_size=50)),
+    )
+)
+def test_union_roundtrip(value):
+    assert union_t.from_bytes(union_t.to_bytes(value)) == value
+
+
+enum_t = EnumType("ops", {"A": 0, "B": 5, "C": -3})
+
+
+@given(st.sampled_from([0, 5, -3]))
+def test_enum_roundtrip(v):
+    assert enum_t.from_bytes(enum_t.to_bytes(v)) == v
+
+
+@given(st.lists(st.one_of(ints32.map(INT.to_bytes), st.binary(max_size=40).map(VarOpaque().to_bytes))))
+@settings(max_examples=50)
+def test_concatenated_encodings_stay_aligned(encoded_items):
+    """Concatenating any XDR items always yields a 4-byte-aligned stream."""
+    blob = b"".join(encoded_items)
+    assert len(blob) % 4 == 0

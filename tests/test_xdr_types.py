@@ -1,0 +1,185 @@
+"""Unit tests for declarative XDR type descriptors."""
+
+import pytest
+
+from repro.xdr import (
+    BOOL,
+    DOUBLE,
+    HYPER,
+    INT,
+    UINT,
+    VOID,
+    EnumType,
+    FixedArray,
+    FixedOpaque,
+    OptionalType,
+    StringType,
+    StructField,
+    StructType,
+    UnionArm,
+    UnionType,
+    VarArray,
+    VarOpaque,
+)
+from repro.xdr.errors import XdrDecodeError, XdrEncodeError
+from repro.xdr.types import TransparentType
+
+
+class TestPrimitives:
+    def test_int_to_from_bytes(self):
+        assert INT.from_bytes(INT.to_bytes(-42)) == -42
+
+    def test_void_is_empty(self):
+        assert VOID.to_bytes(None) == b""
+        assert VOID.from_bytes(b"") is None
+
+    def test_void_rejects_value(self):
+        with pytest.raises(XdrEncodeError):
+            VOID.to_bytes(1)
+
+    def test_from_bytes_exact_rejects_trailing(self):
+        with pytest.raises(XdrDecodeError):
+            INT.from_bytes(b"\x00\x00\x00\x01\x00")
+
+    def test_from_bytes_lenient(self):
+        assert INT.from_bytes(b"\x00\x00\x00\x01\x00\x00\x00\x00", exact=False) == 1
+
+
+class TestContainers:
+    def test_string_type_bound(self):
+        st = StringType(max_size=4)
+        assert st.from_bytes(st.to_bytes("abcd")) == "abcd"
+        with pytest.raises(XdrEncodeError):
+            st.to_bytes("abcde")
+
+    def test_var_opaque(self):
+        vo = VarOpaque()
+        assert vo.from_bytes(vo.to_bytes(b"\x00\x01\x02")) == b"\x00\x01\x02"
+
+    def test_fixed_opaque(self):
+        fo = FixedOpaque(6)
+        assert fo.from_bytes(fo.to_bytes(b"abcdef")) == b"abcdef"
+
+    def test_fixed_array(self):
+        fa = FixedArray(INT, 3)
+        assert fa.from_bytes(fa.to_bytes([1, 2, 3])) == [1, 2, 3]
+        with pytest.raises(XdrEncodeError):
+            fa.to_bytes([1, 2])
+
+    def test_var_array_bound(self):
+        va = VarArray(UINT, max_size=2)
+        assert va.from_bytes(va.to_bytes([7])) == [7]
+        with pytest.raises(XdrEncodeError):
+            va.to_bytes([1, 2, 3])
+
+    def test_var_array_decode_bound(self):
+        unbounded = VarArray(UINT)
+        data = unbounded.to_bytes([1, 2, 3])
+        with pytest.raises(XdrDecodeError):
+            VarArray(UINT, max_size=2).from_bytes(data)
+
+    def test_optional_present_and_absent(self):
+        opt = OptionalType(HYPER)
+        assert opt.from_bytes(opt.to_bytes(None)) is None
+        assert opt.from_bytes(opt.to_bytes(123456789012345)) == 123456789012345
+
+    def test_nested_array_of_optionals(self):
+        t = VarArray(OptionalType(INT))
+        values = [1, None, 3]
+        assert t.from_bytes(t.to_bytes(values)) == values
+
+
+class TestEnum:
+    ENUM = EnumType("color", {"RED": 0, "GREEN": 1, "BLUE": 2})
+
+    def test_roundtrip_by_value(self):
+        assert self.ENUM.from_bytes(self.ENUM.to_bytes(1)) == 1
+
+    def test_encode_by_name(self):
+        assert self.ENUM.from_bytes(self.ENUM.to_bytes("BLUE")) == 2
+
+    def test_unknown_member_encode(self):
+        with pytest.raises(XdrEncodeError):
+            self.ENUM.to_bytes(9)
+        with pytest.raises(XdrEncodeError):
+            self.ENUM.to_bytes("MAUVE")
+
+    def test_unknown_member_decode(self):
+        with pytest.raises(XdrDecodeError):
+            self.ENUM.from_bytes(INT.to_bytes(9))
+
+    def test_name_of(self):
+        assert self.ENUM.name_of(2) == "BLUE"
+        with pytest.raises(KeyError):
+            self.ENUM.name_of(9)
+
+
+class TestStruct:
+    POINT = StructType(
+        "point", [StructField("x", INT), StructField("y", INT), StructField("label", StringType())]
+    )
+
+    def test_roundtrip(self):
+        value = {"x": 1, "y": -2, "label": "origin-ish"}
+        assert self.POINT.from_bytes(self.POINT.to_bytes(value)) == value
+
+    def test_missing_field(self):
+        with pytest.raises(XdrEncodeError):
+            self.POINT.to_bytes({"x": 1, "y": 2})
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            StructType("bad", [StructField("a", INT), StructField("a", INT)])
+
+    def test_nested_struct(self):
+        outer = StructType(
+            "outer",
+            [StructField("p", self.POINT), StructField("flag", BOOL)],
+        )
+        value = {"p": {"x": 0, "y": 0, "label": ""}, "flag": True}
+        assert outer.from_bytes(outer.to_bytes(value)) == value
+
+
+class TestUnion:
+    U = UnionType(
+        "maybe_double",
+        INT,
+        [UnionArm(0, VOID), UnionArm(1, DOUBLE)],
+    )
+
+    def test_void_arm(self):
+        assert self.U.from_bytes(self.U.to_bytes((0, None))) == (0, None)
+
+    def test_value_arm(self):
+        assert self.U.from_bytes(self.U.to_bytes((1, 2.5))) == (1, 2.5)
+
+    def test_unknown_discriminant_encode(self):
+        with pytest.raises(XdrEncodeError):
+            self.U.to_bytes((7, None))
+
+    def test_unknown_discriminant_decode(self):
+        with pytest.raises(XdrDecodeError):
+            self.U.from_bytes(INT.to_bytes(7))
+
+    def test_default_arm(self):
+        u = UnionType("d", INT, [UnionArm(0, VOID)], default=INT)
+        assert u.from_bytes(u.to_bytes((5, 99))) == (5, 99)
+
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(ValueError):
+            UnionType("dup", INT, [UnionArm(0, VOID), UnionArm(0, INT)])
+
+    def test_non_tuple_value(self):
+        with pytest.raises(XdrEncodeError):
+            self.U.to_bytes(5)  # type: ignore[arg-type]
+
+
+class TestTransparent:
+    def test_adapter_roundtrip(self):
+        inner = StructType("pair", [StructField("a", INT), StructField("b", INT)])
+        t = TransparentType(
+            inner,
+            to_wire=lambda v: {"a": v[0], "b": v[1]},
+            from_wire=lambda d: (d["a"], d["b"]),
+        )
+        assert t.from_bytes(t.to_bytes((3, 4))) == (3, 4)

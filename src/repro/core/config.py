@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 from repro.gpu.catalog import A100, GpuSpec
 from repro.net.link import LinkModel
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.unikernel.platform import Platform
 from repro.unikernel.presets import EVAL_LINK, native_rust
 
@@ -25,3 +27,7 @@ class SessionConfig:
     execute: bool = True
     #: cap on simulated device memory backing (None = the GPU's real size)
     device_mem_bytes: int | None = None
+    #: retry/backoff policy for the RPC path (None = historical fail-fast)
+    retry_policy: RetryPolicy | None = None
+    #: deterministic fault injection on the transport (None = clean wire)
+    faults: FaultPlan | None = None

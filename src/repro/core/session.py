@@ -56,7 +56,11 @@ class GpuSession:
         self.server = server
         self.clock: SimClock = server.clock
         self.client = CricketClient.loopback(
-            server, platform=self.config.platform, link=self.config.link
+            server,
+            platform=self.config.platform,
+            link=self.config.link,
+            retry_policy=self.config.retry_policy,
+            faults=self.config.faults,
         )
         self._stopwatch = Stopwatch(self.clock)
 
@@ -132,7 +136,9 @@ class GpuSession:
             sig.number: name
             for name, sig in cricket_interface().signatures.items()
         }
-        return attach_tracer(self.client.stub.client, self.clock, proc_names)
+        tracer = attach_tracer(self.client.stub.client, self.clock, proc_names)
+        tracer.attach_counters(self.client.stats)
+        return tracer
 
     # -- stats -----------------------------------------------------------------
 

@@ -36,11 +36,20 @@ class TraceEvent:
 
 @dataclass
 class Tracer:
-    """Collects :class:`TraceEvent` records against a virtual clock."""
+    """Collects :class:`TraceEvent` records against a virtual clock.
+
+    Besides per-RPC events the tracer carries *counters*: named integers
+    set directly with :meth:`count` or pulled live from attached sources
+    (any object with an ``as_dict() -> dict[str, int]`` method, e.g.
+    :class:`~repro.resilience.stats.ResilienceStats`).  This is how
+    retry/reconnect/recovery activity shows up next to the RPC profile.
+    """
 
     clock: SimClock
     events: list[TraceEvent] = field(default_factory=list)
     enabled: bool = True
+    counters: dict[str, int] = field(default_factory=dict)
+    _counter_sources: list = field(default_factory=list, repr=False)
 
     def record(
         self, name: str, start_ns: int, end_ns: int, args_bytes: int, result_bytes: int
@@ -50,6 +59,24 @@ class Tracer:
             self.events.append(
                 TraceEvent(name, start_ns, end_ns, args_bytes, result_bytes)
             )
+
+    # -- counters ----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def attach_counters(self, source) -> None:
+        """Merge a live counter source into this tracer's output."""
+        self._counter_sources.append(source)
+
+    def counter_snapshot(self) -> dict[str, int]:
+        """Current view of all counters, own and attached."""
+        merged = dict(self.counters)
+        for source in self._counter_sources:
+            for name, value in source.as_dict().items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
 
     # -- analysis ----------------------------------------------------------
 
@@ -76,6 +103,13 @@ class Tracer:
         lines.append(
             f"{'TOTAL':<32} {len(self.events):>7} {self.total_ns() / 1e6:>11.3f}"
         )
+        counters = {k: v for k, v in self.counter_snapshot().items() if v}
+        if counters:
+            lines.append("")
+            lines.append(f"{'counter':<32} {'value':>7}")
+            lines.append("-" * 40)
+            for name, value in sorted(counters.items()):
+                lines.append(f"{name:<32} {value:>7}")
         return "\n".join(lines)
 
     # -- export ----------------------------------------------------------------
@@ -84,6 +118,7 @@ class Tracer:
         """Chrome trace-event format (load in chrome://tracing or Perfetto)."""
         return {
             "displayTimeUnit": "ns",
+            "counters": self.counter_snapshot(),
             "traceEvents": [
                 {
                     "name": event.name,

@@ -23,12 +23,17 @@ from __future__ import annotations
 from typing import Any
 
 from repro.cricket import params as kparams
+from repro.cricket.errors import CheckpointError
 from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
 from repro.cubin.metadata import KernelMeta
 from repro.cuda.errors import CudaError
 from repro.net.link import LinkModel
 from repro.net.simclock import SimClock
 from repro.oncrpc.transport import LoopbackTransport, TcpTransport, Transport
+from repro.resilience.faults import FaultInjectingTransport, FaultPlan
+from repro.resilience.reconnect import ReconnectingTransport
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.stats import ResilienceStats
 from repro.rpcl.stubgen import ClientStub, ProgramInterface
 from repro.unikernel.platform import Platform, PlatformMeter, RpcPathModel
 from repro.unikernel.presets import EVAL_LINK, NATIVE_STACK
@@ -60,13 +65,25 @@ class CricketClient:
         platform: Platform | None = None,
         clock: SimClock | None = None,
         meter: PlatformMeter | None = None,
+        retry_policy: RetryPolicy | None = None,
+        stats: ResilienceStats | None = None,
     ) -> None:
         self.platform = platform
         self.clock = clock if clock is not None else SimClock()
         self.meter = meter
-        self.stub: ClientStub = cricket_interface().bind_client(transport)
+        #: retry/recovery counters shared with the RPC layer and transports
+        self.stats = stats if stats is not None else ResilienceStats()
+        self.retry_policy = retry_policy
+        self.stub: ClientStub = cricket_interface().bind_client(
+            transport, retry_policy=retry_policy, clock=self.clock, stats=self.stats
+        )
         #: kernel-function metadata by function handle (for param packing)
         self._function_meta: dict[int, KernelMeta] = {}
+        #: most recent checkpoint blob (taken by :meth:`checkpoint`)
+        self._last_checkpoint: bytes | None = None
+        #: mutable [server] cell for loopback clients (enables recovery
+        #: onto a replacement server object)
+        self._server_ref: list[Any] | None = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -79,11 +96,16 @@ class CricketClient:
         clock: SimClock | None = None,
         link: LinkModel = EVAL_LINK,
         fragment_size: int = 1 << 20,
+        retry_policy: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> "CricketClient":
         """In-process client; charges virtual time when ``platform`` is given.
 
         ``server`` must expose ``dispatch_record`` (a
         :class:`~repro.cricket.server.CricketServer`); its clock is shared.
+        ``faults`` wraps the transport in a deterministic
+        :class:`~repro.resilience.faults.FaultInjectingTransport`; pair it
+        with a ``retry_policy`` for the workload to survive.
         """
         clock = clock if clock is not None else getattr(server, "clock", None) or SimClock()
         meter = None
@@ -91,19 +113,61 @@ class CricketClient:
             path = RpcPathModel(client=platform, link=link, server_stack=NATIVE_STACK)
             meter = PlatformMeter(path, clock)
         session: dict = {}
-        transport = LoopbackTransport(
-            lambda record: server.dispatch_record(record, session=session),
+        server_ref = [server]
+        transport: Transport = LoopbackTransport(
+            lambda record: server_ref[0].dispatch_record(record, session=session),
             fragment_size=fragment_size,
             meter=meter,
         )
-        return cls(transport, platform=platform, clock=clock, meter=meter)
+        stats = ResilienceStats()
+        if faults is not None:
+            transport = FaultInjectingTransport(
+                transport, faults, clock=clock, stats=stats
+            )
+        client = cls(
+            transport,
+            platform=platform,
+            clock=clock,
+            meter=meter,
+            retry_policy=retry_policy,
+            stats=stats,
+        )
+        client._server_ref = server_ref
+        return client
 
     @classmethod
     def connect_tcp(
-        cls, host: str, port: int, *, fragment_size: int = 1 << 20
+        cls,
+        host: str,
+        port: int,
+        *,
+        fragment_size: int = 1 << 20,
+        connect_timeout: float | None = 5.0,
+        io_timeout: float | None = 30.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> "CricketClient":
-        """Real-socket client (no virtual-time metering)."""
-        return cls(TcpTransport(host, port, fragment_size=fragment_size))
+        """Real-socket client (no virtual-time metering).
+
+        The connection is held by a
+        :class:`~repro.resilience.reconnect.ReconnectingTransport`, so a
+        dead server surfaces as a timeout (not a hang) and the session can
+        be re-established -- automatically by a ``retry_policy``, or
+        explicitly through :meth:`recover`.
+        """
+        clock = SimClock()
+        stats = ResilienceStats()
+
+        def factory() -> TcpTransport:
+            return TcpTransport(
+                host,
+                port,
+                fragment_size=fragment_size,
+                connect_timeout=connect_timeout,
+                io_timeout=io_timeout,
+            )
+
+        transport = ReconnectingTransport(factory, clock=clock, stats=stats)
+        return cls(transport, clock=clock, retry_policy=retry_policy, stats=stats)
 
     # -- plumbing -----------------------------------------------------------
 
@@ -443,14 +507,54 @@ class CricketClient:
         """Forward ``cusolverDnDgetrs`` (kwargs match rpc_dgetrs_args)."""
         self._check(self.stub.rpc_cusolverDnDgetrs(kwargs), "cusolverDnDgetrs")
 
-    # -- checkpoint / restart -----------------------------------------------------
+    # -- checkpoint / restart / recovery -----------------------------------------
 
     def checkpoint(self) -> bytes:
-        """Ask the server for a full state snapshot."""
+        """Ask the server for a full state snapshot.
+
+        The blob is also remembered client-side as the recovery point for
+        :meth:`recover`.
+        """
         res = self.stub.rpc_checkpoint()
         self._check(res["err"], "checkpoint")
+        self._last_checkpoint = res["data"]
         return res["data"]
 
     def restore(self, blob: bytes) -> None:
         """Restore a snapshot onto the (possibly new) server."""
         self._check(self.stub.rpc_restore(blob), "restore")
+
+    def recover(self, blob: bytes | None = None, *, server: Any = None) -> None:
+        """Recover the session after unrecoverable transport loss.
+
+        Re-establishes the connection (bypassing the circuit breaker --
+        this is an explicit operator action, not an automatic retry) and
+        restores GPU state from ``blob``, defaulting to the snapshot taken
+        by the last :meth:`checkpoint`.  Module/function handles, device
+        allocations and library handles come back at their old values, so
+        the application resumes as if the failure never happened.
+
+        For loopback clients, ``server`` redirects the transport to a
+        replacement :class:`~repro.cricket.server.CricketServer` (the old
+        one is presumed dead).
+        """
+        blob = blob if blob is not None else self._last_checkpoint
+        if blob is None:
+            raise CheckpointError(
+                "no recovery point: call checkpoint() first or pass blob="
+            )
+        if server is not None:
+            if self._server_ref is None:
+                raise CheckpointError(
+                    "server= redirection only applies to loopback clients"
+                )
+            self._server_ref[0] = server
+        transport = self.stub.client.transport
+        reconnect = getattr(transport, "reconnect", None)
+        if reconnect is not None:
+            try:
+                reconnect(force=True)
+            except TypeError:
+                reconnect()
+        self.restore(blob)
+        self.stats.recoveries += 1

@@ -20,6 +20,8 @@ std-only dependency policy that makes it portable to unikernels.
 from repro.oncrpc.auth import AUTH_NONE, AUTH_SYS, AuthSysParams, NULL_AUTH, OpaqueAuth
 from repro.oncrpc.client import RpcClient
 from repro.oncrpc.errors import (
+    RpcCircuitOpenError,
+    RpcDeadlineExceeded,
     RpcDenied,
     RpcError,
     RpcGarbageArgs,
@@ -28,6 +30,7 @@ from repro.oncrpc.errors import (
     RpcProgUnavailable,
     RpcProtocolError,
     RpcReplyError,
+    RpcRetryExhausted,
     RpcSystemError,
     RpcTimeoutError,
     RpcTransportError,
@@ -91,6 +94,9 @@ __all__ = [
     "RpcError",
     "RpcTransportError",
     "RpcTimeoutError",
+    "RpcDeadlineExceeded",
+    "RpcRetryExhausted",
+    "RpcCircuitOpenError",
     "RpcProtocolError",
     "RpcReplyError",
     "RpcProgUnavailable",

@@ -5,6 +5,14 @@ xid, and maps RPC-level error statuses onto the exception hierarchy in
 :mod:`repro.oncrpc.errors`.  The typed helper :meth:`RpcClient.call_typed`
 encodes arguments and decodes results through XDR type descriptors, which is
 the interface generated stubs use.
+
+When constructed with a :class:`~repro.resilience.retry.RetryPolicy`, the
+client retransmits failed calls with the *same xid* (classic ONC RPC
+retransmission, made safe by the server's at-most-once reply cache),
+charging exponential-backoff delays to a virtual clock and honouring a
+per-call deadline budget.  Stale replies -- duplicates of earlier answers
+left on the connection by retransmission races -- are recognised by xid
+and discarded instead of poisoning later calls.
 """
 
 from __future__ import annotations
@@ -13,9 +21,11 @@ import itertools
 import threading
 from typing import Any
 
+from repro.net.simclock import SimClock
 from repro.oncrpc import message as msg
 from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth
 from repro.oncrpc.errors import (
+    RpcDeadlineExceeded,
     RpcDenied,
     RpcGarbageArgs,
     RpcProcUnavailable,
@@ -23,13 +33,20 @@ from repro.oncrpc.errors import (
     RpcProgUnavailable,
     RpcProtocolError,
     RpcReplyError,
+    RpcRetryExhausted,
     RpcSystemError,
+    RpcTimeoutError,
 )
 from repro.oncrpc.transport import Transport
+from repro.resilience.retry import RetryPolicy, is_retryable
+from repro.resilience.stats import ResilienceStats
 from repro.xdr import XdrDecoder, XdrEncoder
 from repro.xdr.types import XdrType
 
 _xid_counter = itertools.count(0x10000000)
+
+#: stale records tolerated per receive before declaring the stream corrupt
+_MAX_STALE_REPLIES = 16
 
 
 class RpcClient:
@@ -42,11 +59,21 @@ class RpcClient:
         vers: int,
         *,
         cred: OpaqueAuth = NULL_AUTH,
+        retry_policy: RetryPolicy | None = None,
+        clock: SimClock | None = None,
+        stats: ResilienceStats | None = None,
     ) -> None:
         self.transport = transport
         self.prog = prog
         self.vers = vers
         self.cred = cred
+        #: retry/backoff configuration; None preserves fail-fast semantics
+        self.retry_policy = retry_policy
+        #: virtual clock retries charge their backoff to
+        self.clock = clock if clock is not None else SimClock()
+        #: shared resilience counters (always present, cheap when unused)
+        self.stats = stats if stats is not None else ResilienceStats()
+        self._retry_rng = retry_policy.make_rng() if retry_policy else None
         self._lock = threading.Lock()
         #: number of calls issued; used by instrumentation and tests
         self.calls_made = 0
@@ -61,10 +88,17 @@ class RpcClient:
         call = msg.RpcMessage(
             xid, msg.CallBody(self.prog, self.vers, proc, cred=self.cred, args=args)
         )
+        encoded = call.encode()
+        if self.retry_policy is None:
+            return self._call_once(xid, encoded)
+        return self._call_with_retry(xid, encoded)
+
+    def _call_once(self, xid: int, encoded: bytes) -> bytes:
+        """The historical fail-fast path: one send, one receive."""
         with self._lock:
             if self._batched_xids:
                 self._drain_batch_locked()
-            self.transport.send_record(call.encode())
+            self.transport.send_record(encoded)
             reply_bytes = self.transport.recv_record()
             self.calls_made += 1
         reply = msg.RpcMessage.decode(reply_bytes)
@@ -73,6 +107,83 @@ class RpcClient:
                 f"reply xid {reply.xid:#x} does not match call xid {xid:#x}"
             )
         return self._unwrap_reply(reply)
+
+    def _call_with_retry(self, xid: int, encoded: bytes) -> bytes:
+        """Retransmit with backoff until success, fatal error or deadline."""
+        policy = self.retry_policy
+        assert policy is not None
+        deadline_ns = (
+            self.clock.now_ns + int(policy.deadline_s * 1e9)
+            if policy.deadline_s is not None
+            else None
+        )
+        last_exc: BaseException | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                with self._lock:
+                    if self._batched_xids:
+                        self._drain_batch_locked()
+                    self.transport.send_record(encoded)
+                    reply = self._recv_matching_locked(xid)
+                    self.calls_made += 1
+                return self._unwrap_reply(reply)
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                if isinstance(exc, RpcTimeoutError):
+                    self.stats.timeouts += 1
+                last_exc = exc
+                if attempt >= policy.max_attempts:
+                    break
+                delay_s = policy.backoff_s(attempt, self._retry_rng)
+                if (
+                    deadline_ns is not None
+                    and self.clock.now_ns + int(delay_s * 1e9) > deadline_ns
+                ):
+                    self.stats.deadlines_exceeded += 1
+                    raise RpcDeadlineExceeded(
+                        f"call xid {xid:#x} abandoned: deadline of "
+                        f"{policy.deadline_s}s exhausted after {attempt} attempts"
+                    ) from exc
+                self.clock.advance_s(delay_s)
+                self.stats.retries += 1
+                self._try_reconnect()
+        self.stats.retries_exhausted += 1
+        raise RpcRetryExhausted(
+            f"call xid {xid:#x} failed after {policy.max_attempts} attempts: "
+            f"{last_exc}"
+        ) from last_exc
+
+    def _recv_matching_locked(self, xid: int) -> msg.RpcMessage:
+        """Receive the reply for ``xid``, discarding stale duplicates."""
+        for _ in range(_MAX_STALE_REPLIES):
+            reply = msg.RpcMessage.decode(self.transport.recv_record())
+            if reply.xid == xid:
+                return reply
+            self.stats.stale_replies_discarded += 1
+        raise RpcProtocolError(
+            f"no reply for xid {xid:#x} within {_MAX_STALE_REPLIES} records"
+        )
+
+    def _try_reconnect(self) -> None:
+        """Best-effort transport repair between retry attempts."""
+        reconnect = getattr(self.transport, "reconnect", None)
+        if reconnect is None:
+            return
+        try:
+            reconnect()
+        except Exception:
+            pass  # next attempt fails fast and consumes the retry budget
+
+    def replace_transport(self, transport: Transport) -> None:
+        """Swap in a new transport (used by session-level recovery)."""
+        with self._lock:
+            try:
+                self.transport.close()
+            except Exception:
+                pass
+            self.transport = transport
+            self._batched_xids.clear()
 
     # -- batching (classic ONC RPC latency optimization) -----------------------
 

@@ -19,6 +19,18 @@ class RpcTimeoutError(RpcTransportError):
     """No reply arrived within the configured timeout."""
 
 
+class RpcDeadlineExceeded(RpcTimeoutError):
+    """The call's virtual-time deadline budget ran out during retries."""
+
+
+class RpcRetryExhausted(RpcTransportError):
+    """Every retry attempt failed; carries the last underlying error."""
+
+
+class RpcCircuitOpenError(RpcTransportError):
+    """The reconnect circuit breaker is open; the server looks dead."""
+
+
 class RpcReplyError(RpcError):
     """The server replied, but with an RPC-level error status."""
 

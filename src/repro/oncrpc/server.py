@@ -10,12 +10,19 @@ Handlers receive ``(proc_args: bytes, context: CallContext)`` and return the
 encoded result bytes.  RPC-level failures (unknown program/version/
 procedure, undecodable arguments, handler crash) are mapped onto the proper
 ``accept_stat`` replies rather than tearing down the connection.
+
+At-most-once semantics: the server keeps an LRU cache of recent replies
+keyed by (client, xid).  A retransmitted call -- same client, same xid --
+is answered from the cache without re-executing its handler, which is what
+makes client-side retry of non-idempotent procedures (``cuMemAlloc``,
+``cuLaunchKernel``) safe.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -55,11 +62,15 @@ class RpcServer:
     #: fitting Cricket's 512 MiB-class memcpy payloads.
     DEFAULT_MAX_RECORD = 1 << 30
 
+    #: entries kept in the at-most-once duplicate-request reply cache
+    DEFAULT_REPLY_CACHE = 512
+
     def __init__(
         self,
         *,
         fragment_size: int = DEFAULT_FRAGMENT_SIZE,
         max_record_size: int = DEFAULT_MAX_RECORD,
+        reply_cache_size: int = DEFAULT_REPLY_CACHE,
     ) -> None:
         self._programs: dict[tuple[int, int], dict[int, Handler]] = {}
         self.fragment_size = fragment_size
@@ -69,6 +80,10 @@ class RpcServer:
         self._shutdown = threading.Event()
         #: count of successfully dispatched calls (all programs)
         self.calls_served = 0
+        #: retransmitted calls answered from the reply cache, not re-executed
+        self.duplicate_hits = 0
+        self.reply_cache_size = reply_cache_size
+        self._reply_cache: OrderedDict[tuple[str, int], bytes] = OrderedDict()
         self._stats_lock = threading.Lock()
 
     # -- registration ---------------------------------------------------------
@@ -107,6 +122,13 @@ class RpcServer:
         request = msg.RpcMessage.decode(record)
         if not request.is_call:
             return None
+        cache_key = (client_id, request.xid)
+        with self._stats_lock:
+            cached = self._reply_cache.get(cache_key)
+            if cached is not None:
+                self._reply_cache.move_to_end(cache_key)
+                self.duplicate_hits += 1
+                return cached
         call = request.body
         assert isinstance(call, msg.CallBody)
         ctx = CallContext(
@@ -118,7 +140,13 @@ class RpcServer:
             session=session if session is not None else {},
         )
         reply_body = self._execute(call, ctx)
-        return msg.RpcMessage(request.xid, reply_body, msg.MSG_ACCEPTED).encode()
+        reply = msg.RpcMessage(request.xid, reply_body, msg.MSG_ACCEPTED).encode()
+        if self.reply_cache_size > 0:
+            with self._stats_lock:
+                self._reply_cache[cache_key] = reply
+                while len(self._reply_cache) > self.reply_cache_size:
+                    self._reply_cache.popitem(last=False)
+        return reply
 
     def _execute(self, call: msg.CallBody, ctx: CallContext) -> msg.AcceptedReply:
         table = self._programs.get((call.prog, call.vers))

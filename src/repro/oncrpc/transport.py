@@ -21,7 +21,7 @@ import socket
 import threading
 from typing import Callable, Protocol
 
-from repro.oncrpc.errors import RpcTransportError
+from repro.oncrpc.errors import RpcTimeoutError, RpcTransportError
 from repro.oncrpc.record import DEFAULT_FRAGMENT_SIZE, RecordReader, encode_record
 
 
@@ -74,7 +74,14 @@ def _framed_size(record_len: int, fragment_size: int) -> int:
 
 
 class TcpTransport:
-    """A blocking TCP transport with record marking."""
+    """A blocking TCP transport with record marking.
+
+    ``connect_timeout`` bounds connection establishment and ``io_timeout``
+    bounds each socket operation afterwards, so a dead or hung server
+    surfaces as :class:`~repro.oncrpc.errors.RpcTimeoutError` instead of
+    blocking forever.  The legacy ``timeout`` argument seeds both when the
+    specific knobs are not given.
+    """
 
     def __init__(
         self,
@@ -83,14 +90,25 @@ class TcpTransport:
         *,
         fragment_size: int = DEFAULT_FRAGMENT_SIZE,
         timeout: float | None = 30.0,
+        connect_timeout: float | None = None,
+        io_timeout: float | None = None,
         meter: TransportMeter | None = None,
     ) -> None:
         self.fragment_size = fragment_size
         self.meter = meter or NullMeter()
+        self.connect_timeout = timeout if connect_timeout is None else connect_timeout
+        self.io_timeout = timeout if io_timeout is None else io_timeout
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
+            self._sock = socket.create_connection(
+                (host, port), timeout=self.connect_timeout
+            )
+        except socket.timeout as exc:
+            raise RpcTimeoutError(
+                f"connect to {host}:{port} timed out after {self.connect_timeout}s"
+            ) from exc
         except OSError as exc:
             raise RpcTransportError(f"connect to {host}:{port} failed: {exc}") from exc
+        self._sock.settimeout(self.io_timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._reader = RecordReader(self._recv)
         self._closed = False
@@ -98,6 +116,10 @@ class TcpTransport:
     def _recv(self, n: int) -> bytes:
         try:
             return self._sock.recv(n)
+        except socket.timeout as exc:
+            raise RpcTimeoutError(
+                f"recv timed out after {self.io_timeout}s"
+            ) from exc
         except OSError as exc:
             raise RpcTransportError(f"recv failed: {exc}") from exc
 
@@ -107,6 +129,10 @@ class TcpTransport:
         framed = encode_record(record, self.fragment_size)
         try:
             self._sock.sendall(framed)
+        except socket.timeout as exc:
+            raise RpcTimeoutError(
+                f"send timed out after {self.io_timeout}s"
+            ) from exc
         except OSError as exc:
             raise RpcTransportError(f"send failed: {exc}") from exc
         self.meter.on_send(len(framed))

@@ -1,0 +1,40 @@
+"""Resilience for the CUDA-over-RPC path.
+
+Every CUDA call in this reproduction crosses a (simulated or real) network
+to a remote Cricket server -- a hostile boundary where requests vanish,
+replies arrive twice, connections reset and servers die.  This package
+makes that boundary survivable and, crucially, *measurable*:
+
+* :mod:`repro.resilience.faults` -- a deterministic, seed-driven
+  :class:`FaultInjectingTransport` wrapping any transport with drop /
+  delay / truncate / disconnect / duplicate-reply faults,
+* :mod:`repro.resilience.retry` -- :class:`RetryPolicy`: exponential
+  backoff with reproducible jitter and a per-call deadline budget, all
+  charged to the experiment's :class:`~repro.net.simclock.SimClock` so
+  resilience overhead shows up in the figures instead of being hand-waved,
+* :mod:`repro.resilience.reconnect` -- :class:`ReconnectingTransport`
+  with a :class:`CircuitBreaker` for real TCP connections,
+* :mod:`repro.resilience.stats` -- :class:`ResilienceStats` counters
+  surfaced through :mod:`repro.core.tracing`.
+
+Safety depends on the server side too: :class:`~repro.oncrpc.server.RpcServer`
+keeps an at-most-once reply cache keyed by (client, xid), so a retried
+non-idempotent call (``cuMemAlloc``, ``cuLaunchKernel``) is answered from
+the cache instead of being executed twice.
+"""
+
+from repro.resilience.faults import FaultInjectingTransport, FaultPlan
+from repro.resilience.reconnect import CircuitBreaker, ReconnectingTransport
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, is_retryable
+from repro.resilience.stats import ResilienceStats
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjectingTransport",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "is_retryable",
+    "CircuitBreaker",
+    "ReconnectingTransport",
+    "ResilienceStats",
+]

@@ -1,0 +1,215 @@
+"""Deterministic fault injection for any RPC transport.
+
+:class:`FaultInjectingTransport` wraps a :class:`~repro.oncrpc.transport.Transport`
+and perturbs traffic according to a :class:`FaultPlan`.  All randomness
+comes from one ``random.Random`` seeded by the plan, and decisions are
+drawn in a fixed order per operation, so a given (plan, workload) pair
+always injects the same fault sequence -- failures are replayable, which
+is what makes resilience *testable*.
+
+Fault taxonomy (the names used in counters and docs):
+
+``drop_request``
+    The outbound record is silently discarded; the server never sees the
+    call.  On a loopback transport the next ``recv_record`` then fails
+    immediately ("no reply pending"); on TCP it times out.
+``drop_reply``
+    The call executes but its reply is discarded on receive -- the case
+    that makes retried non-idempotent calls dangerous without the server's
+    at-most-once cache.
+``delay``
+    The record is delivered but charged ``delay_s`` of virtual time.
+``truncate``
+    The reply record is chopped, modelling payload corruption; the client
+    sees an undecodable message.
+``duplicate``
+    The reply is delivered twice; the second copy arrives as a stale
+    record in front of a later call's reply.
+``disconnect``
+    The connection breaks: this operation raises and the transport stays
+    broken until :meth:`FaultInjectingTransport.reconnect`.
+``disconnect_after_bytes``
+    One scripted disconnect once a cumulative byte count has crossed the
+    wire -- the "server died mid-upload" scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.simclock import SimClock
+from repro.oncrpc.transport import Transport
+from repro.oncrpc.errors import RpcTransportError
+from repro.resilience.stats import ResilienceStats
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Probabilities and scripted triggers for injected faults.
+
+    Rates are per-operation probabilities in ``[0, 1]``.  The ``*_first``
+    fields deterministically fault the first N matching operations
+    regardless of the rates -- convenient for exact-schedule tests.
+    """
+
+    #: probability an outbound record is silently dropped
+    drop_request_rate: float = 0.0
+    #: probability an inbound reply is discarded after the server executed
+    drop_reply_rate: float = 0.0
+    #: probability a reply record is truncated (corruption)
+    truncate_rate: float = 0.0
+    #: probability a reply is delivered twice
+    duplicate_rate: float = 0.0
+    #: probability an operation is delayed by ``delay_s``
+    delay_rate: float = 0.0
+    #: virtual seconds charged per injected delay
+    delay_s: float = 0.002
+    #: probability a send hits a connection reset (transport breaks)
+    disconnect_rate: float = 0.0
+    #: break the connection once this many bytes have been sent (None = never)
+    disconnect_after_bytes: int | None = None
+    #: deterministically drop the first N requests
+    drop_request_first: int = 0
+    #: deterministically drop the first N replies
+    drop_reply_first: int = 0
+    #: seed for the fault decision stream
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "drop_request_rate", "drop_reply_rate", "truncate_rate",
+            "duplicate_rate", "delay_rate", "disconnect_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.disconnect_after_bytes is not None and self.disconnect_after_bytes < 0:
+            raise ValueError(
+                "disconnect_after_bytes must be >= 0, "
+                f"got {self.disconnect_after_bytes}"
+            )
+        for name in ("drop_request_first", "drop_reply_first"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+
+
+class FaultInjectingTransport:
+    """Wraps any transport, injecting faults per a :class:`FaultPlan`.
+
+    The wrapper is itself a valid :class:`~repro.oncrpc.transport.Transport`,
+    so it slots between a client and its real transport with no other code
+    changes.  Injected faults surface as the same exceptions real faults
+    would, which is the point: the retry/recovery machinery cannot tell
+    the difference.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        plan: FaultPlan,
+        *,
+        clock: SimClock | None = None,
+        stats: ResilienceStats | None = None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock
+        self.stats = stats if stats is not None else ResilienceStats()
+        self._rng = random.Random(plan.seed)
+        self._broken = False
+        self._bytes_sent = 0
+        self._byte_trip_armed = plan.disconnect_after_bytes is not None
+        self._requests_seen = 0
+        self._replies_seen = 0
+        #: replies queued for re-delivery by the duplicate fault
+        self._stash: list[bytes] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _hit(self, rate: float) -> bool:
+        """Draw one decision; always draws so the stream stays aligned."""
+        return self._rng.random() < rate
+
+    def _fault(self, kind: str) -> None:
+        self.stats.note_fault(kind)
+
+    def _charge_delay(self) -> None:
+        self._fault("delay")
+        if self.clock is not None:
+            self.clock.advance_s(self.plan.delay_s)
+
+    def _check_broken(self) -> None:
+        if self._broken:
+            raise RpcTransportError("transport broken by injected disconnect")
+
+    # -- Transport interface -----------------------------------------------
+
+    def send_record(self, record: bytes) -> None:
+        """Send one record, possibly delaying, dropping or disconnecting."""
+        self._check_broken()
+        plan = self.plan
+        self._requests_seen += 1
+        if self._hit(plan.delay_rate):
+            self._charge_delay()
+        if self._hit(plan.disconnect_rate):
+            self._fault("disconnect")
+            self._broken = True
+            raise RpcTransportError("injected disconnect during send")
+        if self._byte_trip_armed and (
+            self._bytes_sent + len(record) > plan.disconnect_after_bytes
+        ):
+            self._byte_trip_armed = False
+            self._fault("disconnect_after_bytes")
+            self._broken = True
+            raise RpcTransportError(
+                f"injected disconnect after {self._bytes_sent} bytes sent"
+            )
+        dropped = self._requests_seen <= plan.drop_request_first or self._hit(
+            plan.drop_request_rate
+        )
+        if dropped:
+            self._fault("drop_request")
+            return  # the wire ate it; the server never sees this call
+        self._bytes_sent += len(record)
+        self.inner.send_record(record)
+
+    def recv_record(self) -> bytes:
+        """Receive one record, possibly duplicated, truncated or dropped."""
+        self._check_broken()
+        plan = self.plan
+        if self._stash:
+            return self._stash.pop(0)
+        record = self.inner.recv_record()
+        self._replies_seen += 1
+        dropped = self._replies_seen <= plan.drop_reply_first or self._hit(
+            plan.drop_reply_rate
+        )
+        if dropped:
+            self._fault("drop_reply")
+            # The reply is gone; behave like a loss the caller can retry.
+            raise RpcTransportError("injected reply loss")
+        if self._hit(plan.truncate_rate) and len(record) > 4:
+            self._fault("truncate")
+            return record[: len(record) // 2]
+        if self._hit(plan.duplicate_rate):
+            self._fault("duplicate")
+            self._stash.append(record)
+        return record
+
+    def reconnect(self, *, force: bool = False) -> None:
+        """Heal an injected disconnect (delegates if the inner can too)."""
+        inner_reconnect = getattr(self.inner, "reconnect", None)
+        if inner_reconnect is not None:
+            try:
+                inner_reconnect(force=force)
+            except TypeError:
+                inner_reconnect()
+        self._broken = False
+        self._stash.clear()
+
+    def close(self) -> None:
+        """Close the wrapped transport."""
+        self.inner.close()

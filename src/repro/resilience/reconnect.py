@@ -1,0 +1,173 @@
+"""Reconnecting transport with a circuit breaker.
+
+A plain :class:`~repro.oncrpc.transport.TcpTransport` dies with its socket:
+once the Cricket server restarts, every call fails forever.
+:class:`ReconnectingTransport` holds a transport *factory* instead of a
+socket, so a broken connection can be re-established -- under the control
+of a :class:`CircuitBreaker` that stops a client from hammering a dead
+server with connection attempts.
+
+The breaker runs on the experiment's :class:`~repro.net.simclock.SimClock`:
+its open interval is virtual time, which the retry loop's backoff naturally
+advances, keeping the whole failure dance deterministic in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.simclock import SimClock
+from repro.oncrpc.errors import RpcCircuitOpenError, RpcTransportError
+from repro.oncrpc.transport import Transport
+from repro.resilience.stats import ResilienceStats
+
+
+class CircuitBreaker:
+    """Classic closed / open / half-open breaker over a virtual clock.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` refuses until ``reset_timeout_s`` of clock time
+    has passed, after which one trial (half-open) is allowed.  A success
+    closes the circuit and zeroes the failure count.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 0.05,
+        clock: SimClock | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.clock = clock if clock is not None else SimClock()
+        self._consecutive_failures = 0
+        self._open_until_ns: int | None = None
+        #: lifetime count of transitions to the open state
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """One of ``"closed"``, ``"open"`` or ``"half-open"``."""
+        if self._open_until_ns is None:
+            return "closed"
+        if self.clock.now_ns >= self._open_until_ns:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a connection attempt proceed right now?"""
+        return self.state != "open"
+
+    def record_failure(self) -> None:
+        """Note a failed attempt; may open the circuit."""
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._open_until_ns = self.clock.now_ns + int(self.reset_timeout_s * 1e9)
+            self.times_opened += 1
+
+    def record_success(self) -> None:
+        """Note a success; closes the circuit."""
+        self._consecutive_failures = 0
+        self._open_until_ns = None
+
+
+class ReconnectingTransport:
+    """A transport that can be re-established after connection loss.
+
+    Wraps a factory producing connected transports (typically
+    ``lambda: TcpTransport(host, port, ...)``).  On any transport error the
+    current connection is declared dead and closed; the retry loop in
+    :class:`~repro.oncrpc.client.RpcClient` then calls :meth:`reconnect`
+    before its next attempt.  The circuit breaker gates those attempts.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Transport],
+        *,
+        breaker: CircuitBreaker | None = None,
+        clock: SimClock | None = None,
+        stats: ResilienceStats | None = None,
+        connect_now: bool = True,
+    ) -> None:
+        self._factory = factory
+        self.breaker = breaker if breaker is not None else CircuitBreaker(clock=clock)
+        self.stats = stats if stats is not None else ResilienceStats()
+        self._inner: Transport | None = self._factory() if connect_now else None
+
+    @property
+    def connected(self) -> bool:
+        """Whether a live connection is currently held."""
+        return self._inner is not None
+
+    def _require(self) -> Transport:
+        if self._inner is None:
+            raise RpcTransportError("not connected (reconnect required)")
+        return self._inner
+
+    def _mark_dead(self) -> None:
+        self.breaker.record_failure()
+        if self._inner is not None:
+            try:
+                self._inner.close()
+            except Exception:
+                pass
+            self._inner = None
+
+    def send_record(self, record: bytes) -> None:
+        """Send via the live connection; a failure kills the connection."""
+        inner = self._require()
+        try:
+            inner.send_record(record)
+        except RpcTransportError:
+            self._mark_dead()
+            raise
+
+    def recv_record(self) -> bytes:
+        """Receive via the live connection; a failure kills the connection."""
+        inner = self._require()
+        try:
+            record = inner.recv_record()
+        except RpcTransportError:
+            self._mark_dead()
+            raise
+        self.breaker.record_success()
+        return record
+
+    def reconnect(self, *, force: bool = False) -> None:
+        """Establish a fresh connection through the factory.
+
+        ``force`` bypasses the circuit breaker and discards any live
+        connection -- used by explicit operator-style recovery
+        (:meth:`CricketClient.recover`) as opposed to the automatic retry
+        loop.
+        """
+        if self._inner is not None:
+            if not force:
+                return  # still connected; nothing to do
+            try:
+                self._inner.close()
+            except Exception:
+                pass
+            self._inner = None
+        if not force and not self.breaker.allow():
+            raise RpcCircuitOpenError(
+                "circuit breaker open: refusing to reconnect "
+                f"(state {self.breaker.state!r})"
+            )
+        try:
+            self._inner = self._factory()
+        except RpcTransportError:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        self.stats.reconnects += 1
+
+    def close(self) -> None:
+        """Close the live connection, if any."""
+        if self._inner is not None:
+            self._inner.close()
+            self._inner = None

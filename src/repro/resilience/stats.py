@@ -1,0 +1,68 @@
+"""Counters for retries, reconnections and recoveries.
+
+One :class:`ResilienceStats` instance is shared by a client's retry loop,
+its (optional) fault-injecting transport and its reconnecting transport, so
+a single object answers "what did resilience cost this workload?".  The
+tracer (:mod:`repro.core.tracing`) renders these counters in its summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResilienceStats:
+    """Mutable counter set describing one client's resilience activity."""
+
+    #: retransmissions performed by the retry loop (excludes first attempts)
+    retries: int = 0
+    #: failures classified as timeouts (:class:`~repro.oncrpc.errors.RpcTimeoutError`)
+    timeouts: int = 0
+    #: successful transport reconnections
+    reconnects: int = 0
+    #: full session recoveries (:meth:`~repro.cricket.client.CricketClient.recover`)
+    recoveries: int = 0
+    #: replies discarded because their xid matched no outstanding call
+    stale_replies_discarded: int = 0
+    #: calls abandoned because the virtual-time deadline budget ran out
+    deadlines_exceeded: int = 0
+    #: calls that exhausted every retry attempt
+    retries_exhausted: int = 0
+    #: faults injected by kind (filled by :class:`FaultInjectingTransport`)
+    faults_injected: dict[str, int] = field(default_factory=dict)
+
+    def note_fault(self, kind: str) -> None:
+        """Record one injected fault of ``kind``."""
+        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+
+    @property
+    def total_faults(self) -> int:
+        """Total faults injected across all kinds."""
+        return sum(self.faults_injected.values())
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat counter mapping (fault kinds prefixed ``fault.``)."""
+        out = {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "reconnects": self.reconnects,
+            "recoveries": self.recoveries,
+            "stale_replies_discarded": self.stale_replies_discarded,
+            "deadlines_exceeded": self.deadlines_exceeded,
+            "retries_exhausted": self.retries_exhausted,
+        }
+        for kind, count in sorted(self.faults_injected.items()):
+            out[f"fault.{kind}"] = count
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter (between experiment repetitions)."""
+        self.retries = 0
+        self.timeouts = 0
+        self.reconnects = 0
+        self.recoveries = 0
+        self.stale_replies_discarded = 0
+        self.deadlines_exceeded = 0
+        self.retries_exhausted = 0
+        self.faults_injected.clear()

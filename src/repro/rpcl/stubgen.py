@@ -111,9 +111,14 @@ class ProgramInterface:
 
     # -- client side ------------------------------------------------------
 
-    def bind_client(self, transport: Transport) -> ClientStub:
-        """Create a client stub speaking this interface over ``transport``."""
-        client = RpcClient(transport, self.prog_number, self.vers_number)
+    def bind_client(self, transport: Transport, **rpc_kwargs: Any) -> ClientStub:
+        """Create a client stub speaking this interface over ``transport``.
+
+        Extra keyword arguments (``retry_policy``, ``clock``, ``stats``,
+        ``cred``) are forwarded to the underlying
+        :class:`~repro.oncrpc.client.RpcClient`.
+        """
+        client = RpcClient(transport, self.prog_number, self.vers_number, **rpc_kwargs)
         return ClientStub(client, self.signatures, self.compiler.constants)
 
     # -- server side ------------------------------------------------------

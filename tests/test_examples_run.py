@@ -5,13 +5,15 @@ exercised at reduced scale elsewhere; here we run the fast ones end to end
 as real subprocesses, the way a user would.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 FAST_EXAMPLES = [
     "quickstart.py",
@@ -22,7 +24,17 @@ FAST_EXAMPLES = [
     "figure2_cluster.py",
     "profiling_trace.py",
     "spectral_analysis.py",
+    "fault_tolerance_demo.py",
 ]
+
+
+def _example_env() -> dict:
+    """Subprocesses must find ``repro`` regardless of how pytest was run."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
@@ -33,6 +45,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=180,
         cwd=tmp_path,  # examples may write artifacts (trace.json)
+        env=_example_env(),
     )
     assert result.returncode == 0, (
         f"{script} failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"

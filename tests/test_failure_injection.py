@@ -22,6 +22,7 @@ from repro.oncrpc import (
     encode_record,
 )
 from repro.oncrpc import message as msg
+from repro.resilience import FaultInjectingTransport, FaultPlan, RetryPolicy
 
 PROG, VERS = 0x20000099, 3
 
@@ -108,17 +109,49 @@ class TestServerDeath:
 
 class TestFlakyTransport:
     def test_truncating_transport_detected(self):
-        """A transport that corrupts length framing is caught."""
+        """A transport that corrupts payloads is caught (fail-fast client)."""
         server = echo_server()
-
-        class TruncatingTransport(LoopbackTransport):
-            def recv_record(self):
-                record = super().recv_record()
-                return record[: len(record) // 2]  # chop the reply
-
-        client = RpcClient(TruncatingTransport(server.dispatch_record), PROG, VERS)
+        transport = FaultInjectingTransport(
+            LoopbackTransport(server.dispatch_record), FaultPlan(truncate_rate=1.0)
+        )
+        client = RpcClient(transport, PROG, VERS)
         with pytest.raises(Exception):
             client.call_raw(1, b"12345678")
+
+    def test_dropping_transport_detected(self):
+        """A lost request surfaces as a transport error (fail-fast client)."""
+        server = echo_server()
+        transport = FaultInjectingTransport(
+            LoopbackTransport(server.dispatch_record),
+            FaultPlan(drop_request_rate=1.0),
+        )
+        client = RpcClient(transport, PROG, VERS)
+        with pytest.raises(RpcTransportError):
+            client.call_raw(1, b"12345678")
+
+    def test_flaky_transport_survived_with_retry(self):
+        """The same faults are absorbed once a retry policy is attached."""
+        server = echo_server()
+        transport = FaultInjectingTransport(
+            LoopbackTransport(server.dispatch_record),
+            FaultPlan(
+                drop_request_rate=0.2,
+                drop_reply_rate=0.1,
+                duplicate_rate=0.1,
+                disconnect_rate=0.05,
+                seed=3,
+            ),
+        )
+        client = RpcClient(
+            transport, PROG, VERS,
+            retry_policy=RetryPolicy(max_attempts=10, deadline_s=None, seed=3),
+            stats=transport.stats,
+        )
+        for i in range(100):
+            payload = i.to_bytes(4, "big")
+            assert client.call_raw(1, payload) == payload
+        assert transport.stats.total_faults > 0  # the wire really was hostile
+        assert transport.stats.retries > 0
 
 
 class TestVersionSkew:

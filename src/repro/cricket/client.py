@@ -28,7 +28,7 @@ from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
 from repro.cubin.metadata import KernelMeta
 from repro.cuda.errors import CudaError
 from repro.net.link import LinkModel
-from repro.net.simclock import SimClock
+from repro.net.simclock import SimClock, WallClock
 from repro.oncrpc.transport import LoopbackTransport, TcpTransport, Transport
 from repro.resilience.faults import FaultInjectingTransport, FaultPlan
 from repro.resilience.reconnect import ReconnectingTransport
@@ -63,7 +63,7 @@ class CricketClient:
         transport: Transport,
         *,
         platform: Platform | None = None,
-        clock: SimClock | None = None,
+        clock: SimClock | WallClock | None = None,
         meter: PlatformMeter | None = None,
         retry_policy: RetryPolicy | None = None,
         stats: ResilienceStats | None = None,
@@ -153,8 +153,14 @@ class CricketClient:
         dead server surfaces as a timeout (not a hang) and the session can
         be re-established -- automatically by a ``retry_policy``, or
         explicitly through :meth:`recover`.
+
+        Timing here is real: the session clock is a
+        :class:`~repro.net.simclock.WallClock`, so retry backoff actually
+        sleeps, the circuit breaker's open window is wall time, and
+        ``retry_policy.deadline_s`` bounds real elapsed time.  (A SimClock
+        would make all three instantaneous against a dead server.)
         """
-        clock = SimClock()
+        clock = WallClock()
         stats = ResilienceStats()
 
         def factory() -> TcpTransport:

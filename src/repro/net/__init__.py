@@ -18,6 +18,6 @@ testbed with:
 
 from repro.net.fabric import Fabric, Node
 from repro.net.link import LinkModel, TETHER_100G
-from repro.net.simclock import SimClock
+from repro.net.simclock import SimClock, WallClock
 
-__all__ = ["SimClock", "LinkModel", "TETHER_100G", "Fabric", "Node"]
+__all__ = ["SimClock", "WallClock", "LinkModel", "TETHER_100G", "Fabric", "Node"]

@@ -10,6 +10,7 @@ number, so the reproduced figures are exactly repeatable.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 
@@ -58,6 +59,54 @@ class SimClock:
         """Rewind to zero (only meaningful between experiments)."""
         with self._lock:
             self._now_ns = 0
+
+
+class WallClock:
+    """A :class:`SimClock`-compatible clock backed by real time.
+
+    Real-socket clients (no virtual-time metering) use this so that the
+    resilience machinery written against the SimClock interface -- retry
+    backoff, circuit-breaker open windows, per-call deadlines -- holds in
+    *wall* time: :meth:`advance_s` actually sleeps, and :attr:`now_ns` is
+    monotonic nanoseconds since construction (matching SimClock's
+    starts-at-zero semantics for deadline arithmetic).
+    """
+
+    def __init__(self) -> None:
+        self._epoch_ns = time.monotonic_ns()
+
+    @property
+    def now_ns(self) -> int:
+        """Monotonic wall time since construction, in nanoseconds."""
+        return time.monotonic_ns() - self._epoch_ns
+
+    @property
+    def now_s(self) -> float:
+        """Monotonic wall time since construction, in seconds."""
+        return self.now_ns / 1e9
+
+    def advance_ns(self, delta_ns: float) -> int:
+        """Sleep for ``delta_ns`` of real time; returns the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance clock by negative {delta_ns} ns")
+        if delta_ns > 0:
+            time.sleep(delta_ns / 1e9)
+        return self.now_ns
+
+    def advance_s(self, delta_s: float) -> int:
+        """Sleep for ``delta_s`` real seconds; returns the new time in ns."""
+        return self.advance_ns(delta_s * 1e9)
+
+    def advance_to_ns(self, t_ns: int) -> int:
+        """Sleep until the absolute time ``t_ns``, ignoring past targets."""
+        remaining = t_ns - self.now_ns
+        if remaining > 0:
+            time.sleep(remaining / 1e9)
+        return self.now_ns
+
+    def reset(self) -> None:
+        """Re-zero the epoch (wall time itself cannot rewind)."""
+        self._epoch_ns = time.monotonic_ns()
 
 
 @dataclass

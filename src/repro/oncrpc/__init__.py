@@ -17,7 +17,16 @@ Only the (Python) standard library is used, mirroring RPC-Lib's
 std-only dependency policy that makes it portable to unikernels.
 """
 
-from repro.oncrpc.auth import AUTH_NONE, AUTH_SYS, AuthSysParams, NULL_AUTH, OpaqueAuth
+from repro.oncrpc.auth import (
+    AUTH_CLIENT_TOKEN,
+    AUTH_NONE,
+    AUTH_SYS,
+    AuthSysParams,
+    NULL_AUTH,
+    OpaqueAuth,
+    client_token_auth,
+    client_token_from,
+)
 from repro.oncrpc.client import RpcClient
 from repro.oncrpc.errors import (
     RpcCircuitOpenError,
@@ -77,6 +86,9 @@ __all__ = [
     "NULL_AUTH",
     "AUTH_NONE",
     "AUTH_SYS",
+    "AUTH_CLIENT_TOKEN",
+    "client_token_auth",
+    "client_token_from",
     "RpcClient",
     "RpcServer",
     "CallContext",

@@ -17,6 +17,11 @@ MAX_AUTH_BYTES = 400
 AUTH_NONE = 0
 AUTH_SYS = 1
 AUTH_SHORT = 2
+#: Private flavor ("CRIC") carrying a client-generated session token.  The
+#: server's at-most-once reply cache keys on this token instead of the TCP
+#: peer address, so a client keeps its duplicate-request protection across
+#: reconnects (a reconnect changes the ephemeral source port).
+AUTH_CLIENT_TOKEN = 0x43524943
 
 #: ``auth_stat`` values used in MSG_DENIED/AUTH_ERROR replies.
 AUTH_OK = 0
@@ -52,6 +57,34 @@ class OpaqueAuth:
 
 
 NULL_AUTH = OpaqueAuth(AUTH_NONE, b"")
+
+
+def client_token_auth(token: bytes) -> OpaqueAuth:
+    """Wrap a client-generated session token as an ``AUTH_CLIENT_TOKEN`` cred.
+
+    The token is an opaque stable identity (e.g. ``uuid4().bytes``) chosen
+    once per client; it must be non-empty and fit the RFC's 400-byte opaque
+    cap.
+    """
+    token = bytes(token)
+    if not token:
+        raise XdrEncodeError("client token must be non-empty")
+    if len(token) > MAX_AUTH_BYTES:
+        raise XdrEncodeError(
+            f"client token exceeds {MAX_AUTH_BYTES} bytes ({len(token)})"
+        )
+    return OpaqueAuth(AUTH_CLIENT_TOKEN, token)
+
+
+def client_token_from(auth: OpaqueAuth) -> bytes | None:
+    """Extract the session token from an ``AUTH_CLIENT_TOKEN`` credential.
+
+    Returns ``None`` for every other flavor (including an empty-bodied
+    token cred, which carries no usable identity).
+    """
+    if auth.flavor == AUTH_CLIENT_TOKEN and auth.body:
+        return auth.body
+    return None
 
 
 @dataclass(frozen=True)

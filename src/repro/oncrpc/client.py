@@ -10,7 +10,11 @@ When constructed with a :class:`~repro.resilience.retry.RetryPolicy`, the
 client retransmits failed calls with the *same xid* (classic ONC RPC
 retransmission, made safe by the server's at-most-once reply cache),
 charging exponential-backoff delays to a virtual clock and honouring a
-per-call deadline budget.  Stale replies -- duplicates of earlier answers
+per-call deadline budget.  Unless given an explicit credential, a client
+sends a generated session token (:func:`~repro.oncrpc.auth.client_token_auth`)
+on every call; the server keys its reply cache on that token, so a
+retransmission is recognised even after a reconnect changed the client's
+transport address.  Stale replies -- duplicates of earlier answers
 left on the connection by retransmission races -- are recognised by xid
 and discarded instead of poisoning later calls.
 """
@@ -19,11 +23,12 @@ from __future__ import annotations
 
 import itertools
 import threading
+import uuid
 from typing import Any
 
-from repro.net.simclock import SimClock
+from repro.net.simclock import SimClock, WallClock
 from repro.oncrpc import message as msg
-from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth
+from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth, client_token_auth
 from repro.oncrpc.errors import (
     RpcDeadlineExceeded,
     RpcDenied,
@@ -60,12 +65,18 @@ class RpcClient:
         *,
         cred: OpaqueAuth = NULL_AUTH,
         retry_policy: RetryPolicy | None = None,
-        clock: SimClock | None = None,
+        clock: SimClock | WallClock | None = None,
         stats: ResilienceStats | None = None,
     ) -> None:
         self.transport = transport
         self.prog = prog
         self.vers = vers
+        # A default (AUTH_NONE) client gets a generated session token so the
+        # server's at-most-once reply cache can recognise its retransmissions
+        # across reconnects, where the transport address changes.  Explicit
+        # credentials (AUTH_SYS tests, custom flavors) are sent untouched.
+        if cred.flavor == NULL_AUTH.flavor and not cred.body:
+            cred = client_token_auth(uuid.uuid4().bytes)
         self.cred = cred
         #: retry/backoff configuration; None preserves fail-fast semantics
         self.retry_policy = retry_policy

@@ -12,10 +12,22 @@ procedure, undecodable arguments, handler crash) are mapped onto the proper
 ``accept_stat`` replies rather than tearing down the connection.
 
 At-most-once semantics: the server keeps an LRU cache of recent replies
-keyed by (client, xid).  A retransmitted call -- same client, same xid --
-is answered from the cache without re-executing its handler, which is what
-makes client-side retry of non-idempotent procedures (``cuMemAlloc``,
-``cuLaunchKernel``) safe.
+keyed by (client identity, xid).  A retransmitted call -- same client,
+same xid -- is answered from the cache without re-executing its handler,
+which is what makes client-side retry of non-idempotent procedures
+(``cuMemAlloc``, ``cuLaunchKernel``) safe.  The client identity is the
+session token carried in an ``AUTH_CLIENT_TOKEN`` credential when the
+caller supplies one (``RpcClient`` does so by default), falling back to
+the transport address otherwise.  The token is what keeps the guarantee
+across reconnects: a TCP client that re-establishes its connection gets a
+new ephemeral source port, so an address-keyed cache would miss and
+re-execute the retransmission.
+
+The cache is bounded both by entry count and by total cached bytes, and
+replies larger than ``reply_cache_entry_bytes`` are not cached at all --
+the bulk-data procedures that produce them (D2H memcpy, checkpoint) are
+reads, so re-execution on retry is harmless, while caching them would pin
+GiB of payload.
 """
 
 from __future__ import annotations
@@ -27,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.oncrpc import message as msg
-from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth
+from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth, client_token_from
 from repro.oncrpc.errors import RpcProtocolError, RpcTransportError
 from repro.oncrpc.record import DEFAULT_FRAGMENT_SIZE, RecordReader, encode_record
 from repro.xdr.errors import XdrError
@@ -65,12 +77,20 @@ class RpcServer:
     #: entries kept in the at-most-once duplicate-request reply cache
     DEFAULT_REPLY_CACHE = 512
 
+    #: total bytes of encoded replies the cache may pin
+    DEFAULT_REPLY_CACHE_BYTES = 64 << 20
+
+    #: replies larger than this are never cached (bulk-data reads)
+    DEFAULT_REPLY_CACHE_ENTRY_BYTES = 1 << 20
+
     def __init__(
         self,
         *,
         fragment_size: int = DEFAULT_FRAGMENT_SIZE,
         max_record_size: int = DEFAULT_MAX_RECORD,
         reply_cache_size: int = DEFAULT_REPLY_CACHE,
+        reply_cache_bytes: int = DEFAULT_REPLY_CACHE_BYTES,
+        reply_cache_entry_bytes: int = DEFAULT_REPLY_CACHE_ENTRY_BYTES,
     ) -> None:
         self._programs: dict[tuple[int, int], dict[int, Handler]] = {}
         self.fragment_size = fragment_size
@@ -83,7 +103,10 @@ class RpcServer:
         #: retransmitted calls answered from the reply cache, not re-executed
         self.duplicate_hits = 0
         self.reply_cache_size = reply_cache_size
+        self.reply_cache_bytes = reply_cache_bytes
+        self.reply_cache_entry_bytes = reply_cache_entry_bytes
         self._reply_cache: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self._reply_cache_total = 0
         self._stats_lock = threading.Lock()
 
     # -- registration ---------------------------------------------------------
@@ -122,15 +145,20 @@ class RpcServer:
         request = msg.RpcMessage.decode(record)
         if not request.is_call:
             return None
-        cache_key = (client_id, request.xid)
+        call = request.body
+        assert isinstance(call, msg.CallBody)
+        # At-most-once identity: prefer the client-chosen session token
+        # (stable across TCP reconnects, which change the source port and
+        # therefore client_id) and fall back to the transport address.
+        token = client_token_from(call.cred)
+        identity = f"token:{token.hex()}" if token is not None else client_id
+        cache_key = (identity, request.xid)
         with self._stats_lock:
             cached = self._reply_cache.get(cache_key)
             if cached is not None:
                 self._reply_cache.move_to_end(cache_key)
                 self.duplicate_hits += 1
                 return cached
-        call = request.body
-        assert isinstance(call, msg.CallBody)
         ctx = CallContext(
             prog=call.prog,
             vers=call.vers,
@@ -141,12 +169,33 @@ class RpcServer:
         )
         reply_body = self._execute(call, ctx)
         reply = msg.RpcMessage(request.xid, reply_body, msg.MSG_ACCEPTED).encode()
-        if self.reply_cache_size > 0:
-            with self._stats_lock:
-                self._reply_cache[cache_key] = reply
-                while len(self._reply_cache) > self.reply_cache_size:
-                    self._reply_cache.popitem(last=False)
+        self._cache_reply(cache_key, reply)
         return reply
+
+    def _cache_reply(self, cache_key: tuple[str, int], reply: bytes) -> None:
+        """Insert into the reply cache, honouring entry and byte budgets.
+
+        Oversized replies (bulk-data reads like D2H memcpy or checkpoint
+        blobs) are skipped entirely rather than letting one reply evict the
+        whole cache -- re-executing a read on retry is harmless, pinning
+        its payload is not.
+        """
+        if self.reply_cache_size <= 0:
+            return
+        if len(reply) > self.reply_cache_entry_bytes:
+            return
+        with self._stats_lock:
+            old = self._reply_cache.pop(cache_key, None)
+            if old is not None:
+                self._reply_cache_total -= len(old)
+            self._reply_cache[cache_key] = reply
+            self._reply_cache_total += len(reply)
+            while self._reply_cache and (
+                len(self._reply_cache) > self.reply_cache_size
+                or self._reply_cache_total > self.reply_cache_bytes
+            ):
+                _, evicted = self._reply_cache.popitem(last=False)
+                self._reply_cache_total -= len(evicted)
 
     def _execute(self, call: msg.CallBody, ctx: CallContext) -> msg.AcceptedReply:
         table = self._programs.get((call.prog, call.vers))

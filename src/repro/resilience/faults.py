@@ -148,13 +148,22 @@ class FaultInjectingTransport:
     # -- Transport interface -----------------------------------------------
 
     def send_record(self, record: bytes) -> None:
-        """Send one record, possibly delaying, dropping or disconnecting."""
+        """Send one record, possibly delaying, dropping or disconnecting.
+
+        All rate decisions are drawn up front, in a fixed order, before any
+        fault fires: an earlier fault (or a scripted ``*_first`` trigger)
+        must not change how many draws this operation consumes, or the RNG
+        stream -- and with it every later fault decision -- would shift.
+        """
         self._check_broken()
         plan = self.plan
         self._requests_seen += 1
-        if self._hit(plan.delay_rate):
+        delay_hit = self._hit(plan.delay_rate)
+        disconnect_hit = self._hit(plan.disconnect_rate)
+        drop_hit = self._hit(plan.drop_request_rate)
+        if delay_hit:
             self._charge_delay()
-        if self._hit(plan.disconnect_rate):
+        if disconnect_hit:
             self._fault("disconnect")
             self._broken = True
             raise RpcTransportError("injected disconnect during send")
@@ -167,34 +176,36 @@ class FaultInjectingTransport:
             raise RpcTransportError(
                 f"injected disconnect after {self._bytes_sent} bytes sent"
             )
-        dropped = self._requests_seen <= plan.drop_request_first or self._hit(
-            plan.drop_request_rate
-        )
-        if dropped:
+        if self._requests_seen <= plan.drop_request_first or drop_hit:
             self._fault("drop_request")
             return  # the wire ate it; the server never sees this call
         self._bytes_sent += len(record)
         self.inner.send_record(record)
 
     def recv_record(self) -> bytes:
-        """Receive one record, possibly duplicated, truncated or dropped."""
+        """Receive one record, possibly duplicated, truncated or dropped.
+
+        As in :meth:`send_record`, every rate is drawn before any fault is
+        applied, so drop/truncate outcomes (including scripted
+        ``drop_reply_first`` triggers) never shift the decision stream.
+        """
         self._check_broken()
         plan = self.plan
         if self._stash:
             return self._stash.pop(0)
         record = self.inner.recv_record()
         self._replies_seen += 1
-        dropped = self._replies_seen <= plan.drop_reply_first or self._hit(
-            plan.drop_reply_rate
-        )
-        if dropped:
+        drop_hit = self._hit(plan.drop_reply_rate)
+        truncate_hit = self._hit(plan.truncate_rate)
+        duplicate_hit = self._hit(plan.duplicate_rate)
+        if self._replies_seen <= plan.drop_reply_first or drop_hit:
             self._fault("drop_reply")
             # The reply is gone; behave like a loss the caller can retry.
             raise RpcTransportError("injected reply loss")
-        if self._hit(plan.truncate_rate) and len(record) > 4:
+        if truncate_hit and len(record) > 4:
             self._fault("truncate")
             return record[: len(record) // 2]
-        if self._hit(plan.duplicate_rate):
+        if duplicate_hit:
             self._fault("duplicate")
             self._stash.append(record)
         return record

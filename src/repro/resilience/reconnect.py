@@ -7,16 +7,19 @@ socket, so a broken connection can be re-established -- under the control
 of a :class:`CircuitBreaker` that stops a client from hammering a dead
 server with connection attempts.
 
-The breaker runs on the experiment's :class:`~repro.net.simclock.SimClock`:
-its open interval is virtual time, which the retry loop's backoff naturally
-advances, keeping the whole failure dance deterministic in tests.
+The breaker runs on the session's clock.  In experiments that is a
+:class:`~repro.net.simclock.SimClock`: the open interval is virtual time,
+which the retry loop's backoff naturally advances, keeping the whole
+failure dance deterministic in tests.  Real-socket clients instead pass a
+:class:`~repro.net.simclock.WallClock`, so the open window (like backoff
+and deadlines) is enforced in real elapsed time.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.net.simclock import SimClock
+from repro.net.simclock import SimClock, WallClock
 from repro.oncrpc.errors import RpcCircuitOpenError, RpcTransportError
 from repro.oncrpc.transport import Transport
 from repro.resilience.stats import ResilienceStats
@@ -36,7 +39,7 @@ class CircuitBreaker:
         *,
         failure_threshold: int = 5,
         reset_timeout_s: float = 0.05,
-        clock: SimClock | None = None,
+        clock: SimClock | WallClock | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -89,7 +92,7 @@ class ReconnectingTransport:
         factory: Callable[[], Transport],
         *,
         breaker: CircuitBreaker | None = None,
-        clock: SimClock | None = None,
+        clock: SimClock | WallClock | None = None,
         stats: ResilienceStats | None = None,
         connect_now: bool = True,
     ) -> None:

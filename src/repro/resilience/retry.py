@@ -1,10 +1,13 @@
 """Retry policy: exponential backoff, reproducible jitter, deadlines.
 
 The retry loop itself lives in :meth:`repro.oncrpc.client.RpcClient.call_raw`;
-this module supplies the policy it consults.  All waiting is charged to the
-experiment's :class:`~repro.net.simclock.SimClock`, so backoff delay is
-part of the measured virtual time rather than invisible wall-clock sleep --
-the property that lets the Figure 6/7 harness quantify resilience overhead.
+this module supplies the policy it consults.  All waiting goes through the
+client's clock: under the experiment's
+:class:`~repro.net.simclock.SimClock` backoff is charged as measured
+virtual time (the property that lets the Figure 6/7 harness quantify
+resilience overhead), while real-socket clients use a
+:class:`~repro.net.simclock.WallClock` whose ``advance_s`` actually
+sleeps, so backoff and ``deadline_s`` bound real elapsed time too.
 
 Error classification follows classic ONC RPC practice: anything that means
 "the server may never have seen (or we never saw the answer to) this call"

@@ -7,6 +7,7 @@ timing assertions here are exact, not flaky.
 
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -14,7 +15,7 @@ import pytest
 from repro import GpuSession, SessionConfig
 from repro.cricket import CricketClient, CricketServer
 from repro.cricket.errors import CheckpointError
-from repro.net.simclock import SimClock
+from repro.net.simclock import SimClock, WallClock
 from repro.oncrpc import (
     LoopbackTransport,
     RpcCircuitOpenError,
@@ -159,6 +160,39 @@ class TestFaultDeterminism:
         assert counts[0] == counts[1]
         assert sum(counts[0].values()) > 0
 
+    def test_first_n_knob_does_not_shift_rate_stream(self):
+        """Scripted drop_request_first must not consume or skip RNG draws:
+        the rate-based decisions of every later operation stay identical."""
+
+        class _Recorder:
+            def __init__(self):
+                self.sent = []
+
+            def send_record(self, record):
+                self.sent.append(record)
+
+            def recv_record(self):  # pragma: no cover - not used here
+                raise AssertionError("recv not expected")
+
+            def close(self):
+                pass
+
+        def surviving(first_n):
+            inner = _Recorder()
+            transport = FaultInjectingTransport(
+                inner,
+                FaultPlan(drop_request_rate=0.5, drop_request_first=first_n, seed=7),
+            )
+            for i in range(40):
+                transport.send_record(i.to_bytes(4, "big"))
+            return {int.from_bytes(r, "big") for r in inner.sent}
+
+        base = surviving(0)
+        shifted = surviving(3)
+        # requests 1..3 (indices 0..2) are force-dropped; everything else
+        # must fault exactly as in the base run
+        assert shifted == base - {0, 1, 2}
+
     def test_plan_validation(self):
         with pytest.raises(ValueError):
             FaultPlan(drop_request_rate=1.5)
@@ -198,6 +232,68 @@ class TestAtMostOnce:
         for i in range(10):
             client.call_raw(1, i.to_bytes(4, "big"))
         assert len(server._reply_cache) == 4
+
+    def test_reply_cache_survives_reconnect(self):
+        """The cache keys on the client token, not the transport address.
+
+        After a reconnect the client's ephemeral port (and hence the
+        server-side ``client_id``) changes; a retransmission of the same
+        xid must still hit the cache instead of re-executing the handler.
+        """
+        from repro.oncrpc import message as msg
+        from repro.oncrpc.auth import client_token_auth
+
+        executions = []
+        server = RpcServer()
+        server.register_program(
+            PROG, VERS, {1: lambda args, ctx: executions.append(args) or args}
+        )
+        cred = client_token_auth(b"\x5a" * 16)
+        call = msg.RpcMessage(
+            0x99, msg.CallBody(PROG, VERS, 1, cred=cred, args=b"alloc\x00\x00\x00")
+        )
+        record = call.encode()
+        first = server.dispatch_record(record, client_id="10.0.0.7:41001")
+        # reconnect: same client token, new source port
+        second = server.dispatch_record(record, client_id="10.0.0.7:41002")
+        assert first == second
+        assert len(executions) == 1
+        assert server.duplicate_hits == 1
+
+    def test_client_autogenerates_distinct_tokens(self):
+        """Default clients carry a generated token cred; explicit creds win."""
+        from repro.oncrpc import AUTH_CLIENT_TOKEN, AUTH_SYS, AuthSysParams
+
+        server = echo_server()
+        a = RpcClient(LoopbackTransport(server.dispatch_record), PROG, VERS)
+        b = RpcClient(LoopbackTransport(server.dispatch_record), PROG, VERS)
+        assert a.cred.flavor == AUTH_CLIENT_TOKEN
+        assert b.cred.flavor == AUTH_CLIENT_TOKEN
+        assert a.cred.body != b.cred.body
+        explicit = AuthSysParams(machinename="vm").to_opaque()
+        c = RpcClient(
+            LoopbackTransport(server.dispatch_record), PROG, VERS, cred=explicit
+        )
+        assert c.cred.flavor == AUTH_SYS
+
+    def test_reply_cache_byte_budget(self):
+        """Eviction honours the total-bytes budget, not just entry count."""
+        server = echo_server(reply_cache_bytes=4096)
+        client = RpcClient(LoopbackTransport(server.dispatch_record), PROG, VERS)
+        for i in range(10):
+            client.call_raw(1, bytes(1024))
+        assert server._reply_cache_total <= 4096
+        assert 0 < len(server._reply_cache) < 10
+
+    def test_oversized_reply_not_cached(self):
+        """Bulk-data replies are skipped so they cannot pin cache memory."""
+        server = echo_server(reply_cache_entry_bytes=256)
+        client = RpcClient(LoopbackTransport(server.dispatch_record), PROG, VERS)
+        client.call_raw(1, bytes(1024))  # echo reply > 256 bytes: skipped
+        assert len(server._reply_cache) == 0
+        assert server._reply_cache_total == 0
+        client.call_raw(1, b"tiny")  # small reply still cached
+        assert len(server._reply_cache) == 1
 
     def test_nonidempotent_call_safe_under_reply_loss(self):
         """cudaMalloc whose reply is lost must not allocate twice."""
@@ -301,6 +397,59 @@ class TestTcpTimeouts:
         for conn in silent:
             conn.close()
         listener.close()
+
+
+class TestWallClock:
+    def test_advance_sleeps_real_time(self):
+        clock = WallClock()
+        t0 = time.monotonic()
+        clock.advance_s(0.02)
+        assert time.monotonic() - t0 >= 0.019
+        assert clock.now_ns >= 19_000_000
+
+    def test_validation_and_reset(self):
+        clock = WallClock()
+        with pytest.raises(ValueError):
+            clock.advance_s(-1)
+        clock.advance_s(0.001)
+        clock.reset()
+        assert clock.now_s < 0.001
+
+    def test_connect_tcp_runs_on_wall_clock(self):
+        """Real-socket sessions must enforce backoff/deadlines in real time."""
+        server = CricketServer()
+        host, port = server.serve_tcp("127.0.0.1", 0)
+        client = CricketClient.connect_tcp(host, port)
+        try:
+            assert isinstance(client.clock, WallClock)
+            assert client.get_device_count() == 1
+        finally:
+            client.close()
+            server.shutdown()
+
+    def test_tcp_retry_backoff_takes_wall_time(self):
+        """Against a dead server, retries must actually pace themselves."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()  # nothing listens here now
+        transport = ReconnectingTransport(
+            lambda: TcpTransport(host, port, connect_timeout=0.2),
+            clock=WallClock(),
+            connect_now=False,
+        )
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.02, multiplier=1.0,
+            jitter=0.0, deadline_s=None,
+        )
+        client = RpcClient(
+            transport, PROG, VERS, retry_policy=policy, clock=WallClock()
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RpcRetryExhausted):
+            client.call_raw(1, b"dead")
+        # two backoffs of 20 ms each must have really elapsed
+        assert time.monotonic() - t0 >= 0.04
 
 
 class TestRecovery:

@@ -138,6 +138,12 @@ class GpuSession:
         }
         tracer = attach_tracer(self.client.stub.client, self.clock, proc_names)
         tracer.attach_counters(self.client.stats)
+        server_stats = getattr(self.server, "server_stats", None)
+        if server_stats is not None:
+            # Both sides of the resilience story in one summary: client
+            # retries/reconnects next to server reply-cache and session
+            # lifecycle counters.
+            tracer.attach_counters(server_stats)
         return tracer
 
     # -- stats -----------------------------------------------------------------

@@ -8,7 +8,9 @@
 * :mod:`repro.cricket.params` -- CUDA-ABI kernel parameter packing,
 * :mod:`repro.cricket.transfer` -- the four memory-transfer methods,
 * :mod:`repro.cricket.checkpoint` -- checkpoint/restart of server state,
-* :mod:`repro.cricket.scheduler` -- GPU-sharing scheduling policies.
+* :mod:`repro.cricket.scheduler` -- GPU-sharing scheduling policies,
+* :mod:`repro.cricket.sessions` -- per-client leases, resource ledgers and
+  orphan reclamation.
 """
 
 from repro.cricket.checkpoint import (
@@ -30,6 +32,12 @@ from repro.cricket.scheduler import (
     WorkItem,
 )
 from repro.cricket.server import CricketServer
+from repro.cricket.sessions import (
+    LEASE_FOREVER,
+    ResourceLedger,
+    Session,
+    SessionManager,
+)
 from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
 from repro.cricket.transfer import (
     TransferEngine,
@@ -63,6 +71,10 @@ __all__ = [
     "FairSharePolicy",
     "WorkItem",
     "ScheduledItem",
+    "SessionManager",
+    "Session",
+    "ResourceLedger",
+    "LEASE_FOREVER",
     "CricketError",
     "CheckpointError",
     "TransferUnsupportedError",

@@ -62,6 +62,12 @@ def snapshot_server(server: "CricketServer") -> bytes:
         },
         "clock_ns": server.clock.now_ns,
     }
+    sessions = getattr(server, "sessions", None)
+    if sessions is not None:
+        # Session ownership travels with the state it owns, so a restored
+        # server can keep enforcing quotas and reclaiming orphans.  The key
+        # is optional: blobs from before session tracking restore fine.
+        state["sessions"] = sessions.snapshot_state()
     return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
 
 
@@ -105,6 +111,12 @@ def restore_server(server: "CricketServer", blob: bytes) -> None:
         streams._events[handle] = Event(handle, timestamp)
     max_event = max(state["events"], default=0)
     streams._next_event = iter(_count_from(max_event + 1))
+    # Session table (absent in pre-session checkpoints).  Leases are
+    # re-anchored at the restoring server's current time: the blob's
+    # absolute expiry times belong to the old server's timeline.
+    sessions = getattr(server, "sessions", None)
+    if sessions is not None and "sessions" in state:
+        sessions.restore_state(state["sessions"], server.clock.now_ns)
 
 
 def _count_from(start: int):

@@ -29,9 +29,10 @@ from repro.cubin.metadata import KernelMeta
 from repro.cuda.errors import CudaError
 from repro.net.link import LinkModel
 from repro.net.simclock import SimClock, WallClock
+from repro.oncrpc.auth import client_token_from
 from repro.oncrpc.transport import LoopbackTransport, TcpTransport, Transport
 from repro.resilience.faults import FaultInjectingTransport, FaultPlan
-from repro.resilience.reconnect import ReconnectingTransport
+from repro.resilience.reconnect import ReconnectingTransport, null_probe
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.stats import ResilienceStats
 from repro.rpcl.stubgen import ClientStub, ProgramInterface
@@ -172,7 +173,13 @@ class CricketClient:
                 io_timeout=io_timeout,
             )
 
-        transport = ReconnectingTransport(factory, clock=clock, stats=stats)
+        iface = cricket_interface()
+        transport = ReconnectingTransport(
+            factory,
+            clock=clock,
+            stats=stats,
+            probe=null_probe(iface.prog_number, iface.vers_number),
+        )
         return cls(transport, clock=clock, retry_policy=retry_policy, stats=stats)
 
     # -- plumbing -----------------------------------------------------------
@@ -188,6 +195,60 @@ class CricketClient:
         if self.meter is None:
             return 0
         return self.meter.bytes_sent + self.meter.bytes_received
+
+    @property
+    def session_identity(self) -> str:
+        """Server-side identity of this client's session.
+
+        Matches the key the server's :class:`~repro.cricket.sessions.SessionManager`
+        uses: the ``AUTH_CLIENT_TOKEN`` credential the RPC layer attaches
+        to every call.
+        """
+        token = client_token_from(self.stub.client.cred)
+        if token is not None:
+            return f"token:{token.hex()}"
+        return "loopback"
+
+    def ping(self) -> None:
+        """NULLPROC liveness check (and lease heartbeat, server-side).
+
+        Raises :class:`~repro.oncrpc.errors.RpcError` if the server is not
+        answering; returns nothing on success.  Cheaper than
+        :meth:`renew_lease` -- no result decoding -- and safe at any time:
+        procedure 0 has no side effects beyond renewing the lease.
+        """
+        self.stub.client.null_call()
+
+    def renew_lease(self) -> int:
+        """Explicit lease heartbeat (``rpc_ping``).
+
+        Returns the remaining lease in nanoseconds
+        (:data:`~repro.cricket.sessions.LEASE_FOREVER` when the server has
+        leases disabled).  Every ordinary call already renews the lease;
+        this is for clients that go idle longer than the lease interval.
+        """
+        res = self.stub.rpc_ping()
+        self._check(res["err"], "ping")
+        return res["value"]
+
+    def reattach(self) -> int:
+        """Reclaim an orphaned session after transport loss.
+
+        Forces a fresh connection (like :meth:`recover`) but restores
+        nothing: if the server still holds this identity's session --
+        i.e. the orphan grace period has not lapsed -- the heartbeat
+        reattaches it and every allocation, stream and handle is exactly
+        where it was.  Returns the renewed lease's remaining nanoseconds.
+        Use :meth:`recover` instead once the grace period is gone.
+        """
+        transport = self.stub.client.transport
+        reconnect = getattr(transport, "reconnect", None)
+        if reconnect is not None:
+            try:
+                reconnect(force=True)
+            except TypeError:
+                reconnect()
+        return self.renew_lease()
 
     def _check(self, err: int, what: str) -> None:
         if err != 0:

@@ -10,6 +10,14 @@ Timing: the server shares the experiment's virtual clock with the CUDA
 executors.  Every dispatched call charges a fixed server CPU cost
 (:data:`~repro.unikernel.presets.CRICKET_SERVER_DISPATCH_S`); synchronous
 CUDA work (memcpy, synchronize) advances the clock inside the executors.
+
+Session governance: every procedure is attributed to the caller's
+``AUTH_CLIENT_TOKEN`` identity (:class:`~repro.oncrpc.server.CallContext`)
+and recorded in that session's :class:`~repro.cricket.sessions.ResourceLedger`.
+Each dispatched call doubles as a lease heartbeat and opportunistically runs
+the expiry reaper, so orphaned state is reclaimed without a background
+thread -- essential under :class:`~repro.net.simclock.SimClock`, where time
+only moves when work does.  See :mod:`repro.cricket.sessions`.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import threading
 
 from repro.cricket import params as kparams
 from repro.cricket.scheduler import FifoPolicy, GpuScheduler, SchedulingPolicy
+from repro.cricket.sessions import LEASE_FOREVER, SessionManager
 from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
 from repro.cuda import constants as C
 from repro.cuda.cublas import CublasContext
@@ -47,6 +56,7 @@ class CricketImplementation:
         self._server = server
         self.runtime = server.runtime
         self.clock = server.clock
+        self.sessions = server.sessions
         self._lock = threading.Lock()
 
     # Driver and library contexts follow the runtime's current device, so a
@@ -73,50 +83,73 @@ class CricketImplementation:
         """cuFFT context of the current device."""
         return self._server.fft
 
-    def _charge_dispatch(self) -> None:
+    def _charge_dispatch(self, ctx=None):
+        """Charge dispatch CPU, heartbeat the caller's lease, run the reaper.
+
+        Returns ``(session, deny_error)``: the caller's session (opened on
+        first contact, lease renewed on every call) or ``None`` with the
+        CUDA error admission control wants surfaced.  Procedures that do
+        not create resources may ignore the return value -- the heartbeat
+        and reap side effects are what keep the lifecycle moving.
+        """
         self.clock.advance_s(self._server.dispatch_cost_s)
         self._server.dispatch_time_charged_ns += int(
             self._server.dispatch_cost_s * 1e9
         )
+        now = self.clock.now_ns
+        session, deny = None, 0
+        if ctx is not None and ctx.identity:
+            session, deny = self.sessions.open(ctx.identity, now)
+        self.sessions.reap(now, self._server.release_ledger)
+        return session, deny
+
+    def _ordinal(self) -> int:
+        """Index of the current device (where a resource is being created)."""
+        return self.runtime._current
 
     # -- runtime: device management ---------------------------------------------
 
-    def rpc_cudaGetDeviceCount(self):
+    def rpc_cudaGetDeviceCount(self, ctx=None):
         """Cricket procedure ``rpc_cudaGetDeviceCount`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, value = self.runtime.cudaGetDeviceCount()
             return {"err": err, "value": value}
 
-    def rpc_cudaSetDevice(self, ordinal):
+    def rpc_cudaSetDevice(self, ordinal, ctx=None):
         """Cricket procedure ``rpc_cudaSetDevice`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.runtime.cudaSetDevice(ordinal)
 
-    def rpc_cudaGetDevice(self):
+    def rpc_cudaGetDevice(self, ctx=None):
         """Cricket procedure ``rpc_cudaGetDevice`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, value = self.runtime.cudaGetDevice()
             return {"err": err, "value": value}
 
-    def rpc_cudaDeviceSynchronize(self):
+    def rpc_cudaDeviceSynchronize(self, ctx=None):
         """Cricket procedure ``rpc_cudaDeviceSynchronize`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.runtime.cudaDeviceSynchronize()
 
-    def rpc_cudaDeviceReset(self):
+    def rpc_cudaDeviceReset(self, ctx=None):
         """Cricket procedure ``rpc_cudaDeviceReset`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
-            return self.runtime.cudaDeviceReset()
+            self._charge_dispatch(ctx)
+            ordinal = self._ordinal()
+            err = self.runtime.cudaDeviceReset()
+            if err == C.cudaSuccess:
+                # Every ledger entry on this device is now dangling.
+                self.sessions.drop_device(ordinal)
+            return err
 
-    def rpc_cudaGetDeviceProperties(self, ordinal):
+    def rpc_cudaGetDeviceProperties(self, ordinal, ctx=None):
         """Cricket procedure ``rpc_cudaGetDeviceProperties`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, props = self.runtime.cudaGetDeviceProperties(ordinal)
             if err != C.cudaSuccess or props is None:
                 return {"err": err, "prop": dict(_OK_PROP)}
@@ -130,170 +163,200 @@ class CricketImplementation:
                 },
             }
 
-    def rpc_cudaGetLastError(self):
+    def rpc_cudaGetLastError(self, ctx=None):
         """Cricket procedure ``rpc_cudaGetLastError`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.runtime.cudaGetLastError()
 
-    def rpc_cudaPeekAtLastError(self):
+    def rpc_cudaPeekAtLastError(self, ctx=None):
         """Cricket procedure ``rpc_cudaPeekAtLastError`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.runtime.cudaPeekAtLastError()
 
     # -- runtime: memory ------------------------------------------------------
 
-    def rpc_cudaMalloc(self, size):
-        """Cricket procedure ``rpc_cudaMalloc`` (forwards to the CUDA executor)."""
+    def rpc_cudaMalloc(self, size, ctx=None):
+        """Cricket procedure ``rpc_cudaMalloc`` (forwards to the CUDA executor).
+
+        Admission control and the per-client memory quota are enforced
+        here: a refused tenant sees a proper CUDA error on its own call
+        instead of silently exhausting the device for everyone else.
+        """
         with self._lock:
-            self._charge_dispatch()
+            session, deny = self._charge_dispatch(ctx)
+            if deny != 0:
+                return {"err": deny, "ptr": 0}
+            quota_err = self.sessions.check_quota(session, size)
+            if quota_err != 0:
+                return {"err": quota_err, "ptr": 0}
             err, ptr = self.runtime.cudaMalloc(size)
+            if err == C.cudaSuccess and session is not None:
+                session.ledger.allocations[int(ptr)] = (self._ordinal(), int(size))
             return {"err": err, "ptr": ptr}
 
-    def rpc_cudaFree(self, ptr):
+    def rpc_cudaFree(self, ptr, ctx=None):
         """Cricket procedure ``rpc_cudaFree`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
-            return self.runtime.cudaFree(ptr)
+            self._charge_dispatch(ctx)
+            err = self.runtime.cudaFree(ptr)
+            if err == C.cudaSuccess:
+                self.sessions.forget("allocations", int(ptr))
+            return err
 
-    def rpc_cudaMemcpyH2D(self, dst, data):
+    def rpc_cudaMemcpyH2D(self, dst, data, ctx=None):
         """Cricket procedure ``rpc_cudaMemcpyH2D`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, _ = self.runtime.cudaMemcpy(dst, data, len(data), C.cudaMemcpyHostToDevice)
             return err
 
-    def rpc_cudaMemcpyD2H(self, src, size):
+    def rpc_cudaMemcpyD2H(self, src, size, ctx=None):
         """Cricket procedure ``rpc_cudaMemcpyD2H`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, data = self.runtime.cudaMemcpy(0, src, size, C.cudaMemcpyDeviceToHost)
             return {"err": err, "data": data if data is not None else b""}
 
-    def rpc_cudaMemcpyD2D(self, dst, src, size):
+    def rpc_cudaMemcpyD2D(self, dst, src, size, ctx=None):
         """Cricket procedure ``rpc_cudaMemcpyD2D`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, _ = self.runtime.cudaMemcpy(dst, src, size, C.cudaMemcpyDeviceToDevice)
             return err
 
-    def rpc_cudaMemcpyH2DAsync(self, dst, data, stream):
+    def rpc_cudaMemcpyH2DAsync(self, dst, data, stream, ctx=None):
         """Cricket procedure ``rpc_cudaMemcpyH2DAsync`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, _ = self.runtime.cudaMemcpyAsync(
                 dst, data, len(data), C.cudaMemcpyHostToDevice, stream
             )
             return err
 
-    def rpc_cudaMemcpyD2HAsync(self, src, size, stream):
+    def rpc_cudaMemcpyD2HAsync(self, src, size, stream, ctx=None):
         """Cricket procedure ``rpc_cudaMemcpyD2HAsync`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, data = self.runtime.cudaMemcpyAsync(
                 0, src, size, C.cudaMemcpyDeviceToHost, stream
             )
             return {"err": err, "data": data if data is not None else b""}
 
-    def rpc_cudaMemset(self, ptr, value, size):
+    def rpc_cudaMemset(self, ptr, value, size, ctx=None):
         """Cricket procedure ``rpc_cudaMemset`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.runtime.cudaMemset(ptr, value, size)
 
     # -- runtime: streams and events ----------------------------------------------
 
-    def rpc_cudaStreamCreate(self):
+    def rpc_cudaStreamCreate(self, ctx=None):
         """Cricket procedure ``rpc_cudaStreamCreate`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            session, _ = self._charge_dispatch(ctx)
             err, handle = self.runtime.cudaStreamCreate()
+            if err == C.cudaSuccess and session is not None:
+                session.ledger.streams[int(handle)] = self._ordinal()
             return {"err": err, "value": handle}
 
-    def rpc_cudaStreamDestroy(self, handle):
+    def rpc_cudaStreamDestroy(self, handle, ctx=None):
         """Cricket procedure ``rpc_cudaStreamDestroy`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
-            return self.runtime.cudaStreamDestroy(handle)
+            self._charge_dispatch(ctx)
+            err = self.runtime.cudaStreamDestroy(handle)
+            if err == C.cudaSuccess:
+                self.sessions.forget("streams", int(handle))
+            return err
 
-    def rpc_cudaStreamSynchronize(self, handle):
+    def rpc_cudaStreamSynchronize(self, handle, ctx=None):
         """Cricket procedure ``rpc_cudaStreamSynchronize`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.runtime.cudaStreamSynchronize(handle)
 
-    def rpc_cudaEventCreate(self):
+    def rpc_cudaEventCreate(self, ctx=None):
         """Cricket procedure ``rpc_cudaEventCreate`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            session, _ = self._charge_dispatch(ctx)
             err, handle = self.runtime.cudaEventCreate()
+            if err == C.cudaSuccess and session is not None:
+                session.ledger.events[int(handle)] = self._ordinal()
             return {"err": err, "value": handle}
 
-    def rpc_cudaEventDestroy(self, handle):
+    def rpc_cudaEventDestroy(self, handle, ctx=None):
         """Cricket procedure ``rpc_cudaEventDestroy`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
-            return self.runtime.cudaEventDestroy(handle)
+            self._charge_dispatch(ctx)
+            err = self.runtime.cudaEventDestroy(handle)
+            if err == C.cudaSuccess:
+                self.sessions.forget("events", int(handle))
+            return err
 
-    def rpc_cudaEventRecord(self, event, stream):
+    def rpc_cudaEventRecord(self, event, stream, ctx=None):
         """Cricket procedure ``rpc_cudaEventRecord`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.runtime.cudaEventRecord(event, stream)
 
-    def rpc_cudaEventSynchronize(self, event):
+    def rpc_cudaEventSynchronize(self, event, ctx=None):
         """Cricket procedure ``rpc_cudaEventSynchronize`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.runtime.cudaEventSynchronize(event)
 
-    def rpc_cudaStreamWaitEvent(self, stream, event):
+    def rpc_cudaStreamWaitEvent(self, stream, event, ctx=None):
         """Cricket procedure ``rpc_cudaStreamWaitEvent`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.runtime.cudaStreamWaitEvent(stream, event)
 
-    def rpc_cudaEventElapsedTime(self, start, stop):
+    def rpc_cudaEventElapsedTime(self, start, stop, ctx=None):
         """Cricket procedure ``rpc_cudaEventElapsedTime`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, ms = self.runtime.cudaEventElapsedTime(start, stop)
             return {"err": err, "value": ms}
 
     # -- driver: modules and launches ----------------------------------------------
 
-    def rpc_cuModuleLoadData(self, image):
+    def rpc_cuModuleLoadData(self, image, ctx=None):
         """Cricket procedure ``rpc_cuModuleLoadData`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            session, _ = self._charge_dispatch(ctx)
             err, handle = self.driver.cuModuleLoadData(image)
+            if err == C.CUDA_SUCCESS and session is not None:
+                session.ledger.modules[int(handle)] = self._ordinal()
             return {"err": err, "value": handle}
 
-    def rpc_cuModuleUnload(self, handle):
+    def rpc_cuModuleUnload(self, handle, ctx=None):
         """Cricket procedure ``rpc_cuModuleUnload`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
-            return self.driver.cuModuleUnload(handle)
+            self._charge_dispatch(ctx)
+            err = self.driver.cuModuleUnload(handle)
+            if err == C.CUDA_SUCCESS:
+                self.sessions.forget("modules", int(handle))
+            return err
 
-    def rpc_cuModuleGetFunction(self, module, name):
+    def rpc_cuModuleGetFunction(self, module, name, ctx=None):
         """Cricket procedure ``rpc_cuModuleGetFunction`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, handle = self.driver.cuModuleGetFunction(module, name)
             return {"err": err, "value": handle}
 
-    def rpc_cuModuleGetGlobal(self, module, name):
+    def rpc_cuModuleGetGlobal(self, module, name, ctx=None):
         """Cricket procedure ``rpc_cuModuleGetGlobal`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, ptr, size = self.driver.cuModuleGetGlobal(module, name)
             return {"err": err, "ptr": ptr, "size": size}
 
     def rpc_cuLaunchKernel(self, fhandle, grid, block, param_block, shared_mem, stream, ctx=None):
         """Cricket procedure ``rpc_cuLaunchKernel`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             entry = self.driver._functions.get(int(fhandle))
             if entry is None:
                 return C.CUDA_ERROR_INVALID_HANDLE
@@ -315,98 +378,113 @@ class CricketImplementation:
 
     # -- cuBLAS ------------------------------------------------------------
 
-    def rpc_cublasCreate(self):
+    def rpc_cublasCreate(self, ctx=None):
         """Cricket procedure ``rpc_cublasCreate`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            session, _ = self._charge_dispatch(ctx)
             err, handle = self.blas.cublasCreate()
+            if err == C.CUBLAS_STATUS_SUCCESS and session is not None:
+                session.ledger.blas_handles[int(handle)] = self._ordinal()
             return {"err": err, "value": handle}
 
-    def rpc_cublasDestroy(self, handle):
+    def rpc_cublasDestroy(self, handle, ctx=None):
         """Cricket procedure ``rpc_cublasDestroy`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
-            return self.blas.cublasDestroy(handle)
+            self._charge_dispatch(ctx)
+            err = self.blas.cublasDestroy(handle)
+            if err == C.CUBLAS_STATUS_SUCCESS:
+                self.sessions.forget("blas_handles", int(handle))
+            return err
 
-    def _gemm(self, fn, a):
+    def _gemm(self, fn, a, ctx=None):
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return fn(
                 a["handle"], a["transa"], a["transb"], a["m"], a["n"], a["k"],
                 a["alpha"], a["a_ptr"], a["lda"], a["b_ptr"], a["ldb"],
                 a["beta"], a["c_ptr"], a["ldc"],
             )
 
-    def rpc_cublasSgemm(self, args):
+    def rpc_cublasSgemm(self, args, ctx=None):
         """Cricket procedure ``rpc_cublasSgemm`` (forwards to the CUDA executor)."""
-        return self._gemm(self.blas.cublasSgemm, args)
+        return self._gemm(self.blas.cublasSgemm, args, ctx)
 
-    def rpc_cublasDgemm(self, args):
+    def rpc_cublasDgemm(self, args, ctx=None):
         """Cricket procedure ``rpc_cublasDgemm`` (forwards to the CUDA executor)."""
-        return self._gemm(self.blas.cublasDgemm, args)
+        return self._gemm(self.blas.cublasDgemm, args, ctx)
 
     # -- cuFFT ------------------------------------------------------------
 
-    def rpc_cufftPlan1d(self, nx, fft_type, batch):
+    def rpc_cufftPlan1d(self, nx, fft_type, batch, ctx=None):
         """Cricket procedure ``rpc_cufftPlan1d`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            session, _ = self._charge_dispatch(ctx)
             err, handle = self.fft.cufftPlan1d(nx, fft_type, batch)
+            if err == 0 and session is not None:
+                session.ledger.fft_plans[int(handle)] = self._ordinal()
             return {"err": err, "value": handle}
 
-    def rpc_cufftDestroy(self, handle):
+    def rpc_cufftDestroy(self, handle, ctx=None):
         """Cricket procedure ``rpc_cufftDestroy`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
-            return self.fft.cufftDestroy(handle)
+            self._charge_dispatch(ctx)
+            err = self.fft.cufftDestroy(handle)
+            if err == 0:
+                self.sessions.forget("fft_plans", int(handle))
+            return err
 
-    def rpc_cufftExecC2C(self, handle, idata, odata, direction):
+    def rpc_cufftExecC2C(self, handle, idata, odata, direction, ctx=None):
         """Cricket procedure ``rpc_cufftExecC2C`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.fft.cufftExecC2C(handle, idata, odata, direction)
 
-    def rpc_cufftExecR2C(self, handle, idata, odata):
+    def rpc_cufftExecR2C(self, handle, idata, odata, ctx=None):
         """Cricket procedure ``rpc_cufftExecR2C`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.fft.cufftExecR2C(handle, idata, odata)
 
     # -- cuSOLVER ------------------------------------------------------------
 
-    def rpc_cusolverDnCreate(self):
+    def rpc_cusolverDnCreate(self, ctx=None):
         """Cricket procedure ``rpc_cusolverDnCreate`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            session, _ = self._charge_dispatch(ctx)
             err, handle = self.solver.cusolverDnCreate()
+            if err == C.CUSOLVER_STATUS_SUCCESS and session is not None:
+                session.ledger.solver_handles[int(handle)] = self._ordinal()
             return {"err": err, "value": handle}
 
-    def rpc_cusolverDnDestroy(self, handle):
+    def rpc_cusolverDnDestroy(self, handle, ctx=None):
         """Cricket procedure ``rpc_cusolverDnDestroy`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
-            return self.solver.cusolverDnDestroy(handle)
+            self._charge_dispatch(ctx)
+            err = self.solver.cusolverDnDestroy(handle)
+            if err == C.CUSOLVER_STATUS_SUCCESS:
+                self.sessions.forget("solver_handles", int(handle))
+            return err
 
-    def rpc_cusolverDnDgetrfBufferSize(self, handle, n, a_ptr, lda):
+    def rpc_cusolverDnDgetrfBufferSize(self, handle, n, a_ptr, lda, ctx=None):
         """Cricket procedure ``rpc_cusolverDnDgetrfBufferSize`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             err, lwork = self.solver.cusolverDnDgetrf_bufferSize(handle, n, n, a_ptr, lda)
             return {"err": err, "value": lwork}
 
-    def rpc_cusolverDnDgetrf(self, a):
+    def rpc_cusolverDnDgetrf(self, a, ctx=None):
         """Cricket procedure ``rpc_cusolverDnDgetrf`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.solver.cusolverDnDgetrf(
                 a["handle"], a["n"], a["n"], a["a_ptr"], a["lda"],
                 a["workspace"], a["ipiv"], a["info"],
             )
 
-    def rpc_cusolverDnDgetrs(self, a):
+    def rpc_cusolverDnDgetrs(self, a, ctx=None):
         """Cricket procedure ``rpc_cusolverDnDgetrs`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             return self.solver.cusolverDnDgetrs(
                 a["handle"], a["trans"], a["n"], a["nrhs"], a["a_ptr"], a["lda"],
                 a["ipiv"], a["b_ptr"], a["ldb"], a["info"],
@@ -414,10 +492,10 @@ class CricketImplementation:
 
     # -- checkpoint / restart ------------------------------------------------------
 
-    def rpc_checkpoint(self):
+    def rpc_checkpoint(self, ctx=None):
         """Cricket procedure ``rpc_checkpoint`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             from repro.cricket.checkpoint import snapshot_server
 
             try:
@@ -425,10 +503,10 @@ class CricketImplementation:
             except Exception:
                 return {"err": C.cudaErrorUnknown, "data": b""}
 
-    def rpc_restore(self, blob):
+    def rpc_restore(self, blob, ctx=None):
         """Cricket procedure ``rpc_restore`` (forwards to the CUDA executor)."""
         with self._lock:
-            self._charge_dispatch()
+            self._charge_dispatch(ctx)
             from repro.cricket.checkpoint import restore_server
 
             try:
@@ -436,6 +514,25 @@ class CricketImplementation:
                 return 0
             except Exception:
                 return C.cudaErrorUnknown
+
+    # -- session lifecycle -----------------------------------------------------
+
+    def rpc_ping(self, ctx=None):
+        """Cricket procedure ``rpc_ping``: lease heartbeat.
+
+        Returns the remaining lease in nanoseconds (``LEASE_FOREVER`` when
+        leases are disabled).  The heartbeat itself happens inside
+        ``_charge_dispatch`` -- like every other procedure -- so a client
+        that is busy with real calls never needs to ping; this procedure
+        exists for *idle* clients and for cheap liveness probes.
+        """
+        with self._lock:
+            session, deny = self._charge_dispatch(ctx)
+            if deny != 0:
+                return {"err": deny, "value": 0}
+            if session is None:
+                return {"err": 0, "value": LEASE_FOREVER}
+            return {"err": 0, "value": session.lease_remaining_ns(self.clock.now_ns)}
 
 
 class CricketServer(RpcServer):
@@ -449,6 +546,10 @@ class CricketServer(RpcServer):
         execute: bool = True,
         dispatch_cost_s: float = CRICKET_SERVER_DISPATCH_S,
         scheduling: SchedulingPolicy | None = None,
+        lease_s: float | None = None,
+        grace_s: float = 5.0,
+        max_sessions: int | None = None,
+        memory_quota_bytes: int | None = None,
     ) -> None:
         super().__init__()
         self.clock = clock if clock is not None else SimClock()
@@ -464,6 +565,16 @@ class CricketServer(RpcServer):
         self._solvers = [CusolverContext(d, self.clock) for d in devices]
         self._ffts = [CufftContext(d, self.clock) for d in devices]
         self.scheduler = GpuScheduler(scheduling or FifoPolicy())
+        self.sessions = SessionManager(
+            lease_s=lease_s,
+            grace_s=grace_s,
+            max_sessions=max_sessions,
+            memory_quota_bytes=memory_quota_bytes,
+            stats=self.server_stats,
+        )
+        #: checkpoint blob captured by a drain-mode shutdown (if any
+        #: sessions were still alive when the drain completed)
+        self.drain_checkpoint: bytes | None = None
         self.interface = ProgramInterface.from_source(
             CRICKET_SPEC, CRICKET_PROG_NAME, CRICKET_VERS
         )
@@ -473,6 +584,18 @@ class CricketServer(RpcServer):
             self.interface.vers_number,
             self.interface.make_server_dispatch(self.implementation),
         )
+        # NULLPROC doubles as a lease heartbeat: the reconnect path probes
+        # with it (cheap, idempotent), and an idle client keeping its lease
+        # alive should not pay for a full procedure.
+        self._programs[
+            (self.interface.prog_number, self.interface.vers_number)
+        ][0] = self._null_heartbeat
+
+    def _null_heartbeat(self, args: bytes, ctx) -> bytes:
+        impl = self.implementation
+        with impl._lock:
+            impl._charge_dispatch(ctx)
+        return b""
 
     @property
     def device(self) -> GpuDevice:
@@ -498,3 +621,110 @@ class CricketServer(RpcServer):
     def fft(self) -> CufftContext:
         """cuFFT context of the current device."""
         return self._ffts[self.runtime._current]
+
+    # -- session lifecycle --------------------------------------------------
+
+    def release_ledger(self, ledger) -> int:
+        """Free every resource in ``ledger``; returns device bytes reclaimed.
+
+        Called by the reaper when an orphaned session's grace period
+        lapses.  Each release is individually guarded: a ledger entry may
+        already be gone (explicitly destroyed, device reset, restored
+        checkpoint), and reclamation must never fail halfway because of a
+        stale handle.
+        """
+        before = sum(d.allocator.used_bytes for d in self.devices)
+        # Modules first: unloading frees their globals' device memory too.
+        for handle, ordinal in list(ledger.modules.items()):
+            try:
+                self._drivers[ordinal].cuModuleUnload(handle)
+            except Exception:
+                pass
+        for handle, ordinal in list(ledger.blas_handles.items()):
+            try:
+                self._blas[ordinal].cublasDestroy(handle)
+            except Exception:
+                pass
+        for handle, ordinal in list(ledger.solver_handles.items()):
+            try:
+                self._solvers[ordinal].cusolverDnDestroy(handle)
+            except Exception:
+                pass
+        for handle, ordinal in list(ledger.fft_plans.items()):
+            try:
+                self._ffts[ordinal].cufftDestroy(handle)
+            except Exception:
+                pass
+        for handle, ordinal in list(ledger.streams.items()):
+            try:
+                self.devices[ordinal].streams.destroy_stream(int(handle))
+            except Exception:
+                pass
+        for handle, ordinal in list(ledger.events.items()):
+            try:
+                self.devices[ordinal].streams.destroy_event(int(handle))
+            except Exception:
+                pass
+        for ptr, (ordinal, _size) in list(ledger.allocations.items()):
+            allocator = self.devices[ordinal].allocator
+            if allocator.is_live(int(ptr)):
+                try:
+                    allocator.free(int(ptr))
+                except Exception:
+                    pass
+        for table in (
+            ledger.allocations,
+            ledger.streams,
+            ledger.events,
+            ledger.modules,
+            ledger.blas_handles,
+            ledger.solver_handles,
+            ledger.fft_plans,
+        ):
+            table.clear()
+        after = sum(d.allocator.used_bytes for d in self.devices)
+        return max(before - after, 0)
+
+    def bytes_owned_by(self, identity: str) -> int:
+        """Live device bytes attributed to ``identity``'s session (0 if gone)."""
+        session = self.sessions.lookup(identity)
+        if session is None:
+            return 0
+        total = 0
+        for ptr, (ordinal, size) in session.ledger.allocations.items():
+            if self.devices[ordinal].allocator.is_live(int(ptr)):
+                total += size
+        return total
+
+    def reap_sessions(self) -> int:
+        """Run the lease reaper now; returns device bytes reclaimed.
+
+        The reaper also runs opportunistically on every dispatched call;
+        this explicit entry point lets tests and operators force a sweep
+        after advancing the clock without issuing a client RPC.
+        """
+        with self.implementation._lock:
+            return self.sessions.reap(self.clock.now_ns, self.release_ledger)
+
+    # -- RpcServer hooks ----------------------------------------------------
+
+    def _on_disconnect(self, client_id: str, session: dict) -> None:
+        identities = session.get("identities", ())
+        if not identities:
+            return
+        with self.implementation._lock:
+            self.sessions.mark_disconnected(identities, self.clock.now_ns)
+
+    def _begin_drain(self) -> None:
+        self.sessions.draining = True
+
+    def _on_drain(self) -> None:
+        if self.sessions.session_count > 0:
+            from repro.cricket.checkpoint import snapshot_server
+
+            with self.implementation._lock:
+                try:
+                    self.drain_checkpoint = snapshot_server(self)
+                except Exception:
+                    self.drain_checkpoint = None
+        self.server_stats.drains_completed += 1

@@ -14,6 +14,7 @@ cudaErrorMemoryAllocation = 2
 cudaErrorInitializationError = 3
 cudaErrorInvalidDevicePointer = 17
 cudaErrorInvalidMemcpyDirection = 21
+cudaErrorDevicesUnavailable = 46
 cudaErrorNoDevice = 100
 cudaErrorInvalidDevice = 101
 cudaErrorInvalidKernelImage = 200
@@ -28,6 +29,7 @@ _ERROR_NAMES = {
     cudaErrorInitializationError: "cudaErrorInitializationError",
     cudaErrorInvalidDevicePointer: "cudaErrorInvalidDevicePointer",
     cudaErrorInvalidMemcpyDirection: "cudaErrorInvalidMemcpyDirection",
+    cudaErrorDevicesUnavailable: "cudaErrorDevicesUnavailable",
     cudaErrorNoDevice: "cudaErrorNoDevice",
     cudaErrorInvalidDevice: "cudaErrorInvalidDevice",
     cudaErrorInvalidKernelImage: "cudaErrorInvalidKernelImage",

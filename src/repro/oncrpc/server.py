@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
@@ -42,6 +43,7 @@ from repro.oncrpc import message as msg
 from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth, client_token_from
 from repro.oncrpc.errors import RpcProtocolError, RpcTransportError
 from repro.oncrpc.record import DEFAULT_FRAGMENT_SIZE, RecordReader, encode_record
+from repro.resilience.stats import ServerStats
 from repro.xdr.errors import XdrError
 
 
@@ -57,6 +59,8 @@ class CallContext:
     client_id: str = "loopback"
     #: scratch space shared by all calls on one connection
     session: dict = field(default_factory=dict)
+    #: at-most-once client identity (session token, or ``client_id`` fallback)
+    identity: str = ""
 
 
 Handler = Callable[[bytes, CallContext], bytes]
@@ -108,6 +112,18 @@ class RpcServer:
         self._reply_cache: OrderedDict[tuple[str, int], bytes] = OrderedDict()
         self._reply_cache_total = 0
         self._stats_lock = threading.Lock()
+        #: server-side counters (reply cache + session lifecycle), shared
+        #: with the session manager in :class:`~repro.cricket.server.CricketServer`
+        self.server_stats = ServerStats()
+        # live per-connection sockets/threads, so shutdown() can close them
+        # instead of leaving rpc-conn-* threads blocked in recv() forever
+        self._conn_lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        self._conn_threads: list[threading.Thread] = []
+        # in-flight handler executions (drain mode waits for these)
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+        self._draining = False
 
     # -- registration ---------------------------------------------------------
 
@@ -158,6 +174,7 @@ class RpcServer:
             if cached is not None:
                 self._reply_cache.move_to_end(cache_key)
                 self.duplicate_hits += 1
+                self.server_stats.reply_cache_hits += 1
                 return cached
         ctx = CallContext(
             prog=call.prog,
@@ -166,8 +183,19 @@ class RpcServer:
             cred=call.cred,
             client_id=client_id,
             session=session if session is not None else {},
+            identity=identity,
         )
-        reply_body = self._execute(call, ctx)
+        # Remember which identities rode this connection, so a disconnect
+        # can be attributed to their sessions (see _on_disconnect).
+        ctx.session.setdefault("identities", set()).add(identity)
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            reply_body = self._execute(call, ctx)
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
         reply = msg.RpcMessage(request.xid, reply_body, msg.MSG_ACCEPTED).encode()
         self._cache_reply(cache_key, reply)
         return reply
@@ -196,6 +224,8 @@ class RpcServer:
             ):
                 _, evicted = self._reply_cache.popitem(last=False)
                 self._reply_cache_total -= len(evicted)
+                self.server_stats.reply_cache_evictions += 1
+            self.server_stats.reply_cache_bytes = self._reply_cache_total
 
     def _execute(self, call: msg.CallBody, ctx: CallContext) -> msg.AcceptedReply:
         table = self._programs.get((call.prog, call.vers))
@@ -257,6 +287,10 @@ class RpcServer:
                 name=f"rpc-conn-{addr[1]}",
                 daemon=True,
             )
+            with self._conn_lock:
+                self._conns.add(conn)
+                self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
+                self._conn_threads.append(thread)
             thread.start()
 
     def _serve_connection(self, conn: socket.socket, client_id: str) -> None:
@@ -286,6 +320,8 @@ class RpcServer:
                         break
         finally:
             self._on_disconnect(client_id, session)
+            with self._conn_lock:
+                self._conns.discard(conn)
             try:
                 conn.close()
             except OSError:
@@ -301,8 +337,31 @@ class RpcServer:
     def _on_disconnect(self, client_id: str, session: dict) -> None:
         """Hook for subclasses to release per-connection resources."""
 
-    def shutdown(self) -> None:
-        """Stop the TCP accept loop and close the listening socket."""
+    def _begin_drain(self) -> None:
+        """Hook: the server stopped admitting new sessions (drain started)."""
+
+    def _on_drain(self) -> None:
+        """Hook: all in-flight calls finished during a graceful drain."""
+
+    @property
+    def draining(self) -> bool:
+        """True once a drain-mode shutdown has begun."""
+        return self._draining
+
+    def shutdown(self, *, drain: bool = False, drain_timeout_s: float = 5.0) -> None:
+        """Stop serving; with ``drain=True``, finish in-flight calls first.
+
+        The default is the historical hard stop.  Drain mode runs the
+        graceful sequence: stop admitting new sessions (``_begin_drain``,
+        which the Cricket server uses to flip admission control), close
+        the listener, wait up to ``drain_timeout_s`` wall-clock seconds
+        for in-flight handlers to complete, let the subclass snapshot the
+        surviving sessions (``_on_drain``), and only then tear down the
+        per-connection sockets.
+        """
+        if drain:
+            self._draining = True
+            self._begin_drain()
         self._shutdown.set()
         if self._listener is not None:
             try:
@@ -313,6 +372,32 @@ class RpcServer:
         if self._tcp_thread is not None:
             self._tcp_thread.join(timeout=2.0)
             self._tcp_thread = None
+        if drain:
+            deadline = time.monotonic() + drain_timeout_s
+            with self._inflight_cv:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._inflight_cv.wait(timeout=remaining)
+            self._on_drain()
+        # Close live connection sockets so their rpc-conn-* threads wake
+        # out of recv() and exit instead of lingering past shutdown.
+        with self._conn_lock:
+            conns = list(self._conns)
+            threads = list(self._conn_threads)
+            self._conn_threads = []
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=2.0)
 
     def __enter__(self) -> "RpcServer":
         return self

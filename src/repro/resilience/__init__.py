@@ -23,10 +23,11 @@ non-idempotent call (``cuMemAlloc``, ``cuLaunchKernel``) is answered from
 the cache instead of being executed twice.
 """
 
+from repro.resilience.chaos import ChaosHarness, ChaosPlan, ChaosResult
 from repro.resilience.faults import FaultInjectingTransport, FaultPlan
-from repro.resilience.reconnect import CircuitBreaker, ReconnectingTransport
+from repro.resilience.reconnect import CircuitBreaker, ReconnectingTransport, null_probe
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, is_retryable
-from repro.resilience.stats import ResilienceStats
+from repro.resilience.stats import ResilienceStats, ServerStats
 
 __all__ = [
     "FaultPlan",
@@ -36,5 +37,10 @@ __all__ = [
     "is_retryable",
     "CircuitBreaker",
     "ReconnectingTransport",
+    "null_probe",
     "ResilienceStats",
+    "ServerStats",
+    "ChaosPlan",
+    "ChaosHarness",
+    "ChaosResult",
 ]

@@ -17,12 +17,40 @@ and deadlines) is enforced in real elapsed time.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable
 
 from repro.net.simclock import SimClock, WallClock
 from repro.oncrpc.errors import RpcCircuitOpenError, RpcTransportError
 from repro.oncrpc.transport import Transport
 from repro.resilience.stats import ResilienceStats
+
+#: xids for NULL probes, kept far from RpcClient's call xids
+_PROBE_XIDS = itertools.count(0x7F000000)
+
+
+def null_probe(prog: int, vers: int) -> Callable[[Transport], None]:
+    """Build a NULLPROC liveness probe for :class:`ReconnectingTransport`.
+
+    The returned callable sends procedure 0 of ``(prog, vers)`` on a
+    freshly connected transport and waits for the matching reply.  NULL is
+    the conventional ONC RPC ping: free of arguments and side effects, so
+    probing with it -- rather than letting the first *real* (possibly
+    non-idempotent) call be the half-open trial -- verifies the server is
+    actually answering RPCs before the circuit breaker closes.
+    """
+
+    def probe(transport: Transport) -> None:
+        from repro.oncrpc import message as msg
+
+        xid = next(_PROBE_XIDS)
+        call = msg.RpcMessage(xid, msg.CallBody(prog, vers, 0, args=b""))
+        transport.send_record(call.encode())
+        reply = msg.RpcMessage.decode(transport.recv_record())
+        if reply.is_call or reply.xid != xid:
+            raise RpcTransportError("NULL probe: mismatched reply")
+
+    return probe
 
 
 class CircuitBreaker:
@@ -95,10 +123,15 @@ class ReconnectingTransport:
         clock: SimClock | WallClock | None = None,
         stats: ResilienceStats | None = None,
         connect_now: bool = True,
+        probe: Callable[[Transport], None] | None = None,
     ) -> None:
         self._factory = factory
         self.breaker = breaker if breaker is not None else CircuitBreaker(clock=clock)
         self.stats = stats if stats is not None else ResilienceStats()
+        #: half-open trial run against a fresh connection before the
+        #: breaker closes (see :func:`null_probe`); None accepts a bare
+        #: TCP connect as proof of life
+        self._probe = probe
         self._inner: Transport | None = self._factory() if connect_now else None
 
     @property
@@ -162,10 +195,24 @@ class ReconnectingTransport:
                 f"(state {self.breaker.state!r})"
             )
         try:
-            self._inner = self._factory()
+            inner = self._factory()
         except RpcTransportError:
             self.breaker.record_failure()
             raise
+        if self._probe is not None:
+            try:
+                self._probe(inner)
+            except Exception as exc:
+                # Connected but not answering RPCs: that is a failure for
+                # breaker purposes, and the half-open trial stays cheap
+                # instead of sacrificing a real (non-idempotent) call.
+                self.breaker.record_failure()
+                try:
+                    inner.close()
+                except Exception:
+                    pass
+                raise RpcTransportError(f"reconnect probe failed: {exc}") from exc
+        self._inner = inner
         self.breaker.record_success()
         self.stats.reconnects += 1
 

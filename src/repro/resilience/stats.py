@@ -66,3 +66,70 @@ class ResilienceStats:
         self.deadlines_exceeded = 0
         self.retries_exhausted = 0
         self.faults_injected.clear()
+
+
+@dataclass
+class ServerStats:
+    """Server-side counterpart of :class:`ResilienceStats`.
+
+    One instance is shared by an :class:`~repro.oncrpc.server.RpcServer`
+    (reply-cache behaviour) and its
+    :class:`~repro.cricket.sessions.SessionManager` (session lifecycle and
+    resource governance), so the chaos harness and the tracer see one
+    coherent view of what the server did on behalf of all clients.
+    Counters are prefixed ``server.`` in :meth:`as_dict` so they sit next
+    to the client-side counters in a tracer summary without colliding.
+    """
+
+    #: retransmitted calls answered from the at-most-once reply cache
+    reply_cache_hits: int = 0
+    #: cache entries evicted by the entry-count or byte budget
+    reply_cache_evictions: int = 0
+    #: bytes currently pinned by the reply cache (gauge, not a counter)
+    reply_cache_bytes: int = 0
+    #: sessions admitted (first call of a new client identity)
+    sessions_opened: int = 0
+    #: leases that expired, moving the session to the orphaned state
+    sessions_expired: int = 0
+    #: orphaned sessions whose grace period lapsed; ledger freed
+    sessions_reclaimed: int = 0
+    #: orphaned sessions reattached by a returning client within grace
+    sessions_reattached: int = 0
+    #: device bytes returned to the allocator by orphan reclamation
+    bytes_reclaimed: int = 0
+    #: new sessions refused (capacity reached or server draining)
+    admission_denied: int = 0
+    #: allocations refused by the per-client device-memory quota
+    quota_denied: int = 0
+    #: graceful drains that ran to completion
+    drains_completed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat counter mapping, ``server.``-prefixed for tracer merging."""
+        return {
+            "server.reply_cache_hits": self.reply_cache_hits,
+            "server.reply_cache_evictions": self.reply_cache_evictions,
+            "server.reply_cache_bytes": self.reply_cache_bytes,
+            "server.sessions_opened": self.sessions_opened,
+            "server.sessions_expired": self.sessions_expired,
+            "server.sessions_reclaimed": self.sessions_reclaimed,
+            "server.sessions_reattached": self.sessions_reattached,
+            "server.bytes_reclaimed": self.bytes_reclaimed,
+            "server.admission_denied": self.admission_denied,
+            "server.quota_denied": self.quota_denied,
+            "server.drains_completed": self.drains_completed,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (between experiment repetitions)."""
+        self.reply_cache_hits = 0
+        self.reply_cache_evictions = 0
+        self.reply_cache_bytes = 0
+        self.sessions_opened = 0
+        self.sessions_expired = 0
+        self.sessions_reclaimed = 0
+        self.sessions_reattached = 0
+        self.bytes_reclaimed = 0
+        self.admission_denied = 0
+        self.quota_denied = 0
+        self.drains_completed = 0

@@ -25,6 +25,7 @@ FAST_EXAMPLES = [
     "profiling_trace.py",
     "spectral_analysis.py",
     "fault_tolerance_demo.py",
+    "session_lifecycle_demo.py",
 ]
 
 

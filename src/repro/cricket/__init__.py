@@ -10,7 +10,9 @@
 * :mod:`repro.cricket.checkpoint` -- checkpoint/restart of server state,
 * :mod:`repro.cricket.scheduler` -- GPU-sharing scheduling policies,
 * :mod:`repro.cricket.sessions` -- per-client leases, resource ledgers and
-  orphan reclamation.
+  orphan reclamation,
+* :mod:`repro.cricket.replication` -- hot-standby replication (full sync +
+  op-log) backing transparent client failover.
 """
 
 from repro.cricket.checkpoint import (
@@ -20,6 +22,13 @@ from repro.cricket.checkpoint import (
     snapshot_server,
 )
 from repro.cricket.client import CricketClient, cricket_interface
+from repro.cricket.replication import (
+    MUTATING_PROC_NAMES,
+    ReplicationLink,
+    make_ha_pair,
+    promote,
+    state_fingerprint,
+)
 from repro.cricket.data_channel import DataChannelClient, DataChannelServer
 from repro.cricket.errors import CheckpointError, CricketError, TransferUnsupportedError
 from repro.cricket.params import pack_params, unpack_params
@@ -63,6 +72,11 @@ __all__ = [
     "supported_on",
     "snapshot_server",
     "restore_server",
+    "ReplicationLink",
+    "MUTATING_PROC_NAMES",
+    "make_ha_pair",
+    "promote",
+    "state_fingerprint",
     "save_checkpoint",
     "load_checkpoint",
     "GpuScheduler",

@@ -9,7 +9,10 @@ A checkpoint covers everything the server holds on behalf of clients:
   (device pointers are application state: clients hold them),
 * loaded modules -- metadata, function handles and global bindings,
 * cuBLAS/cuSOLVER handle tables,
-* stream/event handle tables with their virtual-time tails.
+* stream/event handle tables with their virtual-time tails,
+* the at-most-once reply cache (format version 2) -- so a client that
+  retransmits a non-idempotent call *across* a restore (drain -> restart,
+  or failover to a standby) is answered from cache instead of re-executed.
 
 Restoring onto a fresh server of the same GPU model reproduces all handles
 and pointers, so a client can resume issuing calls as if nothing happened.
@@ -28,7 +31,8 @@ from repro.gpu.stream import Event, Stream
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cricket.server import CricketServer
 
-FORMAT_VERSION = 1
+#: version 2 added the reply-cache summary; version-1 blobs still restore.
+FORMAT_VERSION = 2
 
 
 def snapshot_server(server: "CricketServer") -> bytes:
@@ -68,13 +72,19 @@ def snapshot_server(server: "CricketServer") -> bytes:
         # server can keep enforcing quotas and reclaiming orphans.  The key
         # is optional: blobs from before session tracking restore fine.
         state["sessions"] = sessions.snapshot_state()
+    # At-most-once survives the restore: without the reply cache, a client
+    # whose call executed just before the drain/failure would retransmit
+    # against the restored server and re-execute a non-idempotent call.
+    # The cache is already budget-bounded, so the blob stays bounded too.
+    with server._stats_lock:
+        state["reply_cache"] = list(server._reply_cache.items())
     return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def restore_server(server: "CricketServer", blob: bytes) -> None:
     """Restore a checkpoint onto ``server`` (same GPU model required)."""
     state = pickle.loads(blob)
-    if state.get("version") != FORMAT_VERSION:
+    if state.get("version") not in (1, FORMAT_VERSION):
         raise ValueError(f"unsupported checkpoint version {state.get('version')!r}")
     # Device memory (allocations at exact addresses).
     server.device.restore(state["device"])
@@ -117,6 +127,16 @@ def restore_server(server: "CricketServer", blob: bytes) -> None:
     sessions = getattr(server, "sessions", None)
     if sessions is not None and "sessions" in state:
         sessions.restore_state(state["sessions"], server.clock.now_ns)
+    # Reply cache (absent in version-1 blobs).
+    if "reply_cache" in state:
+        from collections import OrderedDict
+
+        with server._stats_lock:
+            server._reply_cache = OrderedDict(state["reply_cache"])
+            server._reply_cache_total = sum(
+                len(reply) for reply in server._reply_cache.values()
+            )
+            server.server_stats.reply_cache_bytes = server._reply_cache_total
 
 
 def _count_from(start: int):

@@ -30,7 +30,12 @@ from repro.cuda.errors import CudaError
 from repro.net.link import LinkModel
 from repro.net.simclock import SimClock, WallClock
 from repro.oncrpc.auth import client_token_from
-from repro.oncrpc.transport import LoopbackTransport, TcpTransport, Transport
+from repro.oncrpc.transport import (
+    ChecksummedTransport,
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+)
 from repro.resilience.faults import FaultInjectingTransport, FaultPlan
 from repro.resilience.reconnect import ReconnectingTransport, null_probe
 from repro.resilience.retry import RetryPolicy
@@ -99,6 +104,7 @@ class CricketClient:
         fragment_size: int = 1 << 20,
         retry_policy: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
+        crc: bool | None = None,
     ) -> "CricketClient":
         """In-process client; charges virtual time when ``platform`` is given.
 
@@ -106,7 +112,11 @@ class CricketClient:
         :class:`~repro.cricket.server.CricketServer`); its clock is shared.
         ``faults`` wraps the transport in a deterministic
         :class:`~repro.resilience.faults.FaultInjectingTransport`; pair it
-        with a ``retry_policy`` for the workload to survive.
+        with a ``retry_policy`` for the workload to survive.  ``crc``
+        enables CRC32 integrity trailers on every record -- placed *above*
+        the fault injector, so injected corruption is caught and
+        retransmitted; the default (``None``) follows the server's
+        ``crc_records`` setting so both ends always agree.
         """
         clock = clock if clock is not None else getattr(server, "clock", None) or SimClock()
         meter = None
@@ -125,6 +135,10 @@ class CricketClient:
             transport = FaultInjectingTransport(
                 transport, faults, clock=clock, stats=stats
             )
+        if crc is None:
+            crc = bool(getattr(server, "crc_records", False))
+        if crc:
+            transport = ChecksummedTransport(transport, stats=stats)
         client = cls(
             transport,
             platform=platform,
@@ -137,6 +151,55 @@ class CricketClient:
         return client
 
     @classmethod
+    def failover(
+        cls,
+        endpoints,
+        *,
+        clock: SimClock | WallClock | None = None,
+        retry_policy: RetryPolicy | None = None,
+        crc: bool | None = None,
+    ) -> "CricketClient":
+        """High-availability client over an ordered endpoint list.
+
+        ``endpoints`` is primary-first (see
+        :class:`~repro.resilience.failover.LoopbackEndpoint` /
+        :class:`~repro.resilience.failover.TcpEndpoint`).  When the active
+        endpoint dies, the retry loop's reconnect walks the list to the
+        next live one -- the ``AUTH_CLIENT_TOKEN`` identity makes the
+        session portable, and a hot standby's replicated reply cache keeps
+        at-most-once intact for retransmitted in-flight calls.  Pair with
+        a ``retry_policy`` (otherwise the first transport error surfaces
+        instead of failing over).  ``crc`` defaults to whatever the first
+        endpoint's server negotiates, like :meth:`loopback`.
+        """
+        from repro.resilience.failover import FailoverTransport
+
+        endpoints = list(endpoints)
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        if clock is None:
+            primary = getattr(endpoints[0], "server", None)
+            clock = getattr(primary, "clock", None) or SimClock()
+        stats = ResilienceStats()
+        if crc is None:
+            crc = any(
+                bool(getattr(getattr(ep, "server", None), "crc_records", False))
+                for ep in endpoints
+            )
+        iface = cricket_interface()
+        probe = null_probe(iface.prog_number, iface.vers_number)
+        if crc:
+            # probe below the checksum layer needs its own trailer
+            base_probe = probe
+            probe = lambda t: base_probe(ChecksummedTransport(t))  # noqa: E731
+        transport: Transport = FailoverTransport(
+            endpoints, clock=clock, stats=stats, probe=probe
+        )
+        if crc:
+            transport = ChecksummedTransport(transport, stats=stats)
+        return cls(transport, clock=clock, retry_policy=retry_policy, stats=stats)
+
+    @classmethod
     def connect_tcp(
         cls,
         host: str,
@@ -146,6 +209,7 @@ class CricketClient:
         connect_timeout: float | None = 5.0,
         io_timeout: float | None = 30.0,
         retry_policy: RetryPolicy | None = None,
+        crc: bool = False,
     ) -> "CricketClient":
         """Real-socket client (no virtual-time metering).
 
@@ -174,12 +238,20 @@ class CricketClient:
             )
 
         iface = cricket_interface()
-        transport = ReconnectingTransport(
+        probe = null_probe(iface.prog_number, iface.vers_number)
+        if crc:
+            # The probe runs on the raw transport below the checksum layer;
+            # a crc_records server would drop its unchecksummed NULL call.
+            base_probe = probe
+            probe = lambda t: base_probe(ChecksummedTransport(t))  # noqa: E731
+        transport: Transport = ReconnectingTransport(
             factory,
             clock=clock,
             stats=stats,
-            probe=null_probe(iface.prog_number, iface.vers_number),
+            probe=probe,
         )
+        if crc:
+            transport = ChecksummedTransport(transport, stats=stats)
         return cls(transport, clock=clock, retry_policy=retry_policy, stats=stats)
 
     # -- plumbing -----------------------------------------------------------

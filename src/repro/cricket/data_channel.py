@@ -20,6 +20,16 @@ Protocol per connection (little-endian):
   total_stripes u32, chunk u32, dptr u64, total u64`` then, for writes, the
 stripe's chunks back-to-back; for reads the server streams them back.
 Stripe ``k`` owns chunks ``k, k+n, k+2n, ...`` of the payload.
+
+Integrity: when the direction byte carries :data:`FLAG_CRC` (the default
+for :class:`DataChannelClient`), each stripe's bytes are followed by a
+4-byte big-endian CRC32 trailer.  A mismatching write stripe is refused
+(``NO`` instead of ``OK``) and never touches the staging buffer; a
+mismatching read stripe fails client-side verification.  Either way the
+client transparently retransmits just that stripe on a fresh connection,
+up to :data:`DataChannelClient.MAX_STRIPE_ATTEMPTS` times -- TCP guards
+each hop, but the staging-buffer path and any middlebox in between are
+exactly where end-to-end checks earn their keep.
 """
 
 from __future__ import annotations
@@ -27,15 +37,22 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import zlib
 
 from repro.gpu.device import GpuDevice
 
 _HEADER = struct.Struct("<BIIIQQ")
 DIR_WRITE = ord("W")
 DIR_READ = ord("R")
+#: OR'd into the direction byte: stripe payloads carry a CRC32 trailer
+FLAG_CRC = 0x80
 
 #: stripe interleave unit
 DEFAULT_CHUNK = 256 * 1024
+
+
+def _crc(data: bytes) -> bytes:
+    return (zlib.crc32(data) & 0xFFFFFFFF).to_bytes(4, "big")
 
 
 def _stripe_slices(total: int, chunk: int, stripe: int, nstripes: int):
@@ -73,6 +90,11 @@ class DataChannelServer:
         # staging buffers per (dptr, total): the extra copy of §4.2
         self._staging: dict[tuple[int, int], tuple[bytearray, set[int], int]] = {}
         self._staging_lock = threading.Lock()
+        #: write stripes refused because their CRC32 trailer mismatched
+        self.crc_rejected = 0
+        #: test hook: corrupt one byte of the next N read stripes *after*
+        #: their CRC is computed (models staging/wire corruption)
+        self.corrupt_next_reads = 0
         self._thread = threading.Thread(
             target=self._accept_loop, name="cricket-data", daemon=True
         )
@@ -94,10 +116,12 @@ class DataChannelServer:
         try:
             header = _recv_exact(conn, _HEADER.size)
             direction, stripe, nstripes, chunk, dptr, total = _HEADER.unpack(header)
+            crc = bool(direction & FLAG_CRC)
+            direction &= ~FLAG_CRC
             if direction == DIR_WRITE:
-                self._handle_write(conn, stripe, nstripes, chunk, dptr, total)
+                self._handle_write(conn, stripe, nstripes, chunk, dptr, total, crc)
             elif direction == DIR_READ:
-                self._handle_read(conn, stripe, nstripes, chunk, dptr, total)
+                self._handle_read(conn, stripe, nstripes, chunk, dptr, total, crc)
         except Exception:
             # bad pointers, device errors, resets: drop this connection; the
             # client observes the missing OK / short read and raises
@@ -108,16 +132,26 @@ class DataChannelServer:
             except OSError:
                 pass
 
-    def _handle_write(self, conn, stripe, nstripes, chunk, dptr, total) -> None:
+    def _handle_write(self, conn, stripe, nstripes, chunk, dptr, total, crc) -> None:
+        slices = list(_stripe_slices(total, chunk, stripe, nstripes))
+        # Receive the whole stripe before touching shared staging, so a
+        # corrupt stripe can be refused without leaving partial bytes
+        # behind for the retransmission to race with.
+        received = [(_recv_exact(conn, size), offset, size) for offset, size in slices]
+        if crc:
+            trailer = _recv_exact(conn, 4)
+            stripe_bytes = b"".join(data for data, _, _ in received)
+            if _crc(stripe_bytes) != trailer:
+                self.crc_rejected += 1
+                conn.sendall(b"NO")
+                return
         key = (dptr, total)
         with self._staging_lock:
             if key not in self._staging:
                 self._staging[key] = (bytearray(total), set(), nstripes)
             buffer, done, _ = self._staging[key]
-        for offset, size in _stripe_slices(total, chunk, stripe, nstripes):
-            data = _recv_exact(conn, size)
-            buffer[offset : offset + size] = data
-        with self._staging_lock:
+            for data, offset, size in received:
+                buffer[offset : offset + size] = data
             done.add(stripe)
             complete = len(done) == nstripes
             if complete:
@@ -127,10 +161,23 @@ class DataChannelServer:
             self.device.allocator.write(dptr, bytes(buffer))
         conn.sendall(b"OK")
 
-    def _handle_read(self, conn, stripe, nstripes, chunk, dptr, total) -> None:
+    def _handle_read(self, conn, stripe, nstripes, chunk, dptr, total, crc) -> None:
         data = self.device.allocator.read(dptr, total)  # staging copy
-        for offset, size in _stripe_slices(total, chunk, stripe, nstripes):
-            conn.sendall(data[offset : offset + size])
+        stripe_bytes = b"".join(
+            data[offset : offset + size]
+            for offset, size in _stripe_slices(total, chunk, stripe, nstripes)
+        )
+        if not crc:
+            conn.sendall(stripe_bytes)
+            return
+        trailer = _crc(stripe_bytes)
+        with self._staging_lock:
+            corrupt = self.corrupt_next_reads > 0 and len(stripe_bytes) > 0
+            if corrupt:
+                self.corrupt_next_reads -= 1
+        if corrupt:
+            stripe_bytes = bytes([stripe_bytes[0] ^ 0x5A]) + stripe_bytes[1:]
+        conn.sendall(stripe_bytes + trailer)
 
     def close(self) -> None:
         """Stop accepting and close the listener."""
@@ -145,18 +192,29 @@ class DataChannelServer:
 class DataChannelClient:
     """Client side: stripes payloads across ``n`` worker connections."""
 
+    #: per-stripe delivery attempts before giving up on integrity failures
+    MAX_STRIPE_ATTEMPTS = 3
+
     def __init__(
         self,
         address: tuple[str, int],
         *,
         sockets: int = 4,
         chunk: int = DEFAULT_CHUNK,
+        crc: bool = True,
     ) -> None:
         if sockets < 1:
             raise ValueError("need at least one data socket")
         self.address = address
         self.sockets = sockets
         self.chunk = chunk
+        self.crc = crc
+        #: stripes retransmitted after an integrity failure (either side)
+        self.stripe_retransmits = 0
+        #: test hook: corrupt one byte of the next N write stripes *after*
+        #: their CRC is computed
+        self.corrupt_next_writes = 0
+        self._lock = threading.Lock()
 
     def _run_stripes(self, worker) -> None:
         errors: list[BaseException] = []
@@ -178,38 +236,103 @@ class DataChannelClient:
         if errors:
             raise errors[0]
 
-    def write(self, dptr: int, payload: bytes) -> None:
-        """Host-to-device transfer over parallel sockets."""
-        total = len(payload)
+    def _note_retransmit(self) -> None:
+        with self._lock:
+            self.stripe_retransmits += 1
 
-        def worker(stripe: int) -> None:
+    def _take_write_corruption(self) -> bool:
+        with self._lock:
+            if self.corrupt_next_writes > 0:
+                self.corrupt_next_writes -= 1
+                return True
+        return False
+
+    def write(self, dptr: int, payload: bytes) -> None:
+        """Host-to-device transfer over parallel sockets.
+
+        With CRC enabled, a stripe the server refuses (``NO``: trailer
+        mismatch) is retransmitted on a fresh connection, transparently to
+        the caller.
+        """
+        total = len(payload)
+        direction = DIR_WRITE | (FLAG_CRC if self.crc else 0)
+
+        def send_once(stripe: int) -> bool:
             conn = socket.create_connection(self.address, timeout=30.0)
             try:
                 conn.sendall(
-                    _HEADER.pack(DIR_WRITE, stripe, self.sockets, self.chunk, dptr, total)
+                    _HEADER.pack(direction, stripe, self.sockets, self.chunk, dptr, total)
                 )
-                for offset, size in _stripe_slices(total, self.chunk, stripe, self.sockets):
-                    conn.sendall(payload[offset : offset + size])
-                assert _recv_exact(conn, 2) == b"OK"
+                stripe_bytes = b"".join(
+                    payload[offset : offset + size]
+                    for offset, size in _stripe_slices(total, self.chunk, stripe, self.sockets)
+                )
+                if self.crc:
+                    trailer = _crc(stripe_bytes)
+                    if self._take_write_corruption() and stripe_bytes:
+                        stripe_bytes = bytes([stripe_bytes[0] ^ 0x5A]) + stripe_bytes[1:]
+                    conn.sendall(stripe_bytes + trailer)
+                else:
+                    conn.sendall(stripe_bytes)
+                reply = _recv_exact(conn, 2)
+                if reply == b"OK":
+                    return True
+                if reply == b"NO" and self.crc:
+                    return False
+                raise ConnectionError(f"unexpected data-channel reply {reply!r}")
             finally:
                 conn.close()
+
+        def worker(stripe: int) -> None:
+            for attempt in range(self.MAX_STRIPE_ATTEMPTS):
+                if send_once(stripe):
+                    return
+                self._note_retransmit()
+            raise ConnectionError(
+                f"stripe {stripe} failed integrity check "
+                f"{self.MAX_STRIPE_ATTEMPTS} times"
+            )
 
         self._run_stripes(worker)
 
     def read(self, dptr: int, total: int) -> bytes:
-        """Device-to-host transfer over parallel sockets."""
-        out = bytearray(total)
+        """Device-to-host transfer over parallel sockets.
 
-        def worker(stripe: int) -> None:
+        With CRC enabled, a stripe whose trailer mismatches is re-fetched
+        on a fresh connection, transparently to the caller.
+        """
+        out = bytearray(total)
+        direction = DIR_READ | (FLAG_CRC if self.crc else 0)
+
+        def fetch_once(stripe: int) -> bool:
             conn = socket.create_connection(self.address, timeout=30.0)
             try:
                 conn.sendall(
-                    _HEADER.pack(DIR_READ, stripe, self.sockets, self.chunk, dptr, total)
+                    _HEADER.pack(direction, stripe, self.sockets, self.chunk, dptr, total)
                 )
-                for offset, size in _stripe_slices(total, self.chunk, stripe, self.sockets):
-                    out[offset : offset + size] = _recv_exact(conn, size)
+                slices = list(_stripe_slices(total, self.chunk, stripe, self.sockets))
+                stripe_bytes = _recv_exact(conn, sum(size for _, size in slices))
+                if self.crc:
+                    trailer = _recv_exact(conn, 4)
+                    if _crc(stripe_bytes) != trailer:
+                        return False
+                cursor = 0
+                for offset, size in slices:
+                    out[offset : offset + size] = stripe_bytes[cursor : cursor + size]
+                    cursor += size
+                return True
             finally:
                 conn.close()
+
+        def worker(stripe: int) -> None:
+            for attempt in range(self.MAX_STRIPE_ATTEMPTS):
+                if fetch_once(stripe):
+                    return
+                self._note_retransmit()
+            raise ConnectionError(
+                f"stripe {stripe} failed integrity check "
+                f"{self.MAX_STRIPE_ATTEMPTS} times"
+            )
 
         self._run_stripes(worker)
         return bytes(out)

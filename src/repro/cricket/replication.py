@@ -1,0 +1,326 @@
+"""Hot-standby replication: primary -> standby state shipping.
+
+High availability for the Cricket server role.  A primary keeps a warm
+standby in lock-step by two mechanisms:
+
+1. **Initial full sync** -- the standby is seeded with a full checkpoint
+   (:func:`~repro.cricket.checkpoint.snapshot_server`), including the
+   at-most-once reply cache (format version 2).
+
+2. **Incremental op-log** -- every *state-mutating* RPC that executes on
+   the primary is shipped as its original verified request record and
+   **replayed** through the standby's normal dispatch path.  Because
+   handle and pointer allocation is deterministic (``itertools.count``
+   counters, first-fit allocator), replay reproduces the exact handles and
+   device pointers the primary handed out -- and, as a free consequence,
+   populates the standby's reply cache under the *original client
+   identity and xid*.  A client that fails over and retransmits an
+   in-flight non-idempotent call is therefore answered from the standby's
+   cache instead of re-executing it: at-most-once survives failover.
+
+Read-only procedures (``cudaGetDeviceProperties``, D2H memcpy,
+``cudaPeekAtLastError``, synchronize/elapsed-time queries, ...) are not
+shipped: they do not change server state, and re-executing them after a
+failover is harmless.  ``cudaGetLastError`` *is* shipped -- it reads and
+clears the sticky error, so it mutates.
+
+Sequence numbers and lag: each shipped op gets a monotonically increasing
+``primary_seq``; the standby acknowledges ``applied_seq`` after replay.
+``max_lag`` bounds ``primary_seq - applied_seq``: with the default 0 the
+link is synchronous (each mutating call is applied on the standby before
+the primary replies -- the op is shipped from inside the dispatch path);
+a positive value batches ops and flushes whenever the bound is exceeded
+(or on :func:`promote`).
+
+Known limitation (shared with the checkpoint format): the initial full
+sync covers the *current* device and carries no cuFFT plan table, so a
+standby attached mid-workload misses state outside that coverage.
+Attaching the standby before serving clients -- the normal HA deployment
+-- makes the op-log authoritative for everything, including cuFFT.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.oncrpc import message as msg
+from repro.oncrpc.record import append_crc
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cricket.server import CricketServer
+
+#: Procedures that change server-side state and must be shipped to the
+#: standby.  Everything else is a pure read (or touches only virtual
+#: time) and is safe to re-execute after failover.
+MUTATING_PROC_NAMES = frozenset(
+    {
+        # device management: selection and reset change runtime state;
+        # GetLastError reads *and clears* the sticky error code
+        "rpc_cudaSetDevice",
+        "rpc_cudaDeviceReset",
+        "rpc_cudaGetLastError",
+        # memory
+        "rpc_cudaMalloc",
+        "rpc_cudaFree",
+        "rpc_cudaMemcpyH2D",
+        "rpc_cudaMemcpyD2D",
+        "rpc_cudaMemset",
+        "rpc_cudaMemcpyH2DAsync",
+        # streams / events (create/destroy allocate handles; record and
+        # wait-event mutate stream/event virtual-time state)
+        "rpc_cudaStreamCreate",
+        "rpc_cudaStreamDestroy",
+        "rpc_cudaEventCreate",
+        "rpc_cudaEventDestroy",
+        "rpc_cudaEventRecord",
+        "rpc_cudaStreamWaitEvent",
+        # modules / launch (GetFunction allocates a fresh handle per call)
+        "rpc_cuModuleLoadData",
+        "rpc_cuModuleUnload",
+        "rpc_cuModuleGetFunction",
+        "rpc_cuLaunchKernel",
+        # cuBLAS / cuFFT / cuSOLVER handles and compute (compute writes
+        # result matrices into device memory)
+        "rpc_cublasCreate",
+        "rpc_cublasDestroy",
+        "rpc_cublasSgemm",
+        "rpc_cublasDgemm",
+        "rpc_cufftPlan1d",
+        "rpc_cufftDestroy",
+        "rpc_cufftExecC2C",
+        "rpc_cufftExecR2C",
+        "rpc_cusolverDnCreate",
+        "rpc_cusolverDnDestroy",
+        "rpc_cusolverDnDgetrf",
+        "rpc_cusolverDnDgetrs",
+        # restoring a checkpoint rewrites everything
+        "rpc_restore",
+    }
+)
+
+
+def mutating_proc_numbers(interface) -> frozenset[int]:
+    """Resolve :data:`MUTATING_PROC_NAMES` to procedure numbers.
+
+    Resolving by *name* against the compiled interface keeps the set in
+    lock-step with ``cricket.x``: renumbering procedures cannot silently
+    turn a mutating call into an unshipped one, and a name that vanishes
+    from the spec fails loudly here.
+    """
+    numbers = set()
+    for name in MUTATING_PROC_NAMES:
+        sig = interface.signatures.get(name)
+        if sig is None:
+            raise ValueError(f"mutating procedure {name!r} not in interface")
+        numbers.add(sig.number)
+    return frozenset(numbers)
+
+
+class ReplicationLink:
+    """Ships state-mutating ops from a primary to a hot standby.
+
+    Attaching installs the primary's ``on_executed`` observer (full sync
+    first).  Detaching (or :func:`promote`) removes it.  The link itself
+    is the "network": in-process by construction, but the unit shipped --
+    the original request record bytes -- is exactly what a wire protocol
+    would carry.
+    """
+
+    REPLICATION_CLIENT_ID = "replication-link"
+
+    def __init__(
+        self,
+        primary: "CricketServer",
+        standby: "CricketServer",
+        *,
+        max_lag: int = 0,
+    ) -> None:
+        if max_lag < 0:
+            raise ValueError("max_lag must be >= 0")
+        if primary.on_executed is not None:
+            raise RuntimeError("primary already has a replication observer")
+        self.primary = primary
+        self.standby = standby
+        self.max_lag = max_lag
+        #: sequence number of the last op executed (and shipped) on the primary
+        self.primary_seq = 0
+        #: sequence number of the last op replayed on the standby
+        self.applied_seq = 0
+        self._pending: deque[tuple[int, bytes]] = deque()
+        self._mutating = mutating_proc_numbers(primary.interface)
+        self._prog = primary.interface.prog_number
+        self._lock = threading.RLock()
+        # per-link dispatch session on the standby (one logical connection)
+        self._standby_session: dict = {}
+        self.attached = False
+        self.promoted = False
+        self.full_sync()
+        primary.on_executed = self._on_executed
+        self.attached = True
+
+    # -- state shipping ---------------------------------------------------
+
+    def full_sync(self) -> None:
+        """Seed (or re-seed) the standby with a full primary checkpoint."""
+        from repro.cricket.checkpoint import restore_server, snapshot_server
+
+        with self._lock:
+            restore_server(self.standby, snapshot_server(self.primary))
+            self._pending.clear()
+            self.applied_seq = self.primary_seq
+            self.primary.server_stats.replication_full_syncs += 1
+            self._update_lag()
+
+    def _on_executed(self, record: bytes, call: msg.CallBody, reply: bytes) -> None:
+        # Called from inside the primary's dispatch path, under its
+        # op-log lock: ship order == execution order.
+        if call.prog != self._prog or call.proc not in self._mutating:
+            return
+        with self._lock:
+            self.primary_seq += 1
+            self._pending.append((self.primary_seq, record))
+            self.primary.server_stats.replication_ops_shipped += 1
+            if self.primary_seq - self.applied_seq > self.max_lag:
+                self._apply_pending()
+            self._update_lag()
+
+    def _apply_pending(self) -> None:
+        while self._pending:
+            seq, record = self._pending.popleft()
+            # on_executed observes the *verified* (CRC-stripped) record;
+            # a checksumming standby expects the trailer back on.
+            wire = append_crc(record) if self.standby.crc_records else record
+            self.standby.dispatch_record(
+                wire,
+                client_id=self.REPLICATION_CLIENT_ID,
+                session=self._standby_session,
+            )
+            self.applied_seq = seq
+            self.primary.server_stats.replication_ops_applied += 1
+
+    def _update_lag(self) -> None:
+        self.primary.server_stats.replication_lag = self.lag
+
+    @property
+    def lag(self) -> int:
+        """Ops executed on the primary but not yet applied on the standby."""
+        return self.primary_seq - self.applied_seq
+
+    def flush(self) -> None:
+        """Apply every pending op to the standby (lag drops to zero)."""
+        with self._lock:
+            self._apply_pending()
+            self._update_lag()
+
+    def detach(self) -> None:
+        """Stop observing the primary (pending ops stay queued)."""
+        if self.attached:
+            self.primary.on_executed = None
+            self.attached = False
+
+
+def promote(link: ReplicationLink) -> "CricketServer":
+    """Promote the standby: flush the op-log, detach, return the standby.
+
+    Idempotent -- a second promotion (two clients racing to the standby)
+    is a no-op.  After promotion the standby is a fully independent
+    primary holding every acknowledged *and* pending op, with the reply
+    cache the replay built, so retransmitted in-flight calls from failing-
+    over clients hit at-most-once instead of re-executing.
+    """
+    with link._lock:
+        if link.promoted:
+            return link.standby
+        link.flush()
+        link.detach()
+        link.promoted = True
+        link.standby.server_stats.standby_promotions += 1
+    return link.standby
+
+
+def make_ha_pair(
+    primary: "CricketServer",
+    standby: "CricketServer",
+    *,
+    max_lag: int = 0,
+) -> tuple[ReplicationLink, list]:
+    """Wire a primary/standby pair for transparent client failover.
+
+    Returns ``(link, endpoints)`` where ``endpoints`` feeds
+    :meth:`CricketClient.failover`: primary first, then the standby with a
+    connect hook that promotes it (flushing any replication lag) the
+    moment a failing-over client arrives.
+    """
+    from repro.resilience.failover import LoopbackEndpoint
+
+    link = ReplicationLink(primary, standby, max_lag=max_lag)
+    endpoints = [
+        LoopbackEndpoint(primary, name="primary"),
+        LoopbackEndpoint(
+            standby, name="standby", on_connect=lambda _ep: promote(link)
+        ),
+    ]
+    return link, endpoints
+
+
+# -- state fingerprint (for replication equivalence checks) ---------------
+
+
+def state_fingerprint(server: "CricketServer") -> str:
+    """Digest of a server's *logical* state, excluding virtual time.
+
+    Two servers with equal fingerprints hand out the same answers to any
+    future state-observing call: same live allocations (addresses, sizes
+    and contents), same module/function/handle tables, same counters, same
+    session ledgers.  Virtual-time quantities (clock, stream tails, event
+    timestamps, lease expiries) are deliberately excluded -- a standby's
+    clock legitimately differs from its primary's, and time never feeds
+    back into handle or pointer allocation.
+
+    Coverage matches the checkpoint format: the *current* device plus the
+    per-device handle tables the checkpoint carries (cuFFT plans excluded).
+    """
+    device = server.device
+    allocations = sorted(
+        (a.addr, a.size, hashlib.sha256(a.data.tobytes()).hexdigest())
+        for a in device.allocator.live_allocations()
+    )
+    driver = server.driver
+    modules = []
+    for module in sorted(driver.loaded_modules(), key=lambda m: m.handle):
+        modules.append(
+            (
+                module.handle,
+                module.image.arch,
+                sorted((fh, meta.name) for fh, meta in module.functions.items()),
+                sorted(module.globals.items()),
+            )
+        )
+    sessions = getattr(server, "sessions", None)
+    ledgers = []
+    if sessions is not None:
+        for identity, session in sorted(sessions._sessions.items()):
+            state = session.ledger.as_state()
+            if any(state.values()):
+                canonical = sorted(
+                    (table, sorted(entries.items()))
+                    for table, entries in state.items()
+                )
+                ledgers.append((identity, canonical))
+    state = (
+        ("spec", device.spec.name),
+        ("capacity", device.allocator.capacity),
+        ("allocations", allocations),
+        ("modules", modules),
+        ("next_module", driver._next_module.__reduce__()[1][0]),
+        ("next_function", driver._next_function.__reduce__()[1][0]),
+        ("blas", sorted(server.blas._handles)),
+        ("solver", sorted(server.solver._handles)),
+        ("streams", sorted(s.handle for s in device.streams.streams())),
+        ("events", sorted(device.streams._events)),
+        ("ledgers", ledgers),
+    )
+    return hashlib.sha256(repr(state).encode()).hexdigest()

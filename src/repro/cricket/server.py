@@ -36,6 +36,7 @@ from repro.cuda.driver import CudaDriver
 from repro.cuda.runtime import CudaRuntime
 from repro.gpu.catalog import A100
 from repro.gpu.device import GpuDevice
+from repro.gpu.stream import StreamTable
 from repro.net.simclock import SimClock
 from repro.oncrpc.server import RpcServer
 from repro.rpcl.stubgen import ProgramInterface
@@ -550,8 +551,9 @@ class CricketServer(RpcServer):
         grace_s: float = 5.0,
         max_sessions: int | None = None,
         memory_quota_bytes: int | None = None,
+        crc_records: bool = False,
     ) -> None:
-        super().__init__()
+        super().__init__(crc_records=crc_records)
         self.clock = clock if clock is not None else SimClock()
         if devices is None:
             devices = [GpuDevice(A100, execute=execute)]
@@ -705,6 +707,71 @@ class CricketServer(RpcServer):
         """
         with self.implementation._lock:
             return self.sessions.reap(self.clock.now_ns, self.release_ledger)
+
+    # -- device health / failover -------------------------------------------
+
+    def inject_device_fault(self, ordinal: int, kind: str = "ecc") -> None:
+        """Poison device ``ordinal`` with a sticky hardware fault (chaos hook)."""
+        with self.implementation._lock:
+            self.devices[ordinal].inject_fault(kind)
+
+    def device_health(self) -> dict[int, bool]:
+        """Map of ordinal -> healthy for every device on the node."""
+        return {i: d.healthy for i, d in enumerate(self.devices)}
+
+    def _find_spare(self, ordinal: int) -> int | None:
+        """A healthy, idle, same-model device to absorb ``ordinal``'s state."""
+        faulted = self.devices[ordinal]
+        for i, d in enumerate(self.devices):
+            if i == ordinal or not d.healthy:
+                continue
+            if d.spec.name != faulted.spec.name:
+                continue
+            if d.allocator.used_bytes == 0:
+                return i
+        return None
+
+    def failover_device(self, ordinal: int, spare_ordinal: int | None = None) -> int:
+        """Migrate a faulted device's state onto a healthy same-model spare.
+
+        The faulted card's memory image is snapshotted (an admin path that
+        bypasses the sticky fault -- the simulated HBM contents are intact,
+        only the execution engines are poisoned), restored onto the spare,
+        and the two :class:`~repro.gpu.device.GpuDevice` objects are swapped
+        between their list slots.  Swapping -- rather than rewriting ledgers
+        -- keeps every client-visible ordinal, device pointer and
+        stream/event handle valid: sessions keep running on "device
+        ``ordinal``" and never observe the migration.  The faulted card is
+        reset in the spare's slot, clearing its fault and leaving it empty.
+
+        Returns the slot the faulted silicon now occupies.  Raises
+        ``RuntimeError`` when no spare is available (callers then fall back
+        to whole-server failover via the standby).
+        """
+        with self.implementation._lock:
+            faulted = self.devices[ordinal]
+            if spare_ordinal is None:
+                spare_ordinal = self._find_spare(ordinal)
+            if spare_ordinal is None:
+                raise RuntimeError(
+                    f"no healthy idle {faulted.spec.name!r} spare for device {ordinal}"
+                )
+            spare = self.devices[spare_ordinal]
+            spare.restore(faulted.snapshot())
+            # Stream/event handles are application state too: the table moves
+            # with the workload, the faulted card gets a fresh empty one.
+            spare.streams, faulted.streams = faulted.streams, StreamTable()
+            self.devices[ordinal], self.devices[spare_ordinal] = spare, faulted
+            # runtime holds its own copy of the device list
+            self.runtime.devices[ordinal] = spare
+            self.runtime.devices[spare_ordinal] = faulted
+            # per-slot executor contexts follow the slot, not the silicon
+            for contexts in (self._drivers, self._blas, self._solvers, self._ffts):
+                contexts[ordinal].device = spare
+                contexts[spare_ordinal].device = faulted
+            faulted.reset()  # clears the sticky fault; card becomes the new spare
+            self.server_stats.device_failovers += 1
+            return spare_ordinal
 
     # -- RpcServer hooks ----------------------------------------------------
 

@@ -18,7 +18,9 @@ cudaErrorDevicesUnavailable = 46
 cudaErrorNoDevice = 100
 cudaErrorInvalidDevice = 101
 cudaErrorInvalidKernelImage = 200
+cudaErrorECCUncorrectable = 214
 cudaErrorInvalidResourceHandle = 400
+cudaErrorIllegalAddress = 700
 cudaErrorNotSupported = 801
 cudaErrorUnknown = 999
 
@@ -33,7 +35,9 @@ _ERROR_NAMES = {
     cudaErrorNoDevice: "cudaErrorNoDevice",
     cudaErrorInvalidDevice: "cudaErrorInvalidDevice",
     cudaErrorInvalidKernelImage: "cudaErrorInvalidKernelImage",
+    cudaErrorECCUncorrectable: "cudaErrorECCUncorrectable",
     cudaErrorInvalidResourceHandle: "cudaErrorInvalidResourceHandle",
+    cudaErrorIllegalAddress: "cudaErrorIllegalAddress",
     cudaErrorNotSupported: "cudaErrorNotSupported",
     cudaErrorUnknown: "cudaErrorUnknown",
 }

@@ -6,6 +6,7 @@ from repro.cuda import constants as C
 from repro.cubin.errors import CubinError
 from repro.gpu.errors import (
     AllocationOverlapError,
+    DeviceFaultError,
     DoubleFreeError,
     GpuError,
     InvalidDevicePointerError,
@@ -27,6 +28,8 @@ class CudaError(Exception):
 def code_for_exception(exc: BaseException) -> int:
     """Map a device/model exception onto the matching ``cudaError_t``."""
     if isinstance(exc, CudaError):
+        return exc.code
+    if isinstance(exc, DeviceFaultError):
         return exc.code
     if isinstance(exc, OutOfMemoryError):
         return C.cudaErrorMemoryAllocation

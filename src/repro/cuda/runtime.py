@@ -127,9 +127,16 @@ class CudaRuntime:
         return C.cudaSuccess, props
 
     def cudaDeviceSynchronize(self) -> int:
-        """Block until all device work completes (advances virtual time)."""
+        """Block until all device work completes (advances virtual time).
+
+        A sticky device fault (ECC / corrupted context) surfaces here just
+        like in real CUDA: synchronization reports the fault's error code.
+        """
         self._count()
-        self._advance_to(self._device().synchronize_ns())
+        device = self._device()
+        self._advance_to(device.synchronize_ns())
+        if device.fault is not None:
+            return self._record(device.fault.code)
         return C.cudaSuccess
 
     def cudaDeviceReset(self) -> int:

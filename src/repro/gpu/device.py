@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.gpu.catalog import A100, GpuSpec
-from repro.gpu.errors import GpuError
+from repro.gpu.errors import DeviceFaultError, GpuError
 from repro.gpu.kernels import (
     DEFAULT_REGISTRY,
     Kernel,
@@ -39,6 +39,16 @@ class LaunchResult:
     done_ns: int
     #: execution duration charged for the kernel, ns
     duration_ns: int
+
+
+#: sticky fault kinds and the ``cudaError_t`` each surfaces as.  Values
+#: are the real CUDA codes (kept numeric here so :mod:`repro.gpu` stays
+#: importable without :mod:`repro.cuda`): 214 = cudaErrorECCUncorrectable,
+#: 700 = cudaErrorIllegalAddress (the classic corrupted-context verdict).
+FAULT_KINDS = {
+    "ecc": 214,
+    "context": 700,
+}
 
 
 class GpuDevice:
@@ -62,34 +72,69 @@ class GpuDevice:
         self.streams = StreamTable()
         #: monotonically increasing count of launches (instrumentation)
         self.launch_count = 0
+        #: sticky hardware fault, or None when healthy (see :meth:`inject_fault`)
+        self.fault: DeviceFaultError | None = None
+
+    # -- fault model --------------------------------------------------------
+
+    def inject_fault(self, kind: str = "ecc") -> None:
+        """Poison the device with a sticky hardware fault.
+
+        ``kind`` is one of :data:`FAULT_KINDS` (``"ecc"`` for an
+        uncorrectable ECC error, ``"context"`` for context corruption).
+        Every subsequent memory operation or launch raises the same
+        :class:`~repro.gpu.errors.DeviceFaultError` -- real CUDA sticky
+        semantics -- until :meth:`reset` (an explicit ``cudaDeviceReset``)
+        clears it.  Memory *contents* are not scrambled: the fault model
+        is "the device stops answering correctly", which is what an ECC
+        MCE or Xid looks like from the driver's side.
+        """
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} (want one of {sorted(FAULT_KINDS)})")
+        self.fault = DeviceFaultError(kind, FAULT_KINDS[kind])
+
+    @property
+    def healthy(self) -> bool:
+        """True while no sticky fault is outstanding."""
+        return self.fault is None
+
+    def _check_fault(self) -> None:
+        if self.fault is not None:
+            raise self.fault
 
     # -- memory ------------------------------------------------------------
 
     def alloc(self, size: int) -> int:
         """Allocate device memory; returns device pointer."""
+        self._check_fault()
         return self.allocator.alloc(size)
 
     def free(self, ptr: int) -> None:
         """Free device memory."""
+        self._check_fault()
         self.allocator.free(ptr)
 
     def memcpy_h2d(self, dst: int, data: bytes) -> float:
         """Copy host bytes to device; returns simulated seconds (PCIe)."""
+        self._check_fault()
         self.allocator.write(dst, data)
         return self.timing.memcpy_time_s(len(data))
 
     def memcpy_d2h(self, src: int, size: int) -> tuple[bytes, float]:
         """Copy device bytes to host; returns (data, simulated seconds)."""
+        self._check_fault()
         data = self.allocator.read(src, size)
         return data, self.timing.memcpy_time_s(size)
 
     def memcpy_d2d(self, dst: int, src: int, size: int) -> float:
         """Copy device-to-device; returns simulated seconds."""
+        self._check_fault()
         self.allocator.copy_within(dst, src, size)
         return self.timing.d2d_time_s(size)
 
     def memset(self, dst: int, value: int, size: int) -> float:
         """Fill device memory; returns simulated seconds."""
+        self._check_fault()
         self.allocator.memset(dst, value, size)
         return self.timing.d2d_time_s(size) / 2
 
@@ -112,6 +157,7 @@ class GpuDevice:
         ``submit_ns`` is the caller's current virtual time; the launch is
         queued behind earlier work on the stream.
         """
+        self._check_fault()
         if isinstance(kernel, str):
             kernel = self.registry.get(kernel)
         kernel.check_params(tuple(params))
@@ -139,9 +185,14 @@ class GpuDevice:
     # -- lifecycle -----------------------------------------------------------
 
     def reset(self) -> None:
-        """Drop all allocations, streams and events (cudaDeviceReset)."""
+        """Drop all allocations, streams and events (cudaDeviceReset).
+
+        Also clears any sticky fault -- a device reset is the documented
+        CUDA remedy for ECC / corrupted-context errors.
+        """
         self.allocator = DeviceAllocator(self.allocator.capacity)
         self.streams = StreamTable()
+        self.fault = None
 
     # -- checkpoint / restart ---------------------------------------------------
 

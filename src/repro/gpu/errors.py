@@ -38,3 +38,18 @@ class InvalidStreamError(GpuError):
 
 class DeviceMismatchError(GpuError):
     """Operation mixes resources from different devices."""
+
+
+class DeviceFaultError(GpuError):
+    """The device carries a *sticky* hardware fault (ECC / corrupted context).
+
+    Mirrors real CUDA semantics: once an uncorrectable ECC error or a
+    context corruption is raised, every subsequent call on that device
+    fails with the same error until an explicit ``cudaDeviceReset``.
+    ``code`` is the ``cudaError_t`` the fault surfaces as.
+    """
+
+    def __init__(self, kind: str, code: int) -> None:
+        super().__init__(f"sticky device fault ({kind})")
+        self.kind = kind
+        self.code = code

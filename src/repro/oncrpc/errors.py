@@ -15,6 +15,15 @@ class RpcProtocolError(RpcError):
     """A received message violates RFC 5531 framing or structure."""
 
 
+class RpcIntegrityError(RpcTransportError):
+    """A record failed its CRC32 integrity check (corrupted in transit).
+
+    Subclasses :class:`RpcTransportError` so the retry loop classifies a
+    corrupted record exactly like a lost one: retransmit the same xid and
+    let the server's at-most-once cache de-duplicate.
+    """
+
+
 class RpcTimeoutError(RpcTransportError):
     """No reply arrived within the configured timeout."""
 

@@ -13,12 +13,16 @@ bounded fragments on send and reassembling on receive.
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Iterator
 
-from repro.oncrpc.errors import RpcProtocolError, RpcTransportError
+from repro.oncrpc.errors import RpcIntegrityError, RpcProtocolError, RpcTransportError
 
 LAST_FRAGMENT = 0x80000000
 MAX_FRAGMENT_PAYLOAD = 0x7FFFFFFF
+
+#: size of the CRC32 integrity trailer appended by :func:`append_crc`
+CRC_TRAILER_BYTES = 4
 
 #: Fragment payload bound used by default.  Matches libtirpc's historical
 #: write buffering; small enough to exercise reassembly in realistic runs.
@@ -50,6 +54,39 @@ def iter_fragments(
 def encode_record(record: bytes, fragment_size: int = DEFAULT_FRAGMENT_SIZE) -> bytes:
     """Return ``record`` framed as one or more record-marking fragments."""
     return b"".join(iter_fragments(record, fragment_size))
+
+
+def append_crc(record: bytes) -> bytes:
+    """Append a big-endian CRC32 trailer covering ``record``.
+
+    The trailer travels *inside* the record payload (before fragmentation),
+    so it covers the reassembled bytes end to end -- any corruption in any
+    fragment, including in the fragment headers' reassembly, changes the
+    checksum.  Record marking itself (RFC 5531) has no integrity field;
+    this is the paper-system hardening for multi-fragment bulk transfers.
+    """
+    return record + (zlib.crc32(record) & 0xFFFFFFFF).to_bytes(CRC_TRAILER_BYTES, "big")
+
+
+def verify_crc(record: bytes) -> bytes:
+    """Verify and strip a trailer added by :func:`append_crc`.
+
+    Returns the original payload; raises
+    :class:`~repro.oncrpc.errors.RpcIntegrityError` (retryable) when the
+    trailer is missing or does not match.
+    """
+    if len(record) < CRC_TRAILER_BYTES:
+        raise RpcIntegrityError(
+            f"record too short for CRC32 trailer ({len(record)} bytes)"
+        )
+    payload = record[:-CRC_TRAILER_BYTES]
+    expected = int.from_bytes(record[-CRC_TRAILER_BYTES:], "big")
+    actual = zlib.crc32(payload) & 0xFFFFFFFF
+    if actual != expected:
+        raise RpcIntegrityError(
+            f"CRC32 mismatch: computed {actual:#010x}, trailer {expected:#010x}"
+        )
+    return payload
 
 
 class RecordReader:

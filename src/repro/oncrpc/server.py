@@ -32,6 +32,7 @@ GiB of payload.
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import threading
 import time
@@ -41,8 +42,14 @@ from typing import Callable, Mapping
 
 from repro.oncrpc import message as msg
 from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth, client_token_from
-from repro.oncrpc.errors import RpcProtocolError, RpcTransportError
-from repro.oncrpc.record import DEFAULT_FRAGMENT_SIZE, RecordReader, encode_record
+from repro.oncrpc.errors import RpcIntegrityError, RpcProtocolError, RpcTransportError
+from repro.oncrpc.record import (
+    DEFAULT_FRAGMENT_SIZE,
+    RecordReader,
+    append_crc,
+    encode_record,
+    verify_crc,
+)
 from repro.resilience.stats import ServerStats
 from repro.xdr.errors import XdrError
 
@@ -64,6 +71,8 @@ class CallContext:
 
 
 Handler = Callable[[bytes, CallContext], bytes]
+
+_NULL_GUARD = contextlib.nullcontext()
 
 
 class GarbageArgumentsError(Exception):
@@ -95,10 +104,14 @@ class RpcServer:
         reply_cache_size: int = DEFAULT_REPLY_CACHE,
         reply_cache_bytes: int = DEFAULT_REPLY_CACHE_BYTES,
         reply_cache_entry_bytes: int = DEFAULT_REPLY_CACHE_ENTRY_BYTES,
+        crc_records: bool = False,
     ) -> None:
         self._programs: dict[tuple[int, int], dict[int, Handler]] = {}
         self.fragment_size = fragment_size
         self.max_record_size = max_record_size
+        #: verify a CRC32 trailer on inbound records and checksum replies
+        #: (pairs with the client's ChecksummedTransport)
+        self.crc_records = crc_records
         self._tcp_thread: threading.Thread | None = None
         self._listener: socket.socket | None = None
         self._shutdown = threading.Event()
@@ -124,6 +137,18 @@ class RpcServer:
         self._inflight = 0
         self._inflight_cv = threading.Condition()
         self._draining = False
+        #: observer called after each freshly executed call (not for reply-
+        #: cache hits) with ``(record, call, reply)`` -- ``record`` is the
+        #: verified request bytes, ``call`` the decoded CallBody, ``reply``
+        #: the encoded (un-checksummed) reply.  The replication link uses
+        #: this to ship the op-log.
+        self.on_executed: Callable[[bytes, msg.CallBody, bytes], None] | None = None
+        # Serializes execute+hook when an observer is installed so the
+        # op-log order matches execution order; without an observer,
+        # dispatches stay concurrent.
+        self._oplog_lock = threading.Lock()
+        # a killed server models a crashed process: every dispatch fails
+        self._killed = False
 
     # -- registration ---------------------------------------------------------
 
@@ -155,9 +180,20 @@ class RpcServer:
 
         Malformed records raise
         :class:`~repro.oncrpc.errors.RpcProtocolError`; RPC-level errors
-        produce error replies.  Returns ``None`` only if the message was a
-        reply (which a server ignores).
+        produce error replies.  Returns ``None`` if the message was a
+        reply (which a server ignores) or -- with ``crc_records`` -- if
+        the record failed its integrity check (dropped like a lost
+        request; the client's retry loop retransmits).
         """
+        if self._killed:
+            raise RpcTransportError("server is dead (killed)")
+        if self.crc_records:
+            try:
+                record = verify_crc(record)
+            except RpcIntegrityError:
+                with self._stats_lock:
+                    self.server_stats.crc_rejected += 1
+                return None
         request = msg.RpcMessage.decode(record)
         if not request.is_call:
             return None
@@ -175,7 +211,7 @@ class RpcServer:
                 self._reply_cache.move_to_end(cache_key)
                 self.duplicate_hits += 1
                 self.server_stats.reply_cache_hits += 1
-                return cached
+                return append_crc(cached) if self.crc_records else cached
         ctx = CallContext(
             prog=call.prog,
             vers=call.vers,
@@ -190,15 +226,25 @@ class RpcServer:
         ctx.session.setdefault("identities", set()).add(identity)
         with self._inflight_cv:
             self._inflight += 1
+        # When a replication observer is installed, (execute, ship) must be
+        # atomic: if two concurrent mutating calls could execute in one
+        # order but enter the op-log in the other, the standby's replay
+        # would hand out different handles than the primary did.
+        guard = self._oplog_lock if self.on_executed is not None else _NULL_GUARD
         try:
-            reply_body = self._execute(call, ctx)
+            with guard:
+                reply_body = self._execute(call, ctx)
+                reply = msg.RpcMessage(
+                    request.xid, reply_body, msg.MSG_ACCEPTED
+                ).encode()
+                self._cache_reply(cache_key, reply)
+                if self.on_executed is not None:
+                    self.on_executed(record, call, reply)
         finally:
             with self._inflight_cv:
                 self._inflight -= 1
                 self._inflight_cv.notify_all()
-        reply = msg.RpcMessage(request.xid, reply_body, msg.MSG_ACCEPTED).encode()
-        self._cache_reply(cache_key, reply)
-        return reply
+        return append_crc(reply) if self.crc_records else reply
 
     def _cache_reply(self, cache_key: tuple[str, int], reply: bytes) -> None:
         """Insert into the reply cache, honouring entry and byte budgets.
@@ -333,6 +379,22 @@ class RpcServer:
             return conn.recv(min(n, 1 << 20))
         except OSError:
             return b""
+
+    def kill(self) -> None:
+        """Simulate a server crash: every subsequent dispatch fails.
+
+        Unlike :meth:`shutdown` this is abrupt -- no drain, no checkpoint,
+        no goodbye to clients.  In-process (loopback) clients see a
+        :class:`~repro.oncrpc.errors.RpcTransportError` exactly where a
+        TCP client would see a connection reset.  The chaos harness uses
+        this to kill primaries mid-workload.
+        """
+        self._killed = True
+
+    @property
+    def killed(self) -> bool:
+        """True once :meth:`kill` has been called."""
+        return self._killed
 
     def _on_disconnect(self, client_id: str, session: dict) -> None:
         """Hook for subclasses to release per-connection resources."""

@@ -22,7 +22,13 @@ import threading
 from typing import Callable, Protocol
 
 from repro.oncrpc.errors import RpcTimeoutError, RpcTransportError
-from repro.oncrpc.record import DEFAULT_FRAGMENT_SIZE, RecordReader, encode_record
+from repro.oncrpc.record import (
+    DEFAULT_FRAGMENT_SIZE,
+    RecordReader,
+    append_crc,
+    encode_record,
+    verify_crc,
+)
 
 
 class TransportMeter(Protocol):
@@ -154,6 +160,54 @@ class TcpTransport:
             except OSError:
                 pass
             self._sock.close()
+
+
+class ChecksummedTransport:
+    """Adds a CRC32 integrity trailer to every record through a transport.
+
+    Sits at the *top* of the client's transport stack -- above any fault
+    injector or real network -- so the checksum covers everything below
+    it: a record corrupted anywhere in transit fails verification on
+    receive and surfaces as a retryable
+    :class:`~repro.oncrpc.errors.RpcIntegrityError`.  The peer must run
+    with the matching setting (``RpcServer(crc_records=True)``), which
+    verifies inbound requests and checksums outbound replies.
+
+    ``stats`` may be a :class:`~repro.resilience.stats.ResilienceStats`
+    (duck-typed to avoid a layering cycle); its ``crc_rejected`` counter
+    is bumped on every rejected record.
+    """
+
+    def __init__(self, inner: Transport, *, stats=None) -> None:
+        self.inner = inner
+        self.stats = stats
+
+    def send_record(self, record: bytes) -> None:
+        """Send one record with its CRC32 trailer appended."""
+        self.inner.send_record(append_crc(record))
+
+    def recv_record(self) -> bytes:
+        """Receive one record, verifying and stripping its trailer."""
+        record = self.inner.recv_record()
+        try:
+            return verify_crc(record)
+        except RpcTransportError:
+            if self.stats is not None:
+                self.stats.crc_rejected += 1
+            raise
+
+    def reconnect(self, *, force: bool = False) -> None:
+        """Delegate reconnection to the wrapped transport (if supported)."""
+        inner_reconnect = getattr(self.inner, "reconnect", None)
+        if inner_reconnect is not None:
+            try:
+                inner_reconnect(force=force)
+            except TypeError:
+                inner_reconnect()
+
+    def close(self) -> None:
+        """Close the wrapped transport."""
+        self.inner.close()
 
 
 class LoopbackTransport:

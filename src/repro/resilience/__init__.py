@@ -23,7 +23,19 @@ non-idempotent call (``cuMemAlloc``, ``cuLaunchKernel``) is answered from
 the cache instead of being executed twice.
 """
 
-from repro.resilience.chaos import ChaosHarness, ChaosPlan, ChaosResult
+from repro.resilience.chaos import (
+    ChaosHarness,
+    ChaosPlan,
+    ChaosResult,
+    FailoverChaosHarness,
+    FailoverChaosPlan,
+    FailoverChaosResult,
+)
+from repro.resilience.failover import (
+    FailoverTransport,
+    LoopbackEndpoint,
+    TcpEndpoint,
+)
 from repro.resilience.faults import FaultInjectingTransport, FaultPlan
 from repro.resilience.reconnect import CircuitBreaker, ReconnectingTransport, null_probe
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, is_retryable
@@ -38,9 +50,15 @@ __all__ = [
     "CircuitBreaker",
     "ReconnectingTransport",
     "null_probe",
+    "FailoverTransport",
+    "LoopbackEndpoint",
+    "TcpEndpoint",
     "ResilienceStats",
     "ServerStats",
     "ChaosPlan",
     "ChaosHarness",
     "ChaosResult",
+    "FailoverChaosPlan",
+    "FailoverChaosHarness",
+    "FailoverChaosResult",
 ]

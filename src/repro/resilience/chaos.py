@@ -161,3 +161,209 @@ def _spread(total: int, buckets: int, rng) -> list[int]:
     for _ in range(total):
         counts[rng.randrange(buckets)] += 1
     return counts
+
+
+# -- failover chaos: kill the *server*, poison the *GPU* ------------------
+
+
+@dataclass
+class FailoverChaosPlan:
+    """Seeded description of one primary-kill / GPU-poison chaos run.
+
+    The acceptance bar (mirrors the issue): after the primary dies -- in
+    a seeded fraction of runs *after executing but before answering* a
+    non-idempotent call, the worst window for at-most-once -- every
+    client finishes its workload against the promoted standby with
+
+    * **zero lost allocations**: every live allocation reads back its
+      exact expected bytes,
+    * **zero double-executed non-idempotent calls**: the promoted
+      server's allocator holds exactly the expected bytes, nothing more,
+
+    and a seeded GPU poison round (sticky ECC/context fault + device
+    failover onto the spare) must not disturb either property.
+    """
+
+    #: concurrent failover clients
+    clients: int = 3
+    #: allocate/compute rounds
+    rounds: int = 4
+    #: allocations each client makes per round
+    allocs_per_round: int = 3
+    #: size of each allocation (kept aligned so accounting is exact)
+    alloc_bytes: int = 1 << 20
+    #: RNG seed driving kill round, kill mode, victim and poison round
+    seed: int = 0
+    #: kill the primary during the run
+    kill_primary: bool = True
+    #: also inject a sticky device fault + device failover
+    poison_gpu: bool = True
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("need at least one client")
+        if self.rounds < 1:
+            raise ValueError("need at least one round")
+
+
+@dataclass
+class FailoverChaosResult:
+    """Outcome of a failover chaos run, ready for assertions."""
+
+    #: whether the primary was killed in the dangerous window
+    #: (after executing a malloc, before replying)
+    dangerous_window: bool
+    #: round (0-based) the primary died in, or None
+    kill_round: int | None
+    #: round the GPU was poisoned in, or None
+    poison_round: int | None
+    #: client-side endpoint rotations (sum over clients)
+    failovers: int
+    #: standby promotions observed (idempotent: 1 when the primary died)
+    promotions: int
+    #: retransmissions answered from the promoted server's replicated
+    #: reply cache instead of re-executing
+    reply_cache_hits_after_failover: int
+    #: sticky CUDA error codes clients observed after the poison
+    sticky_errors_seen: int
+    #: device failovers performed (poison repair)
+    device_failovers: int
+    #: allocations whose read-back bytes mismatched (must be 0)
+    lost_allocations: int
+    #: bytes on the final server beyond what live allocations account
+    #: for -- a double-executed malloc shows up here (must be 0)
+    bytes_unaccounted: int
+    #: final server's ``ServerStats.as_dict()``
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was lost and nothing ran twice."""
+        return self.lost_allocations == 0 and self.bytes_unaccounted == 0
+
+
+class FailoverChaosHarness:
+    """Run a :class:`FailoverChaosPlan` against an HA Cricket pair."""
+
+    def __init__(self, plan: FailoverChaosPlan | None = None) -> None:
+        self.plan = plan if plan is not None else FailoverChaosPlan()
+        self.primary: Any = None
+        self.standby: Any = None
+        self.link: Any = None
+
+    def run(self) -> FailoverChaosResult:
+        """Execute the plan; returns the loss/duplication accounting."""
+        import random
+
+        from repro.cricket.client import CricketClient
+        from repro.cricket.replication import ReplicationLink, promote
+        from repro.cricket.server import CricketServer
+        from repro.cuda.errors import CudaError
+        from repro.gpu.catalog import A100
+        from repro.gpu.device import GpuDevice
+        from repro.net.simclock import SimClock
+        from repro.resilience.failover import LoopbackEndpoint
+        from repro.resilience.retry import RetryPolicy
+
+        plan = self.plan
+        rng = random.Random(plan.seed)
+        # two devices each: ordinal 1 is the idle spare the device-level
+        # failover promotes after a poison
+        primary = CricketServer(
+            [GpuDevice(A100), GpuDevice(A100)], clock=SimClock()
+        )
+        standby = CricketServer(
+            [GpuDevice(A100), GpuDevice(A100)], clock=SimClock()
+        )
+        self.primary, self.standby = primary, standby
+        link = ReplicationLink(primary, standby)
+        self.link = link
+
+        kill_round = rng.randrange(plan.rounds) if plan.kill_primary else None
+        dangerous = plan.kill_primary and rng.random() < 0.5
+        poison_round = rng.randrange(plan.rounds) if plan.poison_gpu else None
+        victim = rng.randrange(plan.clients)
+
+        retry = RetryPolicy(max_attempts=8)
+        clients = []
+        primary_eps = []
+        for _ in range(plan.clients):
+            eps = [
+                LoopbackEndpoint(primary, name="primary"),
+                LoopbackEndpoint(
+                    standby, name="standby", on_connect=lambda _ep: promote(link)
+                ),
+            ]
+            primary_eps.append(eps[0])
+            clients.append(CricketClient.failover(eps, retry_policy=retry))
+
+        def active_server():
+            return standby if primary.killed else primary
+
+        # expected contents of every live allocation: ptr -> (client, bytes)
+        expected: dict[int, bytes] = {}
+        sticky_errors = 0
+        killed_in: int | None = None
+        pattern = 0
+
+        for rnd in range(plan.rounds):
+            if rnd == kill_round:
+                killed_in = rnd
+                if dangerous:
+                    # the victim's next executed call crashes the primary
+                    # *after* execution+replication, before the reply
+                    primary_eps[victim].kill_after_next_execute()
+                else:
+                    primary.kill()
+            if rnd == poison_round:
+                server = active_server()
+                server.inject_device_fault(0, "ecc" if rng.random() < 0.5 else "context")
+                # a client touching the poisoned device sees the sticky code
+                try:
+                    clients[victim].device_synchronize()
+                except CudaError:
+                    sticky_errors += 1
+                server.failover_device(0)
+            for idx, client in enumerate(clients):
+                for _ in range(plan.allocs_per_round):
+                    pattern = (pattern + 1) % 255
+                    payload = bytes([pattern + 1]) * min(plan.alloc_bytes, 256)
+                    ptr = client.malloc(plan.alloc_bytes)
+                    client.memcpy_h2d(ptr, payload)
+                    expected[ptr] = payload
+                # a seeded free keeps the allocator moving (and proves
+                # frees replicate too)
+                if expected and rng.random() < 0.3:
+                    dead_ptr = rng.choice(sorted(expected))
+                    client.free(dead_ptr)
+                    del expected[dead_ptr]
+
+        # verification runs against whoever survived
+        final = active_server()
+        lost = 0
+        for ptr, payload in expected.items():
+            try:
+                got = clients[0].memcpy_d2h(ptr, len(payload))
+            except Exception:
+                got = None
+            if got != payload:
+                lost += 1
+        used = sum(d.allocator.used_bytes for d in final.devices)
+        accounted = len(expected) * _aligned(plan.alloc_bytes)
+        return FailoverChaosResult(
+            dangerous_window=dangerous,
+            kill_round=killed_in,
+            poison_round=poison_round,
+            failovers=sum(c.stats.failovers for c in clients),
+            promotions=standby.server_stats.standby_promotions,
+            reply_cache_hits_after_failover=standby.server_stats.reply_cache_hits,
+            sticky_errors_seen=sticky_errors,
+            device_failovers=final.server_stats.device_failovers,
+            lost_allocations=lost,
+            bytes_unaccounted=used - accounted,
+            counters=final.server_stats.as_dict(),
+        )
+
+
+def _aligned(size: int, alignment: int = 256) -> int:
+    return (size + alignment - 1) // alignment * alignment

@@ -1,0 +1,202 @@
+"""Transparent client failover across a list of server endpoints.
+
+The client half of high availability: a
+:class:`FailoverTransport` holds an ordered endpoint list (primary first,
+standbys after) and, whenever a reconnect is needed, walks the list from
+the currently active endpoint until one accepts a connection *and* passes
+the liveness probe.  Rotating to a different endpoint counts as a
+failover in :class:`~repro.resilience.stats.ResilienceStats`.
+
+Everything above this layer is unchanged: the RPC client's retry loop
+sees the same ``reconnect()`` it already drives, the
+``AUTH_CLIENT_TOKEN`` identity rides in every request, and the standby's
+replicated reply cache answers retransmitted in-flight calls -- so a
+primary crash mid-call (even *after* executing a non-idempotent
+procedure) is absorbed without double execution.
+
+:class:`LoopbackEndpoint` adapts an in-process server for deterministic
+failover tests, including the dangerous crash window: ``kill()`` models
+an immediate crash, ``kill_after_next_execute()`` executes (and
+replicates) the next call, then crashes *before the reply leaves* -- the
+worst case for at-most-once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.simclock import SimClock, WallClock
+from repro.oncrpc.errors import RpcTransportError
+from repro.oncrpc.transport import (
+    DEFAULT_FRAGMENT_SIZE,
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+    TransportMeter,
+)
+from repro.resilience.reconnect import CircuitBreaker, ReconnectingTransport
+from repro.resilience.stats import ResilienceStats
+
+
+class LoopbackEndpoint:
+    """An in-process server as a connectable (and killable) endpoint."""
+
+    def __init__(
+        self,
+        server,
+        *,
+        name: str = "server",
+        fragment_size: int = DEFAULT_FRAGMENT_SIZE,
+        meter: TransportMeter | None = None,
+        on_connect: Callable[["LoopbackEndpoint"], None] | None = None,
+    ) -> None:
+        self.server = server
+        self.name = name
+        self.fragment_size = fragment_size
+        self.meter = meter
+        #: called on every successful :meth:`connect` -- the promotion
+        #: hook: a standby promotes itself when a failing-over client
+        #: arrives (see :func:`make_ha_pair`)
+        self.on_connect = on_connect
+        self._die_after_next_execute = False
+        #: connections handed out (first connect vs failover is visible)
+        self.connects = 0
+
+    def kill(self) -> None:
+        """Crash the server now: every dispatch (and connect) fails."""
+        self.server.kill()
+
+    def kill_after_next_execute(self) -> None:
+        """Crash *after* executing the next call but before replying.
+
+        This is the at-most-once dangerous window: the call's effects (and
+        its replication to the standby) have happened, the client only
+        sees a dead connection and must retransmit -- to whoever answers.
+        """
+        self._die_after_next_execute = True
+
+    @property
+    def alive(self) -> bool:
+        return not self.server.killed
+
+    def connect(self) -> Transport:
+        if self.server.killed:
+            raise RpcTransportError(f"endpoint {self.name!r} is down")
+        self.connects += 1
+        if self.on_connect is not None:
+            self.on_connect(self)
+        session: dict = {}
+
+        def dispatch(record: bytes) -> bytes | None:
+            if self._die_after_next_execute:
+                self._die_after_next_execute = False
+                self.server.dispatch_record(record, session=session)
+                self.server.kill()
+                raise RpcTransportError(
+                    f"endpoint {self.name!r} crashed before replying"
+                )
+            return self.server.dispatch_record(record, session=session)
+
+        return LoopbackTransport(
+            dispatch, fragment_size=self.fragment_size, meter=self.meter
+        )
+
+
+class TcpEndpoint:
+    """A real ``host:port`` endpoint for :class:`FailoverTransport`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: str | None = None,
+        fragment_size: int = DEFAULT_FRAGMENT_SIZE,
+        connect_timeout: float | None = 5.0,
+        io_timeout: float | None = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name if name is not None else f"{host}:{port}"
+        self.fragment_size = fragment_size
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+
+    def connect(self) -> Transport:
+        return TcpTransport(
+            self.host,
+            self.port,
+            fragment_size=self.fragment_size,
+            connect_timeout=self.connect_timeout,
+            io_timeout=self.io_timeout,
+        )
+
+
+class FailoverTransport(ReconnectingTransport):
+    """A reconnecting transport that rotates through server endpoints.
+
+    On every (re)connect the endpoint list is walked starting from the
+    active endpoint; the first one that connects and passes ``probe``
+    wins.  The probe runs *per endpoint inside the walk* (unlike the base
+    class's post-factory probe) so a reachable-but-dead server rotates to
+    the next endpoint instead of failing the whole reconnect.
+    """
+
+    def __init__(
+        self,
+        endpoints,
+        *,
+        breaker: CircuitBreaker | None = None,
+        clock: SimClock | WallClock | None = None,
+        stats: ResilienceStats | None = None,
+        connect_now: bool = True,
+        probe: Callable[[Transport], None] | None = None,
+    ) -> None:
+        endpoints = list(endpoints)
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        self.endpoints = endpoints
+        self._active = 0
+        self._endpoint_probe = probe
+        super().__init__(
+            self._connect_some_endpoint,
+            breaker=breaker,
+            clock=clock,
+            stats=stats,
+            connect_now=connect_now,
+            probe=None,
+        )
+
+    @property
+    def active_endpoint(self):
+        """The endpoint the current (or next) connection targets."""
+        return self.endpoints[self._active]
+
+    def _connect_some_endpoint(self) -> Transport:
+        last_exc: Exception | None = None
+        count = len(self.endpoints)
+        for step in range(count):
+            idx = (self._active + step) % count
+            endpoint = self.endpoints[idx]
+            try:
+                transport = endpoint.connect()
+            except Exception as exc:
+                last_exc = exc
+                continue
+            if self._endpoint_probe is not None:
+                try:
+                    self._endpoint_probe(transport)
+                except Exception as exc:
+                    last_exc = exc
+                    try:
+                        transport.close()
+                    except Exception:
+                        pass
+                    continue
+            if idx != self._active:
+                self._active = idx
+                self.stats.failovers += 1
+            return transport
+        raise RpcTransportError(
+            f"all {count} endpoint(s) unreachable"
+        ) from last_exc

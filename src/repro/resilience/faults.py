@@ -22,6 +22,12 @@ Fault taxonomy (the names used in counters and docs):
 ``truncate``
     The reply record is chopped, modelling payload corruption; the client
     sees an undecodable message.
+``corrupt``
+    One byte of the record is flipped in place (request or reply).  The
+    record still *parses* as the right length, which is exactly the fault
+    record marking alone cannot detect -- pair with
+    :class:`~repro.oncrpc.transport.ChecksummedTransport` and a server's
+    ``crc_records`` to turn silent corruption into a clean retransmit.
 ``duplicate``
     The reply is delivered twice; the second copy arrives as a stale
     record in front of a later call's reply.
@@ -59,6 +65,8 @@ class FaultPlan:
     drop_reply_rate: float = 0.0
     #: probability a reply record is truncated (corruption)
     truncate_rate: float = 0.0
+    #: probability a record has one byte flipped (applies to both directions)
+    corrupt_rate: float = 0.0
     #: probability a reply is delivered twice
     duplicate_rate: float = 0.0
     #: probability an operation is delayed by ``delay_s``
@@ -73,13 +81,17 @@ class FaultPlan:
     drop_request_first: int = 0
     #: deterministically drop the first N replies
     drop_reply_first: int = 0
+    #: deterministically corrupt the first N requests
+    corrupt_request_first: int = 0
+    #: deterministically corrupt the first N replies
+    corrupt_reply_first: int = 0
     #: seed for the fault decision stream
     seed: int = 0
 
     def __post_init__(self) -> None:
         for name in (
             "drop_request_rate", "drop_reply_rate", "truncate_rate",
-            "duplicate_rate", "delay_rate", "disconnect_rate",
+            "duplicate_rate", "delay_rate", "disconnect_rate", "corrupt_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -91,7 +103,10 @@ class FaultPlan:
                 "disconnect_after_bytes must be >= 0, "
                 f"got {self.disconnect_after_bytes}"
             )
-        for name in ("drop_request_first", "drop_reply_first"):
+        for name in (
+            "drop_request_first", "drop_reply_first",
+            "corrupt_request_first", "corrupt_reply_first",
+        ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
 
@@ -119,6 +134,10 @@ class FaultInjectingTransport:
         self.clock = clock
         self.stats = stats if stats is not None else ResilienceStats()
         self._rng = random.Random(plan.seed)
+        # Corruption decisions come from their own stream: adding the
+        # corrupt fault must not shift the draws (and therefore the fault
+        # schedules) of plans written before it existed.
+        self._corrupt_rng = random.Random(plan.seed ^ 0xC0FFEE)
         self._broken = False
         self._bytes_sent = 0
         self._byte_trip_armed = plan.disconnect_after_bytes is not None
@@ -132,6 +151,17 @@ class FaultInjectingTransport:
     def _hit(self, rate: float) -> bool:
         """Draw one decision; always draws so the stream stays aligned."""
         return self._rng.random() < rate
+
+    def _corrupt_hit(self) -> bool:
+        """Draw one corruption decision from the dedicated stream."""
+        return self._corrupt_rng.random() < self.plan.corrupt_rate
+
+    def _flip_byte(self, record: bytes) -> bytes:
+        """Flip one byte of ``record`` (position from the corrupt stream)."""
+        if not record:
+            return record
+        idx = self._corrupt_rng.randrange(len(record))
+        return record[:idx] + bytes([record[idx] ^ 0x5A]) + record[idx + 1 :]
 
     def _fault(self, kind: str) -> None:
         self.stats.note_fault(kind)
@@ -161,6 +191,7 @@ class FaultInjectingTransport:
         delay_hit = self._hit(plan.delay_rate)
         disconnect_hit = self._hit(plan.disconnect_rate)
         drop_hit = self._hit(plan.drop_request_rate)
+        corrupt_hit = self._corrupt_hit()
         if delay_hit:
             self._charge_delay()
         if disconnect_hit:
@@ -179,6 +210,9 @@ class FaultInjectingTransport:
         if self._requests_seen <= plan.drop_request_first or drop_hit:
             self._fault("drop_request")
             return  # the wire ate it; the server never sees this call
+        if self._requests_seen <= plan.corrupt_request_first or corrupt_hit:
+            self._fault("corrupt")
+            record = self._flip_byte(record)
         self._bytes_sent += len(record)
         self.inner.send_record(record)
 
@@ -198,6 +232,7 @@ class FaultInjectingTransport:
         drop_hit = self._hit(plan.drop_reply_rate)
         truncate_hit = self._hit(plan.truncate_rate)
         duplicate_hit = self._hit(plan.duplicate_rate)
+        corrupt_hit = self._corrupt_hit()
         if self._replies_seen <= plan.drop_reply_first or drop_hit:
             self._fault("drop_reply")
             # The reply is gone; behave like a loss the caller can retry.
@@ -205,6 +240,9 @@ class FaultInjectingTransport:
         if truncate_hit and len(record) > 4:
             self._fault("truncate")
             return record[: len(record) // 2]
+        if self._replies_seen <= plan.corrupt_reply_first or corrupt_hit:
+            self._fault("corrupt")
+            record = self._flip_byte(record)
         if duplicate_hit:
             self._fault("duplicate")
             self._stash.append(record)

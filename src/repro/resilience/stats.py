@@ -29,6 +29,10 @@ class ResilienceStats:
     deadlines_exceeded: int = 0
     #: calls that exhausted every retry attempt
     retries_exhausted: int = 0
+    #: endpoint failovers performed by :class:`~repro.resilience.failover.FailoverTransport`
+    failovers: int = 0
+    #: records rejected client-side because their CRC32 trailer mismatched
+    crc_rejected: int = 0
     #: faults injected by kind (filled by :class:`FaultInjectingTransport`)
     faults_injected: dict[str, int] = field(default_factory=dict)
 
@@ -51,6 +55,8 @@ class ResilienceStats:
             "stale_replies_discarded": self.stale_replies_discarded,
             "deadlines_exceeded": self.deadlines_exceeded,
             "retries_exhausted": self.retries_exhausted,
+            "failovers": self.failovers,
+            "crc_rejected": self.crc_rejected,
         }
         for kind, count in sorted(self.faults_injected.items()):
             out[f"fault.{kind}"] = count
@@ -65,6 +71,8 @@ class ResilienceStats:
         self.stale_replies_discarded = 0
         self.deadlines_exceeded = 0
         self.retries_exhausted = 0
+        self.failovers = 0
+        self.crc_rejected = 0
         self.faults_injected.clear()
 
 
@@ -103,6 +111,20 @@ class ServerStats:
     quota_denied: int = 0
     #: graceful drains that ran to completion
     drains_completed: int = 0
+    #: state-mutating RPC records shipped to a standby (primary side)
+    replication_ops_shipped: int = 0
+    #: op-log records applied by a standby (standby side)
+    replication_ops_applied: int = 0
+    #: full checkpoint syncs sent to a standby (initial attach + resyncs)
+    replication_full_syncs: int = 0
+    #: primary_seq - applied_seq at the last ship (gauge; bounded by the link)
+    replication_lag: int = 0
+    #: standbys promoted to primary after a failure
+    standby_promotions: int = 0
+    #: sessions migrated off a faulted GPU onto a healthy spare
+    device_failovers: int = 0
+    #: records rejected server-side because their CRC32 trailer mismatched
+    crc_rejected: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Flat counter mapping, ``server.``-prefixed for tracer merging."""
@@ -118,6 +140,13 @@ class ServerStats:
             "server.admission_denied": self.admission_denied,
             "server.quota_denied": self.quota_denied,
             "server.drains_completed": self.drains_completed,
+            "server.replication_ops_shipped": self.replication_ops_shipped,
+            "server.replication_ops_applied": self.replication_ops_applied,
+            "server.replication_full_syncs": self.replication_full_syncs,
+            "server.replication_lag": self.replication_lag,
+            "server.standby_promotions": self.standby_promotions,
+            "server.device_failovers": self.device_failovers,
+            "server.crc_rejected": self.crc_rejected,
         }
 
     def reset(self) -> None:
@@ -133,3 +162,10 @@ class ServerStats:
         self.admission_denied = 0
         self.quota_denied = 0
         self.drains_completed = 0
+        self.replication_ops_shipped = 0
+        self.replication_ops_applied = 0
+        self.replication_full_syncs = 0
+        self.replication_lag = 0
+        self.standby_promotions = 0
+        self.device_failovers = 0
+        self.crc_rejected = 0

@@ -26,6 +26,7 @@ FAST_EXAMPLES = [
     "spectral_analysis.py",
     "fault_tolerance_demo.py",
     "session_lifecycle_demo.py",
+    "failover_demo.py",
 ]
 
 

@@ -20,7 +20,8 @@ Connection modes:
 
 from __future__ import annotations
 
-from typing import Any
+import contextlib
+from typing import Any, Iterator
 
 from repro.cricket import params as kparams
 from repro.cricket.errors import CheckpointError
@@ -61,6 +62,33 @@ def _dim3(v: tuple[int, int, int]) -> dict[str, int]:
     return {"x": int(v[0]), "y": int(v[1]), "z": int(v[2])}
 
 
+class CancelScope:
+    """Collects the xids issued inside a :meth:`CricketClient.cancel_scope`."""
+
+    def __init__(self, client: "CricketClient") -> None:
+        self._client = client
+        #: xids issued while the scope was active, in order
+        self.xids: list[int] = []
+
+    def _note(self, xid: int) -> None:
+        self.xids.append(xid)
+
+    def cancel_all(self) -> int:
+        """Cancel every tracked call; returns how many the server matched.
+
+        Completed calls simply miss (the server finds nothing to cancel),
+        so it is safe to call this unconditionally.
+        """
+        hits = 0
+        for xid in self.xids:
+            try:
+                if self._client.cancel(xid):
+                    hits += 1
+            except Exception:
+                continue  # best effort: the scope is already unwinding
+        return hits
+
+
 class CricketClient:
     """CUDA-over-RPC client used by applications and the harness."""
 
@@ -73,6 +101,7 @@ class CricketClient:
         meter: PlatformMeter | None = None,
         retry_policy: RetryPolicy | None = None,
         stats: ResilienceStats | None = None,
+        priority: int = 0,
     ) -> None:
         self.platform = platform
         self.clock = clock if clock is not None else SimClock()
@@ -81,7 +110,11 @@ class CricketClient:
         self.stats = stats if stats is not None else ResilienceStats()
         self.retry_policy = retry_policy
         self.stub: ClientStub = cricket_interface().bind_client(
-            transport, retry_policy=retry_policy, clock=self.clock, stats=self.stats
+            transport,
+            retry_policy=retry_policy,
+            clock=self.clock,
+            stats=self.stats,
+            priority=priority,
         )
         #: kernel-function metadata by function handle (for param packing)
         self._function_meta: dict[int, KernelMeta] = {}
@@ -105,6 +138,7 @@ class CricketClient:
         retry_policy: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
         crc: bool | None = None,
+        priority: int = 0,
     ) -> "CricketClient":
         """In-process client; charges virtual time when ``platform`` is given.
 
@@ -146,6 +180,7 @@ class CricketClient:
             meter=meter,
             retry_policy=retry_policy,
             stats=stats,
+            priority=priority,
         )
         client._server_ref = server_ref
         return client
@@ -302,6 +337,51 @@ class CricketClient:
         res = self.stub.rpc_ping()
         self._check(res["err"], "ping")
         return res["value"]
+
+    # -- cancellation -----------------------------------------------------------
+
+    def cancel(self, xid: int) -> bool:
+        """Ask the server to cancel a queued or in-flight call by xid.
+
+        Returns True when a matching call was found (queued calls never
+        execute; executing calls abort at their next safe point).  The
+        cancelled call's own caller sees
+        :class:`~repro.oncrpc.errors.RpcCancelled`, and a later
+        retransmission of the same xid is answered from the at-most-once
+        cache with the cancelled reply -- it is never re-executed.
+        """
+        res = self.stub.rpc_cancel(int(xid))
+        self._check(res["err"], "rpc_cancel")
+        return bool(res["value"])
+
+    @contextlib.contextmanager
+    def cancel_scope(self) -> Iterator["CancelScope"]:
+        """Track every call issued inside the ``with`` block for cancellation.
+
+        On an exception exit, every tracked call is cancelled server-side
+        -- queued work is dropped, in-flight work aborts at its next safe
+        point, and batched launches whose replies were never collected do
+        not keep running for nobody.  The yielded scope also supports
+        explicit :meth:`CancelScope.cancel_all` for non-exception flows.
+        """
+        rpc = self.stub.client
+        scope = CancelScope(self)
+        prev = rpc.xid_observer
+
+        def observer(xid: int) -> None:
+            scope._note(xid)
+            if prev is not None:
+                prev(xid)
+
+        rpc.xid_observer = observer
+        try:
+            yield scope
+        except BaseException:
+            rpc.xid_observer = prev  # stop tracking before rpc_cancel's own xids
+            scope.cancel_all()
+            raise
+        finally:
+            rpc.xid_observer = prev
 
     def reattach(self) -> int:
         """Reclaim an orphaned session after transport loss.
@@ -540,13 +620,15 @@ class CricketClient:
         *,
         shared_mem: int = 0,
         stream: int = 0,
-    ) -> None:
+    ) -> int:
         """Launch without waiting for the reply (ONC RPC batching).
 
         For launch-heavy workloads this trades a full round trip per call
         for just the client's transmit cost; collect error statuses with
         :meth:`flush`.  Added as the optimization the paper's conclusion
-        recommends for applications with many short kernels.
+        recommends for applications with many short kernels.  Returns the
+        call's xid so the launch can be cancelled (:meth:`cancel`) before
+        its reply is drained.
         """
         meta = self._function_meta.get(function)
         if meta is None:
@@ -556,7 +638,7 @@ class CricketClient:
             self._charge_client_cpu(self.platform.language.launch_extra_s)
         if self.meter is not None:
             self.meter.mark_batched(sends=1, recvs=1)
-        self.stub.call_batched(
+        return self.stub.call_batched(
             "rpc_cuLaunchKernel",
             function, _dim3(grid), _dim3(block), block_bytes, shared_mem, stream,
         )

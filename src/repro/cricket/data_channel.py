@@ -40,6 +40,17 @@ import threading
 import zlib
 
 from repro.gpu.device import GpuDevice
+from repro.resilience.stats import ServerStats
+
+
+class DataChannelBusyError(ConnectionError):
+    """The server refused a write because staging memory is exhausted.
+
+    The transfer was not (even partially) applied; callers should back off
+    and retry, exactly like an :class:`~repro.oncrpc.errors.RpcBusyError`
+    on the control channel.
+    """
+
 
 _HEADER = struct.Struct("<BIIIQQ")
 DIR_WRITE = ord("W")
@@ -76,10 +87,49 @@ def _recv_exact(conn: socket.socket, n: int) -> bytes:
 
 
 class DataChannelServer:
-    """Server side: accepts striped transfers into/out of device memory."""
+    """Server side: accepts striped transfers into/out of device memory.
 
-    def __init__(self, device: GpuDevice, *, host: str = "127.0.0.1") -> None:
+    Backpressure (overload control):
+
+    - ``max_staging_bytes`` bounds the total memory held in staging
+      buffers.  A write whose declared size would exceed the bound is
+      refused up front with a ``BP`` reply -- before its payload is read --
+      and the client surfaces :class:`DataChannelBusyError` (retryable).
+    - Reads are sent in ``window_bytes`` windows with a
+      ``drain_timeout_s`` send timeout.  A reader that fails to drain a
+      window gets one throttled grace period (``slow_readers_throttled``);
+      failing again disconnects it (``slow_readers_disconnected``) and
+      records the peer address in the sticky :attr:`slow_peers` set.
+    - Writers get ``recv_timeout_s`` to deliver their stripe so a stalled
+      sender cannot pin a service thread (and its staging claim) forever.
+    """
+
+    def __init__(
+        self,
+        device: GpuDevice,
+        *,
+        host: str = "127.0.0.1",
+        window_bytes: int = 1 << 20,
+        drain_timeout_s: float = 5.0,
+        recv_timeout_s: float = 30.0,
+        max_staging_bytes: int | None = None,
+        stats: ServerStats | None = None,
+    ) -> None:
         self.device = device
+        self.window_bytes = max(1, int(window_bytes))
+        self.drain_timeout_s = drain_timeout_s
+        self.recv_timeout_s = recv_timeout_s
+        self.max_staging_bytes = max_staging_bytes
+        self.stats = stats
+        #: writes refused up front because staging memory was exhausted
+        self.backpressure_rejected = 0
+        #: readers that needed a second drain window to make progress
+        self.slow_readers_throttled = 0
+        #: readers disconnected after failing two consecutive drain windows
+        self.slow_readers_disconnected = 0
+        #: sticky record of peers ever disconnected as slow readers (a
+        #: diagnostic stat, not an admission ban -- NAT'd tenants share IPs)
+        self.slow_peers: set[str] = set()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, 0))
@@ -114,6 +164,11 @@ class DataChannelServer:
 
     def _serve(self, conn: socket.socket) -> None:
         try:
+            try:
+                peer = conn.getpeername()[0]
+            except OSError:
+                peer = "?"
+            conn.settimeout(self.recv_timeout_s)
             header = _recv_exact(conn, _HEADER.size)
             direction, stripe, nstripes, chunk, dptr, total = _HEADER.unpack(header)
             crc = bool(direction & FLAG_CRC)
@@ -121,7 +176,7 @@ class DataChannelServer:
             if direction == DIR_WRITE:
                 self._handle_write(conn, stripe, nstripes, chunk, dptr, total, crc)
             elif direction == DIR_READ:
-                self._handle_read(conn, stripe, nstripes, chunk, dptr, total, crc)
+                self._handle_read(conn, peer, stripe, nstripes, chunk, dptr, total, crc)
         except Exception:
             # bad pointers, device errors, resets: drop this connection; the
             # client observes the missing OK / short read and raises
@@ -132,7 +187,25 @@ class DataChannelServer:
             except OSError:
                 pass
 
+    def _staging_bytes_locked(self) -> int:
+        return sum(len(buffer) for buffer, _, _ in self._staging.values())
+
     def _handle_write(self, conn, stripe, nstripes, chunk, dptr, total, crc) -> None:
+        key = (dptr, total)
+        if self.max_staging_bytes is not None:
+            # Admission check against the *declared* size, before a single
+            # payload byte is read: refusing late would mean buffering the
+            # very memory the bound exists to protect.  An oversized or
+            # forged ``total`` is refused here too.
+            with self._staging_lock:
+                in_use = self._staging_bytes_locked()
+                admit = key in self._staging or in_use + total <= self.max_staging_bytes
+            if not admit:
+                self.backpressure_rejected += 1
+                if self.stats is not None:
+                    self.stats.data_backpressure_rejected += 1
+                conn.sendall(b"BP")
+                return
         slices = list(_stripe_slices(total, chunk, stripe, nstripes))
         # Receive the whole stripe before touching shared staging, so a
         # corrupt stripe can be refused without leaving partial bytes
@@ -145,7 +218,6 @@ class DataChannelServer:
                 self.crc_rejected += 1
                 conn.sendall(b"NO")
                 return
-        key = (dptr, total)
         with self._staging_lock:
             if key not in self._staging:
                 self._staging[key] = (bytearray(total), set(), nstripes)
@@ -161,14 +233,44 @@ class DataChannelServer:
             self.device.allocator.write(dptr, bytes(buffer))
         conn.sendall(b"OK")
 
-    def _handle_read(self, conn, stripe, nstripes, chunk, dptr, total, crc) -> None:
+    def _send_windowed(self, conn: socket.socket, peer: str, payload: bytes) -> None:
+        """Send ``payload`` in bounded windows, policing slow readers.
+
+        ``socket.send`` (not ``sendall``) keeps the resend position exact:
+        a timeout means *zero* bytes of that window moved, so granting the
+        throttled grace period never duplicates data on the wire.
+        """
+        view = memoryview(payload)
+        offset = 0
+        throttled = False
+        conn.settimeout(self.drain_timeout_s)
+        while offset < len(view):
+            try:
+                sent = conn.send(view[offset : offset + self.window_bytes])
+            except socket.timeout:
+                if throttled:
+                    self.slow_readers_disconnected += 1
+                    if self.stats is not None:
+                        self.stats.slow_readers_disconnected += 1
+                    self.slow_peers.add(peer)
+                    raise ConnectionError(
+                        f"slow reader {peer}: window undrained after throttle"
+                    ) from None
+                throttled = True
+                self.slow_readers_throttled += 1
+                if self.stats is not None:
+                    self.stats.slow_readers_throttled += 1
+                continue
+            offset += sent
+
+    def _handle_read(self, conn, peer, stripe, nstripes, chunk, dptr, total, crc) -> None:
         data = self.device.allocator.read(dptr, total)  # staging copy
         stripe_bytes = b"".join(
             data[offset : offset + size]
             for offset, size in _stripe_slices(total, chunk, stripe, nstripes)
         )
         if not crc:
-            conn.sendall(stripe_bytes)
+            self._send_windowed(conn, peer, stripe_bytes)
             return
         trailer = _crc(stripe_bytes)
         with self._staging_lock:
@@ -177,7 +279,7 @@ class DataChannelServer:
                 self.corrupt_next_reads -= 1
         if corrupt:
             stripe_bytes = bytes([stripe_bytes[0] ^ 0x5A]) + stripe_bytes[1:]
-        conn.sendall(stripe_bytes + trailer)
+        self._send_windowed(conn, peer, stripe_bytes + trailer)
 
     def close(self) -> None:
         """Stop accepting and close the listener."""
@@ -271,14 +373,34 @@ class DataChannelClient:
                     trailer = _crc(stripe_bytes)
                     if self._take_write_corruption() and stripe_bytes:
                         stripe_bytes = bytes([stripe_bytes[0] ^ 0x5A]) + stripe_bytes[1:]
-                    conn.sendall(stripe_bytes + trailer)
+                    body = stripe_bytes + trailer
                 else:
-                    conn.sendall(stripe_bytes)
+                    body = stripe_bytes
+                try:
+                    conn.sendall(body)
+                except OSError:
+                    # A BP refusal arrives without the server reading the
+                    # payload; a large send can break before we reach the
+                    # reply.  Check for the refusal before giving up.
+                    try:
+                        if _recv_exact(conn, 2) == b"BP":
+                            raise DataChannelBusyError(
+                                "server staging memory exhausted; back off and retry"
+                            ) from None
+                    except DataChannelBusyError:
+                        raise
+                    except OSError:
+                        pass
+                    raise
                 reply = _recv_exact(conn, 2)
                 if reply == b"OK":
                     return True
                 if reply == b"NO" and self.crc:
                     return False
+                if reply == b"BP":
+                    raise DataChannelBusyError(
+                        "server staging memory exhausted; back off and retry"
+                    )
                 raise ConnectionError(f"unexpected data-channel reply {reply!r}")
             finally:
                 conn.close()

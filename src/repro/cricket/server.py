@@ -23,9 +23,15 @@ only moves when work does.  See :mod:`repro.cricket.sessions`.
 from __future__ import annotations
 
 import threading
+from dataclasses import replace
 
 from repro.cricket import params as kparams
-from repro.cricket.scheduler import FifoPolicy, GpuScheduler, SchedulingPolicy
+from repro.cricket.scheduler import (
+    FairSharePolicy,
+    FifoPolicy,
+    GpuScheduler,
+    SchedulingPolicy,
+)
 from repro.cricket.sessions import LEASE_FOREVER, SessionManager
 from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
 from repro.cuda import constants as C
@@ -39,6 +45,7 @@ from repro.gpu.device import GpuDevice
 from repro.gpu.stream import StreamTable
 from repro.net.simclock import SimClock
 from repro.oncrpc.server import RpcServer
+from repro.resilience.overload import CallCancelledError, OverloadConfig
 from repro.rpcl.stubgen import ProgramInterface
 from repro.unikernel.presets import CRICKET_SERVER_DISPATCH_S
 
@@ -193,6 +200,17 @@ class CricketImplementation:
             if quota_err != 0:
                 return {"err": quota_err, "ptr": 0}
             err, ptr = self.runtime.cudaMalloc(size)
+            if (
+                err == C.cudaSuccess
+                and ctx is not None
+                and getattr(ctx, "cancel", None) is not None
+                and ctx.cancel.requested
+            ):
+                # Cooperative cancellation safe point: the allocation has
+                # not been recorded in the ledger or revealed to the client
+                # yet, so undoing it leaves no trace to reclaim later.
+                self.runtime.cudaFree(ptr)
+                raise CallCancelledError("rpc_cudaMalloc cancelled; allocation undone")
             if err == C.cudaSuccess and session is not None:
                 session.ledger.allocations[int(ptr)] = (self._ordinal(), int(size))
             return {"err": err, "ptr": ptr}
@@ -535,6 +553,22 @@ class CricketImplementation:
                 return {"err": 0, "value": LEASE_FOREVER}
             return {"err": 0, "value": session.lease_remaining_ns(self.clock.now_ns)}
 
+    # -- overload control -------------------------------------------------------
+
+    def rpc_cancel(self, xid, ctx=None):
+        """Cricket procedure ``rpc_cancel``: abort a queued/in-flight call.
+
+        Deliberately does NOT take ``self._lock`` or charge dispatch: the
+        call being cancelled may be executing right now *holding that
+        lock*, and a cancel that queued behind its target would be useless
+        (and, under overload admission, could deadlock).  Cancellation is
+        keyed on the caller's own identity, so one tenant cannot cancel
+        another's work.
+        """
+        identity = ctx.identity if ctx is not None else ""
+        ok = self._server.cancel_call(identity, int(xid))
+        return {"err": 0, "value": 1 if ok else 0}
+
 
 class CricketServer(RpcServer):
     """An ONC RPC server exporting the Cricket program over simulated GPUs."""
@@ -552,9 +586,23 @@ class CricketServer(RpcServer):
         max_sessions: int | None = None,
         memory_quota_bytes: int | None = None,
         crc_records: bool = False,
+        overload: OverloadConfig | None = None,
     ) -> None:
-        super().__init__(crc_records=crc_records)
-        self.clock = clock if clock is not None else SimClock()
+        clock = clock if clock is not None else SimClock()
+        if (
+            overload is not None
+            and not overload.weights
+            and isinstance(scheduling, FairSharePolicy)
+            and scheduling.weights
+        ):
+            # One fairness config: the GPU scheduler's tenant weights double
+            # as the admission queue's WFQ weights unless overridden.
+            overload = replace(overload, weights=dict(scheduling.weights))
+        super().__init__(crc_records=crc_records, clock=clock, overload=overload)
+        # rpc_ping (62) is the idle-client lease heartbeat and rpc_cancel
+        # (63) is how overloaded work gets *aborted* -- neither may queue
+        # behind the very backlog they exist to manage.
+        self.overload_exempt_procs |= {62, 63}
         if devices is None:
             devices = [GpuDevice(A100, execute=execute)]
         self.devices = devices

@@ -22,6 +22,13 @@ AUTH_SHORT = 2
 #: peer address, so a client keeps its duplicate-request protection across
 #: reconnects (a reconnect changes the ephemeral source port).
 AUTH_CLIENT_TOKEN = 0x43524943
+#: Private flavor ("CRID") carried in a call's *verifier* slot with per-call
+#: overload metadata: the remaining deadline budget and a priority.  The
+#: budget travels as a *relative* nanosecond count (gRPC-style) because
+#: client and server may live in different clock domains (a real WallClock
+#: client talking to a SimClock server); the server converts it to an
+#: absolute expiry in its own domain on arrival.
+AUTH_CALL_META = 0x43524944
 
 #: ``auth_stat`` values used in MSG_DENIED/AUTH_ERROR replies.
 AUTH_OK = 0
@@ -85,6 +92,49 @@ def client_token_from(auth: OpaqueAuth) -> bytes | None:
     if auth.flavor == AUTH_CLIENT_TOKEN and auth.body:
         return auth.body
     return None
+
+
+@dataclass(frozen=True)
+class CallMeta:
+    """Per-call overload metadata decoded from an ``AUTH_CALL_META`` verifier."""
+
+    remaining_ns: int | None = None  # budget left at send time; None = no deadline
+    priority: int = 0  # higher = more important; shed lowest first
+
+
+def call_meta_auth(remaining_ns: int | None, priority: int = 0) -> OpaqueAuth:
+    """Encode deadline budget + priority as an ``AUTH_CALL_META`` verifier.
+
+    ``remaining_ns`` is clamped at zero so a just-expired call still encodes
+    cleanly (the server will refuse it as expired, which is the point).
+    """
+    enc = XdrEncoder()
+    if remaining_ns is None:
+        enc.pack_bool(False)
+    else:
+        enc.pack_bool(True)
+        enc.pack_uhyper(max(0, int(remaining_ns)))
+    enc.pack_int(int(priority))
+    return OpaqueAuth(AUTH_CALL_META, enc.getvalue())
+
+
+def call_meta_from(auth: OpaqueAuth) -> CallMeta | None:
+    """Decode an ``AUTH_CALL_META`` verifier; ``None`` for other flavors.
+
+    A malformed body (truncated, trailing bytes) is treated as absent rather
+    than raised -- overload metadata is advisory, and a server must not
+    refuse an otherwise-valid call because a middlebox mangled the verf.
+    """
+    if auth.flavor != AUTH_CALL_META:
+        return None
+    try:
+        dec = XdrDecoder(auth.body)
+        remaining = dec.unpack_uhyper() if dec.unpack_bool() else None
+        priority = dec.unpack_int()
+        dec.assert_done()
+    except XdrDecodeError:
+        return None
+    return CallMeta(remaining, priority)
 
 
 @dataclass(frozen=True)

@@ -24,12 +24,15 @@ from __future__ import annotations
 import itertools
 import threading
 import uuid
-from typing import Any
+from typing import Any, Callable
 
 from repro.net.simclock import SimClock, WallClock
 from repro.oncrpc import message as msg
-from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth, client_token_auth
+from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth, call_meta_auth, client_token_auth
 from repro.oncrpc.errors import (
+    RpcBusyError,
+    RpcCallExpired,
+    RpcCancelled,
     RpcDeadlineExceeded,
     RpcDenied,
     RpcGarbageArgs,
@@ -67,6 +70,7 @@ class RpcClient:
         retry_policy: RetryPolicy | None = None,
         clock: SimClock | WallClock | None = None,
         stats: ResilienceStats | None = None,
+        priority: int = 0,
     ) -> None:
         self.transport = transport
         self.prog = prog
@@ -90,19 +94,52 @@ class RpcClient:
         self.calls_made = 0
         #: xids of batched calls whose replies have not been collected yet
         self._batched_xids: list[int] = []
+        #: priority stamped into every call's AUTH_CALL_META verifier
+        self.priority = priority
+        #: xid of the most recently issued call (sync or batched)
+        self.last_xid: int | None = None
+        #: observer invoked with each new call's xid before it is sent; the
+        #: Cricket client's cancel-scope uses this to track what to cancel
+        self.xid_observer: Callable[[int], None] | None = None
+
+    def _note_xid(self, xid: int) -> None:
+        self.last_xid = xid
+        if self.xid_observer is not None:
+            self.xid_observer(xid)
+
+    def _encode_call(
+        self, xid: int, proc: int, args: bytes, deadline_ns: int | None
+    ) -> bytes:
+        """Encode one call attempt, stamping overload metadata in the verf.
+
+        Re-encoding per attempt (same xid!) is what makes deadline
+        propagation honest: each retransmission carries the budget that
+        remains *now*, shrunk by earlier attempts, backoff and reconnects.
+        """
+        verf = NULL_AUTH
+        if deadline_ns is not None or self.priority != 0:
+            remaining = (
+                None
+                if deadline_ns is None
+                else max(0, deadline_ns - self.clock.now_ns)
+            )
+            verf = call_meta_auth(remaining, self.priority)
+        return msg.RpcMessage(
+            xid,
+            msg.CallBody(
+                self.prog, self.vers, proc, cred=self.cred, verf=verf, args=args
+            ),
+        ).encode()
 
     # -- raw interface ------------------------------------------------------
 
     def call_raw(self, proc: int, args: bytes) -> bytes:
         """Invoke ``proc`` with pre-encoded ``args``; return raw result bytes."""
         xid = next(_xid_counter) & 0xFFFFFFFF
-        call = msg.RpcMessage(
-            xid, msg.CallBody(self.prog, self.vers, proc, cred=self.cred, args=args)
-        )
-        encoded = call.encode()
+        self._note_xid(xid)
         if self.retry_policy is None:
-            return self._call_once(xid, encoded)
-        return self._call_with_retry(xid, encoded)
+            return self._call_once(xid, self._encode_call(xid, proc, args, None))
+        return self._call_with_retry(xid, proc, args)
 
     def _call_once(self, xid: int, encoded: bytes) -> bytes:
         """The historical fail-fast path: one send, one receive."""
@@ -119,7 +156,7 @@ class RpcClient:
             )
         return self._unwrap_reply(reply)
 
-    def _call_with_retry(self, xid: int, encoded: bytes) -> bytes:
+    def _call_with_retry(self, xid: int, proc: int, args: bytes) -> bytes:
         """Retransmit with backoff until success, fatal error or deadline."""
         policy = self.retry_policy
         assert policy is not None
@@ -130,6 +167,17 @@ class RpcClient:
         )
         last_exc: BaseException | None = None
         for attempt in range(1, policy.max_attempts + 1):
+            # Check the budget at the *top* of each attempt: reconnect
+            # probing and failover time between attempts is spent from the
+            # same clock, so a connect storm cannot exceed the declared
+            # deadline by sneaking in one more try.
+            if deadline_ns is not None and self.clock.now_ns >= deadline_ns:
+                self.stats.deadlines_exceeded += 1
+                raise RpcDeadlineExceeded(
+                    f"call xid {xid:#x} abandoned: deadline of "
+                    f"{policy.deadline_s}s spent before attempt {attempt}"
+                ) from last_exc
+            encoded = self._encode_call(xid, proc, args, deadline_ns)
             try:
                 with self._lock:
                     if self._batched_xids:
@@ -198,23 +246,24 @@ class RpcClient:
 
     # -- batching (classic ONC RPC latency optimization) -----------------------
 
-    def call_batched(self, proc: int, args: bytes) -> None:
-        """Send a call without waiting for its reply.
+    def call_batched(self, proc: int, args: bytes) -> int:
+        """Send a call without waiting for its reply; return its xid.
 
         Replies accumulate on the connection and are collected -- and
         checked for errors -- by :meth:`flush_batch` or implicitly by the
         next synchronous call.  This is the classic ONC RPC batching
         technique: for a stream of kernel launches the client stops paying
-        a full round trip per call.
+        a full round trip per call.  The returned xid is the handle
+        ``rpc_cancel`` takes to abort the call before its reply is drained.
         """
         xid = next(_xid_counter) & 0xFFFFFFFF
-        call = msg.RpcMessage(
-            xid, msg.CallBody(self.prog, self.vers, proc, cred=self.cred, args=args)
-        )
+        self._note_xid(xid)
+        encoded = self._encode_call(xid, proc, args, None)
         with self._lock:
-            self.transport.send_record(call.encode())
+            self.transport.send_record(encoded)
             self.calls_made += 1
             self._batched_xids.append(xid)
+        return xid
 
     @property
     def pending_batched(self) -> int:
@@ -233,7 +282,7 @@ class RpcClient:
 
     def _drain_batch_locked(self) -> list[bytes]:
         xids, self._batched_xids = self._batched_xids, []
-        results: list[bytes] = []
+        replies: list[msg.RpcMessage] = []
         for xid in xids:
             reply = msg.RpcMessage.decode(self.transport.recv_record())
             if reply.xid != xid:
@@ -241,11 +290,13 @@ class RpcClient:
                     f"batched reply xid {reply.xid:#x} does not match "
                     f"call xid {xid:#x}"
                 )
-            results.append(self._unwrap_reply(reply))
-        return results
+            # Consume every reply off the wire before unwrapping: if one
+            # batched call errored (e.g. was cancelled), the later replies
+            # must not be left behind to poison the stream.
+            replies.append(reply)
+        return [self._unwrap_reply(reply) for reply in replies]
 
-    @staticmethod
-    def _unwrap_reply(reply: msg.RpcMessage) -> bytes:
+    def _unwrap_reply(self, reply: msg.RpcMessage) -> bytes:
         if isinstance(reply.body, msg.RejectedReply):
             if reply.body.stat == msg.RPC_MISMATCH:
                 raise RpcDenied(
@@ -268,6 +319,13 @@ class RpcClient:
             raise RpcGarbageArgs("server could not decode arguments")
         if body.stat == msg.SYSTEM_ERR:
             raise RpcSystemError("server-side system error")
+        if body.stat == msg.RPC_BUSY:
+            self.stats.busy_rejections += 1
+            raise RpcBusyError("server shed the call under overload")
+        if body.stat == msg.CALL_EXPIRED:
+            raise RpcCallExpired("deadline expired before the server executed it")
+        if body.stat == msg.CALL_CANCELLED:
+            raise RpcCancelled("call was cancelled")
         raise RpcReplyError(f"unknown accept_stat {body.stat}")
 
     # -- typed interface ------------------------------------------------------

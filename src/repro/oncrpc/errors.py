@@ -40,6 +40,17 @@ class RpcCircuitOpenError(RpcTransportError):
     """The reconnect circuit breaker is open; the server looks dead."""
 
 
+class RpcBusyError(RpcTransportError):
+    """``RPC_BUSY``: the server shed this call under overload.
+
+    Subclasses :class:`RpcTransportError` so :func:`repro.resilience.retry.
+    is_retryable` classifies it as retryable -- the correct client response
+    to load shedding is exponential backoff and retry, exactly like a lost
+    packet.  The server never executed the call, so retrying is safe even
+    for non-idempotent procedures.
+    """
+
+
 class RpcReplyError(RpcError):
     """The server replied, but with an RPC-level error status."""
 
@@ -67,6 +78,23 @@ class RpcGarbageArgs(RpcReplyError):
 
 class RpcSystemError(RpcReplyError):
     """``SYSTEM_ERR``: the server hit an internal error executing the call."""
+
+
+class RpcCallExpired(RpcReplyError):
+    """``CALL_EXPIRED``: the call's propagated deadline passed before execution.
+
+    A reply error (fatal, not retried): the client's own budget is what
+    expired, so retrying would only expire again.  The server guarantees
+    the call was *not* executed.
+    """
+
+
+class RpcCancelled(RpcReplyError):
+    """``CALL_CANCELLED``: the call was cancelled via ``rpc_cancel``.
+
+    Fatal by design -- cancellation is an explicit client decision, and a
+    retry would re-submit work the caller just asked to abort.
+    """
 
 
 class RpcDenied(RpcReplyError):

@@ -32,6 +32,14 @@ PROC_UNAVAIL = 3
 GARBAGE_ARGS = 4
 SYSTEM_ERR = 5
 
+# Private-use accept_stat extensions for overload control.  RFC 5531 defines
+# only 0..5; we claim 100+ (far outside the standard range) for the overload
+# subsystem, mirroring how gRPC layers RESOURCE_EXHAUSTED / DEADLINE_EXCEEDED
+# / CANCELLED on top of its transport.  All three carry void bodies.
+RPC_BUSY = 100  # shed before execution; safe (and expected) to retry
+CALL_EXPIRED = 101  # propagated deadline passed before execution; not retried
+CALL_CANCELLED = 102  # aborted via rpc_cancel; not retried
+
 # reject_stat
 RPC_MISMATCH = 0
 AUTH_ERROR = 1
@@ -43,6 +51,9 @@ _ACCEPT_STAT_NAMES = {
     PROC_UNAVAIL: "PROC_UNAVAIL",
     GARBAGE_ARGS: "GARBAGE_ARGS",
     SYSTEM_ERR: "SYSTEM_ERR",
+    RPC_BUSY: "RPC_BUSY",
+    CALL_EXPIRED: "CALL_EXPIRED",
+    CALL_CANCELLED: "CALL_CANCELLED",
 }
 
 

@@ -28,6 +28,13 @@ CRC_TRAILER_BYTES = 4
 #: write buffering; small enough to exercise reassembly in realistic runs.
 DEFAULT_FRAGMENT_SIZE = 1 << 20
 
+#: Largest single *declared* fragment a :class:`RecordReader` accepts by
+#: default.  Every sender in this codebase fragments at
+#: :data:`DEFAULT_FRAGMENT_SIZE` (1 MiB), so 64 MiB is generous headroom for
+#: interop while keeping a forged header from asking us to buffer ~2 GiB in
+#: one ``_read_exact`` call.
+DEFAULT_MAX_FRAGMENT = 64 * 1024 * 1024
+
 
 def iter_fragments(
     record: bytes, fragment_size: int = DEFAULT_FRAGMENT_SIZE
@@ -100,6 +107,10 @@ class RecordReader:
     max_record_size:
         Upper bound on a reassembled record; protects the server from
         memory-exhaustion by a misbehaving peer.
+    max_fragment_size:
+        Upper bound on a single *declared* fragment length.  All conforming
+        senders here use 1 MiB fragments; a header declaring more than this
+        is treated as hostile and rejected before any payload is buffered.
     """
 
     def __init__(
@@ -107,9 +118,11 @@ class RecordReader:
         read: Callable[[int], bytes],
         *,
         max_record_size: int = 1 << 31,
+        max_fragment_size: int = DEFAULT_MAX_FRAGMENT,
     ) -> None:
         self._read = read
         self._max_record_size = max_record_size
+        self._max_fragment_size = max_fragment_size
 
     def _read_exact(self, n: int) -> bytes:
         parts: list[bytes] = []
@@ -147,6 +160,11 @@ class RecordReader:
             word = int.from_bytes(header, "big")
             last = bool(word & LAST_FRAGMENT)
             length = word & MAX_FRAGMENT_PAYLOAD
+            if length > self._max_fragment_size:
+                raise RpcProtocolError(
+                    f"fragment declares {length} bytes, above the "
+                    f"{self._max_fragment_size}-byte limit"
+                )
             size += length
             if size > self._max_record_size:
                 raise RpcProtocolError(

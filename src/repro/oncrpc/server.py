@@ -40,8 +40,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.net.simclock import SimClock, WallClock
 from repro.oncrpc import message as msg
-from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth, client_token_from
+from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth, call_meta_from, client_token_from
 from repro.oncrpc.errors import RpcIntegrityError, RpcProtocolError, RpcTransportError
 from repro.oncrpc.record import (
     DEFAULT_FRAGMENT_SIZE,
@@ -49,6 +50,12 @@ from repro.oncrpc.record import (
     append_crc,
     encode_record,
     verify_crc,
+)
+from repro.resilience.overload import (
+    CallCancelledError,
+    CancelToken,
+    OverloadConfig,
+    OverloadController,
 )
 from repro.resilience.stats import ServerStats
 from repro.xdr.errors import XdrError
@@ -68,6 +75,12 @@ class CallContext:
     session: dict = field(default_factory=dict)
     #: at-most-once client identity (session token, or ``client_id`` fallback)
     identity: str = ""
+    #: absolute expiry in the server clock domain (from AUTH_CALL_META)
+    deadline_ns: int | None = None
+    #: call priority from AUTH_CALL_META (higher = more important)
+    priority: int = 0
+    #: cooperative cancellation latch; handlers check it at safe points
+    cancel: CancelToken = field(default_factory=CancelToken)
 
 
 Handler = Callable[[bytes, CallContext], bytes]
@@ -105,10 +118,15 @@ class RpcServer:
         reply_cache_bytes: int = DEFAULT_REPLY_CACHE_BYTES,
         reply_cache_entry_bytes: int = DEFAULT_REPLY_CACHE_ENTRY_BYTES,
         crc_records: bool = False,
+        clock: SimClock | WallClock | None = None,
+        overload: OverloadConfig | None = None,
     ) -> None:
         self._programs: dict[tuple[int, int], dict[int, Handler]] = {}
         self.fragment_size = fragment_size
         self.max_record_size = max_record_size
+        #: server clock domain: propagated deadlines (relative budgets in
+        #: AUTH_CALL_META verifiers) are converted to absolute expiries here
+        self.clock = clock if clock is not None else SimClock()
         #: verify a CRC32 trailer on inbound records and checksum replies
         #: (pairs with the client's ChecksummedTransport)
         self.crc_records = crc_records
@@ -149,6 +167,19 @@ class RpcServer:
         self._oplog_lock = threading.Lock()
         # a killed server models a crashed process: every dispatch fails
         self._killed = False
+        #: overload admission (None = unbounded, the historical behaviour)
+        self.overload = (
+            OverloadController(
+                overload, now_ns=lambda: self.clock.now_ns, stats=self.server_stats
+            )
+            if overload is not None
+            else None
+        )
+        #: procedures that bypass overload admission: NULL (liveness probes
+        #: must answer even under overload) -- subclasses add e.g. rpc_cancel
+        self.overload_exempt_procs: set[int] = {0}
+        #: executing calls' cancel tokens, keyed (identity, xid)
+        self._inflight_calls: dict[tuple[str, int], CancelToken] = {}
 
     # -- registration ---------------------------------------------------------
 
@@ -224,8 +255,53 @@ class RpcServer:
         # Remember which identities rode this connection, so a disconnect
         # can be attributed to their sessions (see _on_disconnect).
         ctx.session.setdefault("identities", set()).add(identity)
+        # Per-call overload metadata rides in the call's verifier.
+        meta = call_meta_from(call.verf)
+        if meta is not None:
+            ctx.priority = meta.priority
+            if meta.remaining_ns is not None:
+                ctx.deadline_ns = self.clock.now_ns + meta.remaining_ns
+        exempt = call.proc in self.overload_exempt_procs
+        if (
+            not exempt
+            and ctx.deadline_ns is not None
+            and self.clock.now_ns >= ctx.deadline_ns
+        ):
+            # Expired before we even looked at it: executing would burn GPU
+            # time for a caller who already gave up.  Never cached -- the
+            # client will not retransmit a fatal expiry.
+            with self._stats_lock:
+                self.server_stats.deadline_expired_in_queue += 1
+            return self._finish_reply(
+                self._control_reply(request.xid, msg.CALL_EXPIRED)
+            )
+        admitted = False
+        if self.overload is not None and not exempt:
+            outcome, token = self.overload.acquire(
+                identity,
+                request.xid,
+                priority=ctx.priority,
+                expires_at_ns=ctx.deadline_ns,
+            )
+            if outcome == OverloadController.BUSY:
+                return self._finish_reply(
+                    self._control_reply(request.xid, msg.RPC_BUSY)
+                )
+            if outcome == OverloadController.EXPIRED:
+                return self._finish_reply(
+                    self._control_reply(request.xid, msg.CALL_EXPIRED)
+                )
+            if outcome == OverloadController.CANCELLED:
+                return self._finish_reply(
+                    self.record_cancelled(identity, request.xid)
+                )
+            admitted = True
+            assert token is not None
+            ctx.cancel = token
         with self._inflight_cv:
             self._inflight += 1
+        with self._stats_lock:
+            self._inflight_calls[cache_key] = ctx.cancel
         # When a replication observer is installed, (execute, ship) must be
         # atomic: if two concurrent mutating calls could execute in one
         # order but enter the op-log in the other, the standby's replay
@@ -241,10 +317,60 @@ class RpcServer:
                 if self.on_executed is not None:
                     self.on_executed(record, call, reply)
         finally:
+            with self._stats_lock:
+                self._inflight_calls.pop(cache_key, None)
+            if admitted:
+                assert self.overload is not None
+                self.overload.release()
             with self._inflight_cv:
                 self._inflight -= 1
                 self._inflight_cv.notify_all()
+        if (
+            ctx.deadline_ns is not None
+            and reply_body.stat == msg.SUCCESS
+            and self.clock.now_ns >= ctx.deadline_ns
+        ):
+            # The work finished, but after its caller's budget ran out: the
+            # reply is almost certainly talking to a closed retry loop.
+            with self._stats_lock:
+                self.server_stats.deadline_expired_in_execution += 1
         return append_crc(reply) if self.crc_records else reply
+
+    def _control_reply(self, xid: int, stat: int) -> bytes:
+        """Encode a void-body control reply (RPC_BUSY / CALL_EXPIRED)."""
+        return msg.RpcMessage(
+            xid, msg.AcceptedReply(NULL_AUTH, stat), msg.MSG_ACCEPTED
+        ).encode()
+
+    def _finish_reply(self, reply: bytes) -> bytes:
+        return append_crc(reply) if self.crc_records else reply
+
+    def record_cancelled(self, identity: str, xid: int) -> bytes:
+        """Build and *cache* a CALL_CANCELLED reply for ``(identity, xid)``.
+
+        Caching is the at-most-once contract for cancellation: if the
+        client's retry loop retransmits the cancelled xid later, it must be
+        answered with the cancelled reply from the cache, never re-executed.
+        """
+        reply = self._control_reply(xid, msg.CALL_CANCELLED)
+        self._cache_reply((identity, xid), reply)
+        return reply
+
+    def cancel_call(self, identity: str, xid: int) -> bool:
+        """Cancel a queued or in-flight call; True if one was found.
+
+        Queued calls are cancelled through the overload controller (they
+        never start executing); in-flight calls get their token fired and
+        abort at the handler's next safe point.
+        """
+        if self.overload is not None and self.overload.cancel(identity, xid):
+            return True
+        with self._stats_lock:
+            token = self._inflight_calls.get((identity, xid))
+        if token is not None:
+            token.cancel()
+            return True
+        return False
 
     def _cache_reply(self, cache_key: tuple[str, int], reply: bytes) -> None:
         """Insert into the reply cache, honouring entry and byte budgets.
@@ -274,6 +400,13 @@ class RpcServer:
             self.server_stats.reply_cache_bytes = self._reply_cache_total
 
     def _execute(self, call: msg.CallBody, ctx: CallContext) -> msg.AcceptedReply:
+        if ctx.cancel.requested:
+            # Cancelled in the window between admission and execution; the
+            # handler never runs, and the cached CALL_CANCELLED reply
+            # answers any later retransmission of this xid.
+            with self._stats_lock:
+                self.server_stats.cancelled_in_flight += 1
+            return msg.AcceptedReply(NULL_AUTH, msg.CALL_CANCELLED)
         table = self._programs.get((call.prog, call.vers))
         if table is None:
             versions = self.supported_versions(call.prog)
@@ -288,6 +421,10 @@ class RpcServer:
             return msg.AcceptedReply(NULL_AUTH, msg.PROC_UNAVAIL)
         try:
             results = handler(call.args, ctx)
+        except CallCancelledError:
+            with self._stats_lock:
+                self.server_stats.cancelled_in_flight += 1
+            return msg.AcceptedReply(NULL_AUTH, msg.CALL_CANCELLED)
         except (GarbageArgumentsError, XdrError):
             return msg.AcceptedReply(NULL_AUTH, msg.GARBAGE_ARGS)
         except Exception:

@@ -15,7 +15,12 @@ makes that boundary survivable and, crucially, *measurable*:
 * :mod:`repro.resilience.reconnect` -- :class:`ReconnectingTransport`
   with a :class:`CircuitBreaker` for real TCP connections,
 * :mod:`repro.resilience.stats` -- :class:`ResilienceStats` counters
-  surfaced through :mod:`repro.core.tracing`.
+  surfaced through :mod:`repro.core.tracing`,
+* :mod:`repro.resilience.overload` -- server-side overload control:
+  bounded admission queues with configurable shedding
+  (:class:`OverloadConfig`), weighted fair queueing, per-client token
+  buckets, deadline-aware dequeue and cooperative cancellation
+  (:class:`CancelToken` / :class:`CallCancelledError`).
 
 Safety depends on the server side too: :class:`~repro.oncrpc.server.RpcServer`
 keeps an at-most-once reply cache keyed by (client, xid), so a retried
@@ -30,6 +35,9 @@ from repro.resilience.chaos import (
     FailoverChaosHarness,
     FailoverChaosPlan,
     FailoverChaosResult,
+    OverloadChaosHarness,
+    OverloadChaosPlan,
+    OverloadChaosResult,
 )
 from repro.resilience.failover import (
     FailoverTransport,
@@ -37,6 +45,18 @@ from repro.resilience.failover import (
     TcpEndpoint,
 )
 from repro.resilience.faults import FaultInjectingTransport, FaultPlan
+from repro.resilience.overload import (
+    REJECT_LOWEST_PRIORITY,
+    REJECT_NEWEST,
+    REJECT_OLDEST,
+    CallCancelledError,
+    CancelToken,
+    OverloadConfig,
+    OverloadController,
+    OverloadQueue,
+    Refusal,
+    TokenBucket,
+)
 from repro.resilience.reconnect import CircuitBreaker, ReconnectingTransport, null_probe
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, is_retryable
 from repro.resilience.stats import ResilienceStats, ServerStats
@@ -61,4 +81,17 @@ __all__ = [
     "FailoverChaosPlan",
     "FailoverChaosHarness",
     "FailoverChaosResult",
+    "OverloadConfig",
+    "OverloadQueue",
+    "OverloadController",
+    "Refusal",
+    "TokenBucket",
+    "CancelToken",
+    "CallCancelledError",
+    "REJECT_NEWEST",
+    "REJECT_OLDEST",
+    "REJECT_LOWEST_PRIORITY",
+    "OverloadChaosPlan",
+    "OverloadChaosHarness",
+    "OverloadChaosResult",
 ]

@@ -367,3 +367,434 @@ class FailoverChaosHarness:
 
 def _aligned(size: int, alignment: int = 256) -> int:
     return (size + alignment - 1) // alignment * alignment
+
+
+# -- overload chaos: more offered load than the server can execute ---------
+
+
+@dataclass
+class OverloadChaosPlan:
+    """Seeded description of one open-loop overload run.
+
+    Tenants offer calls at ``load_factor`` times the server's execution
+    capacity (``1 / service_ns`` calls per nanosecond), with seeded
+    arrival jitter, mixed priorities and a seeded fraction of tight
+    deadlines that cannot survive a saturated queue.  The acceptance bar:
+
+    * **zero executions of already-expired calls** -- expired work is
+      refused at admission or dropped at dequeue, never dispatched;
+    * **bounded queue**: the peak depth never exceeds ``max_queue_depth``;
+    * **bounded accepted latency**: any call that executes finishes within
+      its deadline slack plus one service time of its arrival;
+    * **fairness**: with equal weights, max/min per-tenant goodput stays
+      within 2x even when tenant 0 offers ``hot_tenant_factor`` times the
+      load of everyone else;
+    * shed calls surface as ``RPC_BUSY`` (typed, retryable) and a
+      cancelled xid retransmitted later gets the cached ``CALL_CANCELLED``
+      reply instead of re-executing.
+    """
+
+    #: concurrent client identities
+    tenants: int = 3
+    #: offered load as a multiple of server capacity (1x, 2x, 5x, ...)
+    load_factor: float = 5.0
+    #: baseline offered calls per tenant (tenant 0 scaled by the hot factor)
+    calls_per_tenant: int = 60
+    #: tenant 0 offers this multiple of everyone else's load
+    hot_tenant_factor: float = 1.0
+    #: virtual execution time per call
+    service_ns: int = 1_000_000
+    #: admission queue bound (the asserted peak-depth ceiling)
+    max_queue_depth: int = 16
+    #: per-tenant queue bound; 0 = auto (an equal share of the total).
+    #: Without it a hot tenant fills the shared queue and reject-newest
+    #: sheds everyone else -- WFQ only orders what was admitted.
+    max_queue_depth_per_client: int = 0
+    #: shed policy under that bound
+    shed_policy: str = "reject-newest"
+    #: WFQ weights keyed by tenant name ("tenant0", ...); empty = equal
+    weights: dict[str, float] = field(default_factory=dict)
+    #: calls get a seeded priority in [0, priorities)
+    priorities: int = 3
+    #: seeded fraction of calls given a deadline too tight for a full queue
+    tight_deadline_fraction: float = 0.2
+    #: RNG seed driving arrivals, priorities and deadlines
+    seed: int = 0
+    #: also probe the data channel with this many non-draining readers
+    slow_readers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ValueError("need at least one tenant")
+        if self.load_factor <= 0:
+            raise ValueError("load_factor must be > 0")
+        if self.calls_per_tenant < 1:
+            raise ValueError("need at least one call per tenant")
+        if self.priorities < 1:
+            raise ValueError("need at least one priority level")
+
+    @property
+    def default_slack_ns(self) -> int:
+        """Deadline slack for normal calls: survives a full queue."""
+        return (self.max_queue_depth + 2) * self.service_ns
+
+    @property
+    def tight_slack_ns(self) -> int:
+        """Deadline slack for tight calls: dies in a saturated queue."""
+        return 2 * self.service_ns
+
+    @property
+    def latency_bound_ns(self) -> int:
+        """Worst accepted-call latency: start before deadline, then run."""
+        return self.default_slack_ns + self.service_ns
+
+
+@dataclass
+class OverloadChaosResult:
+    """Outcome of an overload chaos run, ready for assertions."""
+
+    #: calls offered per tenant
+    offered: dict[str, int]
+    #: calls executed to SUCCESS per tenant (goodput)
+    goodput: dict[str, int]
+    #: calls shed with a busy refusal (bounds, policy or rate limit)
+    shed_busy: int
+    #: calls refused or dropped because their deadline passed in queue
+    expired_in_queue: int
+    #: calls that *executed* after their deadline passed (must be 0)
+    executed_expired: int
+    #: high-water mark of queue depth during the run
+    peak_queue_depth: int
+    #: the configured bound it must respect
+    queue_bound: int
+    #: worst arrival-to-completion latency among executed calls
+    max_accepted_latency_ns: int
+    #: the bound it must respect (deadline slack + one service time)
+    latency_bound_ns: int
+    #: max/min per-tenant goodput (inf when a tenant got nothing)
+    fairness_ratio: float
+    #: a call shed by a saturated server came back as RPC_BUSY
+    busy_reply_typed: bool
+    #: retransmitting a cancelled xid hit the cached CALL_CANCELLED reply
+    cancel_replay_ok: bool
+    #: data-channel peers disconnected for not draining their window
+    slow_reader_disconnects: int
+    #: ``ServerStats.as_dict()`` at the end of the run
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when every overload-control invariant held."""
+        return (
+            self.executed_expired == 0
+            and self.peak_queue_depth <= self.queue_bound
+            and self.max_accepted_latency_ns <= self.latency_bound_ns
+            and self.fairness_ratio <= 2.0
+            and self.busy_reply_typed
+            and self.cancel_replay_ok
+        )
+
+
+class OverloadChaosHarness:
+    """Run an :class:`OverloadChaosPlan` in deterministic virtual time.
+
+    A single-threaded event loop models a saturated single-slot server:
+    arrivals go through a real
+    :class:`~repro.resilience.overload.OverloadQueue` (bounds, shedding,
+    WFQ, deadlines) and each admitted call is dispatched through a real
+    :meth:`~repro.oncrpc.server.RpcServer.dispatch_record` with the
+    tenant's ``AUTH_CLIENT_TOKEN`` credential and its remaining budget in
+    an ``AUTH_CALL_META`` verifier -- so the server-side expiry checks,
+    reply cache and counters under test are the production ones, while
+    time is virtual and every schedule replays bit-for-bit from its seed.
+    """
+
+    def __init__(self, plan: OverloadChaosPlan | None = None) -> None:
+        self.plan = plan if plan is not None else OverloadChaosPlan()
+        self.server: Any = None
+
+    def run(self) -> OverloadChaosResult:
+        """Execute the plan; returns the overload accounting."""
+        import random
+
+        from repro.cricket.server import CricketServer
+        from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
+        from repro.net.simclock import SimClock
+        from repro.oncrpc import message as msg
+        from repro.oncrpc.auth import call_meta_auth, client_token_auth
+        from repro.resilience.overload import OverloadConfig, OverloadQueue, Refusal
+        from repro.rpcl.stubgen import ProgramInterface
+
+        plan = self.plan
+        rng = random.Random(plan.seed)
+        server = CricketServer(clock=SimClock())
+        self.server = server
+        clock = server.clock
+        iface = ProgramInterface.from_source(
+            CRICKET_SPEC, CRICKET_PROG_NAME, CRICKET_VERS
+        )
+
+        tenant_names = [f"tenant{i}" for i in range(plan.tenants)]
+        tokens = {name: name.encode("ascii") for name in tenant_names}
+        identities = {name: f"token:{tokens[name].hex()}" for name in tenant_names}
+        weights = {
+            identities[name]: weight
+            for name, weight in plan.weights.items()
+            if name in identities
+        }
+        per_client = plan.max_queue_depth_per_client
+        if per_client <= 0:
+            per_client = max(1, -(-plan.max_queue_depth // plan.tenants))
+        queue = OverloadQueue(
+            OverloadConfig(
+                max_concurrency=1,
+                max_queue_depth=plan.max_queue_depth,
+                max_queue_depth_per_client=per_client,
+                shed_policy=plan.shed_policy,
+                weights=weights,
+            ),
+            stats=server.server_stats,
+        )
+
+        # -- seeded open-loop arrival schedule -----------------------------
+        counts = {
+            name: max(
+                1,
+                round(
+                    plan.calls_per_tenant
+                    * (plan.hot_tenant_factor if i == 0 else 1.0)
+                ),
+            )
+            for i, name in enumerate(tenant_names)
+        }
+        total_calls = sum(counts.values())
+        horizon_ns = max(1, int(total_calls * plan.service_ns / plan.load_factor))
+        events = []  # (arrival_ns, xid, tenant, priority, deadline_ns)
+        xid = 0
+        for name in tenant_names:
+            gap = horizon_ns / counts[name]
+            t = 0.0
+            for _ in range(counts[name]):
+                t += gap * rng.uniform(0.5, 1.5)
+                xid += 1
+                tight = rng.random() < plan.tight_deadline_fraction
+                slack = plan.tight_slack_ns if tight else plan.default_slack_ns
+                events.append(
+                    (int(t), xid, name, rng.randrange(plan.priorities), int(t) + slack)
+                )
+        events.sort(key=lambda e: (e[0], e[1]))
+        by_xid = {e[1]: e for e in events}
+
+        offered = {name: 0 for name in tenant_names}
+        goodput = {name: 0 for name in tenant_names}
+        executed_expired = 0
+        max_latency = 0
+        shed_busy = 0
+        expired_refused = 0
+
+        def dispatch(xid: int, start_ns: int) -> None:
+            nonlocal executed_expired, max_latency
+            arrival, _, tenant, priority, deadline = by_xid[xid]
+            remaining = max(0, deadline - clock.now_ns)
+            call = msg.CallBody(
+                prog=iface.prog_number,
+                vers=iface.vers_number,
+                proc=1,  # rpc_cudaGetDeviceCount: void args, cheap, countable
+                cred=client_token_auth(tokens[tenant]),
+                verf=call_meta_auth(remaining, priority),
+            )
+            reply = server.dispatch_record(msg.RpcMessage(xid, call).encode())
+            assert reply is not None
+            stat = msg.RpcMessage.decode(reply).body.stat
+            if stat == msg.SUCCESS:
+                if start_ns >= deadline:
+                    executed_expired += 1  # the invariant this harness exists for
+                goodput[tenant] += 1
+                max_latency = max(
+                    max_latency, start_ns + plan.service_ns - arrival
+                )
+
+        # -- single-slot virtual-time event loop ---------------------------
+        busy_until = 0
+
+        def serve_until(limit_ns: int | None) -> None:
+            """Run queued calls while the server frees up before ``limit_ns``."""
+            nonlocal busy_until
+            while limit_ns is None or busy_until <= limit_ns:
+                clock.advance_to_ns(max(clock.now_ns, busy_until))
+                ticket, _dropped = queue.pop_next(clock.now_ns)
+                if ticket is None:
+                    break
+                start = clock.now_ns
+                dispatch(ticket.xid, start)
+                busy_until = start + plan.service_ns
+
+        for arrival, call_xid, tenant, priority, deadline in events:
+            serve_until(arrival)
+            clock.advance_to_ns(max(clock.now_ns, arrival))
+            offered[tenant] += 1
+            if busy_until <= arrival and not len(queue):
+                dispatch(call_xid, arrival)
+                busy_until = arrival + plan.service_ns
+                continue
+            outcome = queue.offer(
+                identities[tenant],
+                call_xid,
+                clock.now_ns,
+                priority=priority,
+                expires_at_ns=deadline,
+            )
+            if isinstance(outcome, Refusal):
+                if outcome.kind == "busy":
+                    shed_busy += 1
+                else:
+                    expired_refused += 1
+            shed_busy += len(queue.take_evicted())
+        serve_until(None)  # drain the backlog
+
+        # -- typed-refusal probe: a saturated server answers RPC_BUSY ------
+        busy_reply_typed = self._probe_busy_reply()
+
+        # -- cancel x reply cache: retransmit never re-executes ------------
+        cancel_replay_ok = self._probe_cancel_replay(server, iface)
+
+        # -- real slow readers against the data channel --------------------
+        slow_disconnects = self._probe_slow_readers(server)
+
+        # Max-min fairness: a tenant whose demand was fully served cannot be
+        # a fairness victim (or culprit) -- at 1x load a hot tenant *should*
+        # get 3x the goodput if there is capacity for everyone.  The ratio
+        # is judged among tenants that still had unmet demand.
+        # "Unmet" means materially unmet: losing a couple of tight-deadline
+        # calls out of dozens does not make a tenant a contention victim.
+        contended = [
+            goodput[name]
+            for name in tenant_names
+            if goodput[name] < 0.9 * offered[name]
+        ]
+        if len(contended) < 2:
+            ratio = 1.0
+        elif min(contended) > 0:
+            ratio = max(contended) / min(contended)
+        else:
+            ratio = float("inf")
+        return OverloadChaosResult(
+            offered=offered,
+            goodput=goodput,
+            shed_busy=shed_busy,
+            expired_in_queue=server.server_stats.deadline_expired_in_queue,
+            executed_expired=executed_expired,
+            peak_queue_depth=server.server_stats.queue_peak_depth,
+            queue_bound=plan.max_queue_depth,
+            max_accepted_latency_ns=max_latency,
+            latency_bound_ns=plan.latency_bound_ns,
+            fairness_ratio=ratio,
+            busy_reply_typed=busy_reply_typed,
+            cancel_replay_ok=cancel_replay_ok,
+            slow_reader_disconnects=slow_disconnects,
+            counters=server.server_stats.as_dict(),
+        )
+
+    def _probe_busy_reply(self) -> bool:
+        """Saturate a real controller-backed server; expect ``RPC_BUSY``."""
+        from repro.cricket.server import CricketServer
+        from repro.net.simclock import SimClock
+        from repro.oncrpc import message as msg
+        from repro.oncrpc.auth import client_token_auth
+        from repro.resilience.overload import OverloadConfig
+
+        probe = CricketServer(
+            clock=SimClock(),
+            overload=OverloadConfig(max_concurrency=1, max_queue_depth=1),
+        )
+        assert probe.overload is not None
+        # Occupy the only slot and the only queue seat, single-threaded:
+        # the next arrival must be refused immediately, not block.
+        outcome, _token = probe.overload.acquire("token:holder", 1)
+        assert outcome == probe.overload.ADMITTED
+        probe.overload.queue.offer("token:waiter", 2, probe.clock.now_ns)
+        call = msg.CallBody(
+            prog=0x20000199,
+            vers=1,
+            proc=1,
+            cred=client_token_auth(b"probe"),
+        )
+        reply = probe.dispatch_record(msg.RpcMessage(3, call).encode())
+        probe.overload.release()
+        if reply is None:
+            return False
+        return msg.RpcMessage.decode(reply).body.stat == msg.RPC_BUSY
+
+    def _probe_cancel_replay(self, server: Any, iface: Any) -> bool:
+        """A cancelled xid retransmitted later must replay, not re-execute."""
+        from repro.oncrpc import message as msg
+        from repro.oncrpc.auth import client_token_auth
+
+        token = b"tenant0"
+        identity = f"token:{token.hex()}"
+        xid = 1 << 20  # far above any simulated xid
+        cached = server.record_cancelled(identity, xid)
+        hits_before = server.server_stats.reply_cache_hits
+        call = msg.CallBody(
+            prog=iface.prog_number,
+            vers=iface.vers_number,
+            proc=10,  # rpc_cudaMalloc: re-execution would allocate memory
+            cred=client_token_auth(token),
+            args=(1 << 12).to_bytes(8, "big"),
+        )
+        used_before = sum(d.allocator.used_bytes for d in server.devices)
+        reply = server.dispatch_record(msg.RpcMessage(xid, call).encode())
+        used_after = sum(d.allocator.used_bytes for d in server.devices)
+        return (
+            reply == cached
+            and msg.RpcMessage.decode(reply).body.stat == msg.CALL_CANCELLED
+            and server.server_stats.reply_cache_hits == hits_before + 1
+            and used_after == used_before
+        )
+
+    def _probe_slow_readers(self, server: Any) -> int:
+        """Real sockets: readers that never drain must be disconnected."""
+        import socket
+        import time
+
+        from repro.cricket.data_channel import (
+            _HEADER,
+            DIR_READ,
+            DataChannelServer,
+        )
+
+        plan = self.plan
+        if plan.slow_readers <= 0:
+            return 0
+        device = server.devices[0]
+        total = 8 << 20  # large enough to overflow kernel socket buffers
+        dptr = device.alloc(total)
+        channel = DataChannelServer(
+            device,
+            window_bytes=64 << 10,
+            drain_timeout_s=0.05,
+            stats=server.server_stats,
+        )
+        conns = []
+        try:
+            for _ in range(plan.slow_readers):
+                conn = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+                conn.connect(channel.address)
+                conn.sendall(_HEADER.pack(DIR_READ, 0, 1, 64 << 10, dptr, total))
+                conns.append(conn)  # ...and never read a byte
+            deadline = time.monotonic() + 10.0
+            while (
+                channel.slow_readers_disconnected < plan.slow_readers
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            return channel.slow_readers_disconnected
+        finally:
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            channel.close()
+            device.free(dptr)

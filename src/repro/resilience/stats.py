@@ -33,6 +33,8 @@ class ResilienceStats:
     failovers: int = 0
     #: records rejected client-side because their CRC32 trailer mismatched
     crc_rejected: int = 0
+    #: calls shed by the server with RPC_BUSY (each one triggers backoff)
+    busy_rejections: int = 0
     #: faults injected by kind (filled by :class:`FaultInjectingTransport`)
     faults_injected: dict[str, int] = field(default_factory=dict)
 
@@ -57,6 +59,7 @@ class ResilienceStats:
             "retries_exhausted": self.retries_exhausted,
             "failovers": self.failovers,
             "crc_rejected": self.crc_rejected,
+            "busy_rejections": self.busy_rejections,
         }
         for kind, count in sorted(self.faults_injected.items()):
             out[f"fault.{kind}"] = count
@@ -73,6 +76,7 @@ class ResilienceStats:
         self.retries_exhausted = 0
         self.failovers = 0
         self.crc_rejected = 0
+        self.busy_rejections = 0
         self.faults_injected.clear()
 
 
@@ -125,6 +129,26 @@ class ServerStats:
     device_failovers: int = 0
     #: records rejected server-side because their CRC32 trailer mismatched
     crc_rejected: int = 0
+    #: calls shed with RPC_BUSY by queue bound, policy or concurrency limit
+    overload_shed: int = 0
+    #: calls shed specifically by a per-client token-bucket refusal
+    rate_limited: int = 0
+    #: calls refused/dropped because their deadline expired before execution
+    deadline_expired_in_queue: int = 0
+    #: calls whose deadline expired *while executing* (ran for nobody)
+    deadline_expired_in_execution: int = 0
+    #: queued calls aborted by rpc_cancel before execution started
+    cancelled_in_queue: int = 0
+    #: in-flight calls that observed their cancel token at a safe point
+    cancelled_in_flight: int = 0
+    #: high-water mark of the overload queue depth (gauge)
+    queue_peak_depth: int = 0
+    #: data-channel stripes that hit the slow-reader throttle window
+    slow_readers_throttled: int = 0
+    #: data-channel peers disconnected for persistently not draining
+    slow_readers_disconnected: int = 0
+    #: data-channel writes refused because staging memory was exhausted
+    data_backpressure_rejected: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Flat counter mapping, ``server.``-prefixed for tracer merging."""
@@ -147,6 +171,16 @@ class ServerStats:
             "server.standby_promotions": self.standby_promotions,
             "server.device_failovers": self.device_failovers,
             "server.crc_rejected": self.crc_rejected,
+            "server.overload_shed": self.overload_shed,
+            "server.rate_limited": self.rate_limited,
+            "server.deadline_expired_in_queue": self.deadline_expired_in_queue,
+            "server.deadline_expired_in_execution": self.deadline_expired_in_execution,
+            "server.cancelled_in_queue": self.cancelled_in_queue,
+            "server.cancelled_in_flight": self.cancelled_in_flight,
+            "server.queue_peak_depth": self.queue_peak_depth,
+            "server.slow_readers_throttled": self.slow_readers_throttled,
+            "server.slow_readers_disconnected": self.slow_readers_disconnected,
+            "server.data_backpressure_rejected": self.data_backpressure_rejected,
         }
 
     def reset(self) -> None:
@@ -169,3 +203,13 @@ class ServerStats:
         self.standby_promotions = 0
         self.device_failovers = 0
         self.crc_rejected = 0
+        self.overload_shed = 0
+        self.rate_limited = 0
+        self.deadline_expired_in_queue = 0
+        self.deadline_expired_in_execution = 0
+        self.cancelled_in_queue = 0
+        self.cancelled_in_flight = 0
+        self.queue_peak_depth = 0
+        self.slow_readers_throttled = 0
+        self.slow_readers_disconnected = 0
+        self.data_backpressure_rejected = 0

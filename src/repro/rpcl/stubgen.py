@@ -70,17 +70,18 @@ class ClientStub:
         """Invoke a procedure by name (explicit form of attribute access)."""
         return getattr(self, name)(*args)
 
-    def call_batched(self, name: str, *args: Any) -> None:
-        """Issue a procedure call without waiting for its reply.
+    def call_batched(self, name: str, *args: Any) -> int:
+        """Issue a procedure call without waiting for its reply; return its xid.
 
         Collect (and error-check) outstanding replies with
         ``stub.client.flush_batch()``; any synchronous call flushes first.
+        The xid is the handle ``rpc_cancel`` takes to abort the call.
         """
         try:
             sig = self._signatures[name]
         except KeyError:
             raise AttributeError(f"no procedure {name!r} in this program") from None
-        self._client.call_batched(sig.number, sig.encode_args(args))
+        return self._client.call_batched(sig.number, sig.encode_args(args))
 
     def close(self) -> None:
         """Close the underlying RPC client."""

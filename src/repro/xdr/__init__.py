@@ -17,7 +17,7 @@ RFC requires.
 
 from repro.xdr.decoder import XdrDecoder
 from repro.xdr.encoder import XdrEncoder
-from repro.xdr.errors import XdrDecodeError, XdrEncodeError, XdrError
+from repro.xdr.errors import XdrDecodeError, XdrEncodeError, XdrError, XdrLimitError
 from repro.xdr.types import (
     BOOL,
     DOUBLE,
@@ -47,6 +47,7 @@ __all__ = [
     "XdrError",
     "XdrEncodeError",
     "XdrDecodeError",
+    "XdrLimitError",
     "XdrType",
     "INT",
     "UINT",

@@ -9,7 +9,17 @@ from __future__ import annotations
 
 import struct
 
-from repro.xdr.errors import XdrDecodeError
+from repro.xdr.errors import XdrDecodeError, XdrLimitError
+
+#: Hostile-input ceiling on a single declared string/opaque length when the
+#: caller passes no explicit ``max_size``.  1 GiB covers the largest real
+#: Cricket payloads (the paper's bandwidth runs memcpy 512 MiB in one call)
+#: while still making a forged 4-byte length prefix (up to 4 GiB) harmless.
+DEFAULT_MAX_ITEM_BYTES = 1 << 30
+
+#: Hostile-input ceiling on a declared variable-array element count when the
+#: caller passes no explicit ``max_size``.
+DEFAULT_MAX_ARRAY_ITEMS = 1 << 20
 
 
 class XdrDecoder:
@@ -23,14 +33,31 @@ class XdrDecoder:
     strict_padding:
         When true (the default), non-zero padding bytes are rejected as the
         RFC requires of conforming decoders.
+    max_item_bytes:
+        Ceiling applied to declared string/opaque lengths when the unpack
+        call itself passes no ``max_size``.  Defaults to
+        :data:`DEFAULT_MAX_ITEM_BYTES`; pass ``None`` to disable.
+    max_array_items:
+        Ceiling applied to declared variable-array element counts when the
+        unpack call itself passes no ``max_size``.  Defaults to
+        :data:`DEFAULT_MAX_ARRAY_ITEMS`; pass ``None`` to disable.
     """
 
-    __slots__ = ("_mv", "_pos", "_strict")
+    __slots__ = ("_mv", "_pos", "_strict", "_max_item_bytes", "_max_array_items")
 
-    def __init__(self, data: bytes, *, strict_padding: bool = True) -> None:
+    def __init__(
+        self,
+        data: bytes,
+        *,
+        strict_padding: bool = True,
+        max_item_bytes: int | None = DEFAULT_MAX_ITEM_BYTES,
+        max_array_items: int | None = DEFAULT_MAX_ARRAY_ITEMS,
+    ) -> None:
         self._mv = memoryview(bytes(data))
         self._pos = 0
         self._strict = strict_padding
+        self._max_item_bytes = max_item_bytes
+        self._max_array_items = max_array_items
 
     @property
     def position(self) -> int:
@@ -124,6 +151,15 @@ class XdrDecoder:
             raise XdrDecodeError(
                 f"opaque longer than declared maximum ({length} > {max_size})"
             )
+        if (
+            max_size is None
+            and self._max_item_bytes is not None
+            and length > self._max_item_bytes
+        ):
+            raise XdrLimitError(
+                f"opaque length {length} exceeds decoder limit "
+                f"({self._max_item_bytes} bytes)"
+            )
         if length > self.remaining():
             raise XdrDecodeError(
                 f"opaque length {length} exceeds remaining buffer "
@@ -147,6 +183,15 @@ class XdrDecoder:
         if max_size is not None and length > max_size:
             raise XdrDecodeError(
                 f"array longer than declared maximum ({length} > {max_size})"
+            )
+        if (
+            max_size is None
+            and self._max_array_items is not None
+            and length > self._max_array_items
+        ):
+            raise XdrLimitError(
+                f"array count {length} exceeds decoder limit "
+                f"({self._max_array_items} items)"
             )
         return length
 

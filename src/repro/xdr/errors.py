@@ -20,3 +20,15 @@ class XdrDecodeError(XdrError):
     unknown enum values and over-long counted items discovered while
     unpacking.
     """
+
+
+class XdrLimitError(XdrDecodeError):
+    """A declared length exceeds the decoder's hostile-input ceiling.
+
+    Distinct from an ordinary :class:`XdrDecodeError` so servers can tell
+    "the peer declared a 2 GiB string" (an attack or a grossly broken
+    client -- map to GARBAGE_ARGS and move on) apart from garden-variety
+    truncation.  Subclassing :class:`XdrDecodeError` keeps every existing
+    ``except XdrError`` mapping (GARBAGE_ARGS in the server skeleton)
+    working unchanged.
+    """

@@ -1,9 +1,12 @@
 """Tests for the parallel-socket data channels (real TCP striping)."""
 
+import socket
+
 import numpy as np
 import pytest
 
 from repro.cricket.data_channel import (
+    DataChannelBusyError,
     DataChannelClient,
     DataChannelServer,
     _stripe_slices,
@@ -110,3 +113,110 @@ class TestTransfers:
         client = DataChannelClient(server.address, sockets=2)
         with pytest.raises((ConnectionError, AssertionError, OSError)):
             client.write(0xDEAD0000, b"\x00" * 8192)
+
+
+class TestBackpressure:
+    """Overload control on the data channel: staging caps, slow peers."""
+
+    def test_oversized_write_refused_with_busy(self):
+        device = GpuDevice(A100, mem_bytes=64 * MIB)
+        server = DataChannelServer(device, max_staging_bytes=1 * MIB)
+        try:
+            dptr = device.alloc(4 * MIB)
+            client = DataChannelClient(server.address, sockets=2)
+            with pytest.raises(DataChannelBusyError):
+                client.write(dptr, b"\x11" * (4 * MIB))
+            assert server.backpressure_rejected >= 1
+            # nothing was staged, nothing reached the device
+            assert server._staging == {}
+            assert device.allocator.read(dptr, 4 * MIB) == b"\x00" * (4 * MIB)
+        finally:
+            server.close()
+
+    def test_small_refusal_arrives_via_reply_path(self):
+        """A refused write small enough to fit in socket buffers still
+        surfaces the ``BP`` reply as a typed busy error."""
+        device = GpuDevice(A100, mem_bytes=64 * MIB)
+        server = DataChannelServer(device, max_staging_bytes=1024)
+        try:
+            dptr = device.alloc(8192)
+            client = DataChannelClient(server.address, sockets=1)
+            with pytest.raises(DataChannelBusyError):
+                client.write(dptr, b"\x22" * 8192)
+            assert server.backpressure_rejected == 1
+        finally:
+            server.close()
+
+    def test_within_cap_write_succeeds_and_staging_is_released(self):
+        device = GpuDevice(A100, mem_bytes=64 * MIB)
+        server = DataChannelServer(device, max_staging_bytes=2 * MIB)
+        try:
+            client = DataChannelClient(server.address, sockets=2)
+            for fill in (b"\x33", b"\x44"):
+                dptr = device.alloc(1 * MIB)
+                payload = fill * (1 * MIB)
+                client.write(dptr, payload)
+                assert device.allocator.read(dptr, 1 * MIB) == payload
+            # completed transfers release their staging claim
+            assert server._staging == {}
+            assert server.backpressure_rejected == 0
+        finally:
+            server.close()
+
+    def test_slow_reader_throttled_then_disconnected(self):
+        import time
+
+        from repro.cricket.data_channel import _HEADER, DIR_READ
+
+        device = GpuDevice(A100, mem_bytes=64 * MIB)
+        server = DataChannelServer(
+            device, window_bytes=64 * 1024, drain_timeout_s=0.05
+        )
+        conn = None
+        try:
+            dptr = device.alloc(8 * MIB)
+            conn = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            conn.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            conn.connect(server.address)
+            conn.sendall(_HEADER.pack(DIR_READ, 0, 1, 256 * 1024, dptr, 8 * MIB))
+            # never read: the server must throttle once, then cut us off
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if server.slow_readers_disconnected >= 1:
+                    break
+                time.sleep(0.02)
+            assert server.slow_readers_disconnected == 1
+            assert server.slow_readers_throttled >= 1
+            assert "127.0.0.1" in server.slow_peers
+        finally:
+            if conn is not None:
+                conn.close()
+            server.close()
+
+    def test_slow_writer_is_dropped_without_leaking_staging(self):
+        import time
+
+        from repro.cricket.data_channel import _HEADER, DIR_WRITE
+
+        device = GpuDevice(A100, mem_bytes=64 * MIB)
+        server = DataChannelServer(device, recv_timeout_s=0.2)
+        stalled = None
+        try:
+            dptr = device.alloc(1 * MIB)
+            stalled = socket.create_connection(server.address, timeout=5.0)
+            # declare a 1 MiB write, then go silent
+            stalled.sendall(_HEADER.pack(DIR_WRITE, 0, 1, 256 * 1024, dptr, 1 * MIB))
+            stalled.settimeout(5.0)
+            # the server times out the recv and closes the connection: we
+            # observe EOF instead of hanging
+            assert stalled.recv(64) == b""
+            assert server._staging == {}
+            # the service thread is free again: a well-behaved client works
+            client = DataChannelClient(server.address, sockets=2)
+            payload = b"\x55" * (1 * MIB)
+            client.write(dptr, payload)
+            assert device.allocator.read(dptr, 1 * MIB) == payload
+        finally:
+            if stalled is not None:
+                stalled.close()
+            server.close()

@@ -12,16 +12,33 @@
 * :mod:`repro.cricket.sessions` -- per-client leases, resource ledgers and
   orphan reclamation,
 * :mod:`repro.cricket.replication` -- hot-standby replication (full sync +
-  op-log) backing transparent client failover.
+  op-log) backing transparent client failover,
+* :mod:`repro.cricket.ckptstore` -- crash-consistent, generation-numbered
+  checkpoint store with delta checkpoints and corruption fallback,
+* :mod:`repro.cricket.migration` -- resumable iterative pre-copy live
+  migration over CRC'd chunks with a persistent cursor.
 """
 
 from repro.cricket.checkpoint import (
+    capture_server_state,
     load_checkpoint,
     restore_server,
+    restore_server_state,
     save_checkpoint,
     snapshot_server,
 )
+from repro.cricket.ckptstore import CheckpointStore, FileStorage
 from repro.cricket.client import CricketClient, cricket_interface
+from repro.cricket.migration import (
+    FaultyMigrationChannel,
+    LoopbackMigrationChannel,
+    MigrationConfig,
+    MigrationReport,
+    MigrationSource,
+    MigrationTarget,
+    SocketMigrationChannel,
+    migrate_live,
+)
 from repro.cricket.replication import (
     MUTATING_PROC_NAMES,
     ReplicationLink,
@@ -30,7 +47,15 @@ from repro.cricket.replication import (
     state_fingerprint,
 )
 from repro.cricket.data_channel import DataChannelClient, DataChannelServer
-from repro.cricket.errors import CheckpointError, CricketError, TransferUnsupportedError
+from repro.cricket.errors import (
+    CheckpointError,
+    CheckpointFormatError,
+    ChunkRejectedError,
+    CricketError,
+    MigrationChannelError,
+    MigrationError,
+    TransferUnsupportedError,
+)
 from repro.cricket.params import pack_params, unpack_params
 from repro.cricket.scheduler import (
     FairSharePolicy,
@@ -72,6 +97,18 @@ __all__ = [
     "supported_on",
     "snapshot_server",
     "restore_server",
+    "capture_server_state",
+    "restore_server_state",
+    "CheckpointStore",
+    "FileStorage",
+    "MigrationSource",
+    "MigrationTarget",
+    "MigrationConfig",
+    "MigrationReport",
+    "LoopbackMigrationChannel",
+    "FaultyMigrationChannel",
+    "SocketMigrationChannel",
+    "migrate_live",
     "ReplicationLink",
     "MUTATING_PROC_NAMES",
     "make_ha_pair",
@@ -91,5 +128,9 @@ __all__ = [
     "LEASE_FOREVER",
     "CricketError",
     "CheckpointError",
+    "CheckpointFormatError",
+    "MigrationError",
+    "MigrationChannelError",
+    "ChunkRejectedError",
     "TransferUnsupportedError",
 ]

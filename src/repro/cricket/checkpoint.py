@@ -20,9 +20,12 @@ and pointers, so a client can resume issuing calls as if nothing happened.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from typing import TYPE_CHECKING
 
+from repro.cricket.errors import CheckpointFormatError
 from repro.cubin.metadata import decode_metadata, encode_metadata
 from repro.cuda.driver import LoadedModule
 from repro.cubin.loader import CubinImage
@@ -34,9 +37,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: version 2 added the reply-cache summary; version-1 blobs still restore.
 FORMAT_VERSION = 2
 
+#: every pickle protocol >= 2 stream opens with this opcode; a blob that
+#: does not is garbage (or a torn fragment), not a checkpoint.
+_PICKLE_MAGIC = b"\x80"
 
-def snapshot_server(server: "CricketServer") -> bytes:
-    """Serialize the full recoverable state of a Cricket server."""
+
+def capture_server_state(
+    server: "CricketServer", *, include_device_data: bool = True
+) -> dict:
+    """The full recoverable state of a Cricket server, as a plain dict.
+
+    Every value is an independent copy (device memory is serialized, the
+    session/ledger snapshots deep-copy) so the dict stays valid after the
+    server mutates.  :func:`snapshot_server` pickles this; the checkpoint
+    store and live migration consume it directly so they can ship the
+    small metadata separately from bulk device memory.
+
+    With ``include_device_data=False`` the ``"device"`` blob (the bulk of
+    a checkpoint) is replaced by a ``"device_meta"`` allocation table --
+    the shape a delta checkpoint or a stop-and-copy metadata chunk wants,
+    with contents shipped separately as dirty-page fragments.
+    """
     driver = server.driver
     modules = []
     for module in driver.loaded_modules():
@@ -54,7 +75,6 @@ def snapshot_server(server: "CricketServer") -> bytes:
     streams = server.device.streams
     state = {
         "version": FORMAT_VERSION,
-        "device": server.device.snapshot(),
         "modules": modules,
         "next_module": driver._next_module.__reduce__()[1][0],
         "next_function": driver._next_function.__reduce__()[1][0],
@@ -66,6 +86,10 @@ def snapshot_server(server: "CricketServer") -> bytes:
         },
         "clock_ns": server.clock.now_ns,
     }
+    if include_device_data:
+        state["device"] = server.device.snapshot()
+    else:
+        state["device_meta"] = server.device.snapshot_meta()
     sessions = getattr(server, "sessions", None)
     if sessions is not None:
         # Session ownership travels with the state it owns, so a restored
@@ -78,14 +102,51 @@ def snapshot_server(server: "CricketServer") -> bytes:
     # The cache is already budget-bounded, so the blob stays bounded too.
     with server._stats_lock:
         state["reply_cache"] = list(server._reply_cache.items())
-    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    return state
 
 
-def restore_server(server: "CricketServer", blob: bytes) -> None:
-    """Restore a checkpoint onto ``server`` (same GPU model required)."""
-    state = pickle.loads(blob)
+def snapshot_server(server: "CricketServer") -> bytes:
+    """Serialize the full recoverable state of a Cricket server."""
+    return pickle.dumps(
+        capture_server_state(server), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def validate_checkpoint_blob(blob: bytes) -> None:
+    """Structural validation of a checkpoint blob, before unpickling.
+
+    Raises :class:`CheckpointFormatError` (with the offending offset) on
+    garbage, truncation, or a stream that does not terminate -- so a torn
+    file surfaces as a typed, catchable error instead of a raw
+    ``UnpicklingError``/``EOFError`` from deep inside ``pickle``.
+    """
+    if not blob:
+        raise CheckpointFormatError("empty checkpoint blob", offset=0)
+    if blob[:1] != _PICKLE_MAGIC:
+        raise CheckpointFormatError(
+            f"bad checkpoint magic {blob[:1]!r} (expected {_PICKLE_MAGIC!r})",
+            offset=0,
+        )
+    # A complete pickle stream ends with the STOP opcode; a torn write
+    # truncates mid-stream.  pickletools walks the opcodes without
+    # executing them, so this rejects truncation before any load.
+    import pickletools
+
+    try:
+        for _op, _arg, _pos in pickletools.genops(blob):
+            pass
+    except Exception as exc:
+        raise CheckpointFormatError(
+            f"truncated or corrupt checkpoint stream: {exc}", offset=len(blob)
+        ) from exc
+
+
+def restore_server_state(server: "CricketServer", state: dict) -> None:
+    """Restore a captured state dict onto ``server`` (same GPU model)."""
     if state.get("version") not in (1, FORMAT_VERSION):
-        raise ValueError(f"unsupported checkpoint version {state.get('version')!r}")
+        raise CheckpointFormatError(
+            f"unsupported checkpoint version {state.get('version')!r}", offset=1
+        )
     # Device memory (allocations at exact addresses).
     server.device.restore(state["device"])
     # Driver module/function tables.
@@ -139,6 +200,12 @@ def restore_server(server: "CricketServer", blob: bytes) -> None:
             server.server_stats.reply_cache_bytes = server._reply_cache_total
 
 
+def restore_server(server: "CricketServer", blob: bytes) -> None:
+    """Restore a checkpoint blob onto ``server`` (same GPU model required)."""
+    validate_checkpoint_blob(blob)
+    restore_server_state(server, pickle.loads(blob))
+
+
 def _count_from(start: int):
     import itertools
 
@@ -146,10 +213,28 @@ def _count_from(start: int):
 
 
 def save_checkpoint(server: "CricketServer", path: str) -> int:
-    """Write a checkpoint file; returns its size in bytes."""
+    """Write a checkpoint file crash-consistently; returns its size in bytes.
+
+    The blob lands in a temp file *in the same directory* (so the rename
+    cannot cross filesystems), is fsynced, and is then moved into place
+    with ``os.replace`` -- a crash at any point leaves either the old
+    checkpoint or the new one at ``path``, never a torn hybrid.
+    """
     blob = snapshot_server(server)
-    with open(path, "wb") as fh:
-        fh.write(blob)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(prefix=".ckpt-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     return len(blob)
 
 

@@ -55,8 +55,15 @@ class DataChannelBusyError(ConnectionError):
 _HEADER = struct.Struct("<BIIIQQ")
 DIR_WRITE = ord("W")
 DIR_READ = ord("R")
+#: opaque blob lane (live-migration chunks): header reuses ``stripe`` as a
+#: caller tag, ``total`` as the payload length; the reply is a length-
+#: prefixed ack blob from the server's ``blob_sink``
+DIR_BLOB = ord("B")
 #: OR'd into the direction byte: stripe payloads carry a CRC32 trailer
 FLAG_CRC = 0x80
+
+#: length-prefix sentinel: the server refused the blob (CRC mismatch)
+_BLOB_NAK = 0xFFFFFFFF
 
 #: stripe interleave unit
 DEFAULT_CHUNK = 256 * 1024
@@ -114,8 +121,12 @@ class DataChannelServer:
         recv_timeout_s: float = 30.0,
         max_staging_bytes: int | None = None,
         stats: ServerStats | None = None,
+        blob_sink=None,
     ) -> None:
         self.device = device
+        #: optional ``(tag: int, payload: bytes) -> bytes`` handler for the
+        #: DIR_BLOB lane; None refuses blob transfers (connection dropped)
+        self.blob_sink = blob_sink
         self.window_bytes = max(1, int(window_bytes))
         self.drain_timeout_s = drain_timeout_s
         self.recv_timeout_s = recv_timeout_s
@@ -177,6 +188,8 @@ class DataChannelServer:
                 self._handle_write(conn, stripe, nstripes, chunk, dptr, total, crc)
             elif direction == DIR_READ:
                 self._handle_read(conn, peer, stripe, nstripes, chunk, dptr, total, crc)
+            elif direction == DIR_BLOB and self.blob_sink is not None:
+                self._handle_blob(conn, stripe, total, crc)
         except Exception:
             # bad pointers, device errors, resets: drop this connection; the
             # client observes the missing OK / short read and raises
@@ -232,6 +245,23 @@ class DataChannelServer:
             # staging buffer -> device memory (the unavoidable extra copy)
             self.device.allocator.write(dptr, bytes(buffer))
         conn.sendall(b"OK")
+
+    def _handle_blob(self, conn, tag: int, total: int, crc: bool) -> None:
+        """Receive one opaque blob and return the sink's ack blob.
+
+        A CRC-mismatching blob is refused with a NAK length prefix and
+        never reaches the sink, so corrupted migration chunks surface as
+        a clean client-side retransmit.
+        """
+        payload = _recv_exact(conn, total)
+        if crc:
+            trailer = _recv_exact(conn, 4)
+            if _crc(payload) != trailer:
+                self.crc_rejected += 1
+                conn.sendall(struct.pack("<I", _BLOB_NAK))
+                return
+        ack = self.blob_sink(tag, payload)
+        conn.sendall(struct.pack("<I", len(ack)) + ack)
 
     def _send_windowed(self, conn: socket.socket, peer: str, payload: bytes) -> None:
         """Send ``payload`` in bounded windows, policing slow readers.
@@ -416,6 +446,27 @@ class DataChannelClient:
             )
 
         self._run_stripes(worker)
+
+    def send_blob(self, tag: int, payload: bytes) -> bytes | None:
+        """Deliver one opaque blob; returns the server's ack blob.
+
+        Returns ``None`` when the server NAKs the blob (CRC mismatch on
+        the wire) -- the caller owns retransmission, mirroring how
+        migration senders resend individual chunks.
+        """
+        direction = DIR_BLOB | (FLAG_CRC if self.crc else 0)
+        conn = socket.create_connection(self.address, timeout=30.0)
+        try:
+            conn.sendall(_HEADER.pack(direction, tag, 1, 0, 0, len(payload)))
+            body = payload + _crc(payload) if self.crc else payload
+            conn.sendall(body)
+            (ack_len,) = struct.unpack("<I", _recv_exact(conn, 4))
+            if ack_len == _BLOB_NAK:
+                self._note_retransmit()
+                return None
+            return _recv_exact(conn, ack_len)
+        finally:
+            conn.close()
 
     def read(self, dptr: int, total: int) -> bytes:
         """Device-to-host transfer over parallel sockets.

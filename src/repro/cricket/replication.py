@@ -164,11 +164,19 @@ class ReplicationLink:
     # -- state shipping ---------------------------------------------------
 
     def full_sync(self) -> None:
-        """Seed (or re-seed) the standby with a full primary checkpoint."""
-        from repro.cricket.checkpoint import restore_server, snapshot_server
+        """Seed (or re-seed) the standby with a full primary checkpoint.
+
+        Ships the captured state dict directly (every value is already an
+        independent copy) -- the pickle round-trip a wire link would pay
+        adds nothing in-process.
+        """
+        from repro.cricket.checkpoint import (
+            capture_server_state,
+            restore_server_state,
+        )
 
         with self._lock:
-            restore_server(self.standby, snapshot_server(self.primary))
+            restore_server_state(self.standby, capture_server_state(self.primary))
             self._pending.clear()
             self.applied_seq = self.primary_seq
             self.primary.server_stats.replication_full_syncs += 1

@@ -756,6 +756,21 @@ class CricketServer(RpcServer):
         with self.implementation._lock:
             return self.sessions.reap(self.clock.now_ns, self.release_ledger)
 
+    # -- live migration -------------------------------------------------------
+
+    def pause_serving(self) -> None:
+        """Shed non-exempt calls with RPC_BUSY (stop-and-copy window).
+
+        Clients back off and retry exactly as under overload; the reply
+        cache still answers retransmits of already-executed calls, so
+        pausing never double-executes anything.
+        """
+        self.serving_paused = True
+
+    def resume_serving(self) -> None:
+        """Accept calls again (migration aborted, or this is the target)."""
+        self.serving_paused = False
+
     # -- device health / failover -------------------------------------------
 
     def inject_device_fault(self, ordinal: int, kind: str = "ecc") -> None:

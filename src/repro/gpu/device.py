@@ -196,6 +196,40 @@ class GpuDevice:
 
     # -- checkpoint / restart ---------------------------------------------------
 
+    @property
+    def dirty_bytes(self) -> int:
+        """Upper bound on bytes a delta checkpoint of this device would ship."""
+        return self.allocator.dirty_bytes
+
+    def snapshot_meta(self) -> dict:
+        """Allocation *table* (no contents) plus device identity.
+
+        The small half of an incremental checkpoint: enough for a restorer
+        to reconcile which allocations exist (creating new ones zeroed,
+        dropping freed ones) before applying dirty-page fragments.  With
+        ``execute=False`` kernel bodies never touch memory, so dirty
+        tracking only sees explicit memcpys/memsets -- incremental
+        checkpoints are only sound on executing devices.
+        """
+        return {
+            "spec_name": self.spec.name,
+            "capacity": self.allocator.capacity,
+            "allocations": [
+                (a.addr, a.size) for a in self.allocator.live_allocations()
+            ],
+            "launch_count": self.launch_count,
+        }
+
+    def delta_fragments(self, *, clear: bool = True) -> list[tuple[int, bytes]]:
+        """Fragments of live memory dirtied since the last epoch edge.
+
+        With ``clear`` (the default) this is an epoch edge itself: the
+        dirty set resets, so the next call ships only what changes from
+        here on -- the loop iterative pre-copy migration drives.
+        """
+        pages = self.allocator.clear_dirty() if clear else self.allocator.dirty_pages()
+        return self.allocator.dirty_fragments(pages)
+
     def snapshot(self) -> bytes:
         """Serialize the device's mutable state (allocations + contents).
 
@@ -236,12 +270,11 @@ class GpuDevice:
                 )
                 break
             restored.write(addr, data)
-        else:
-            self.allocator = restored
-            self.launch_count = payload["launch_count"]
-            return
         self.allocator = restored
         self.launch_count = payload["launch_count"]
+        # The restored contents have no delta baseline: until the next full
+        # checkpoint, an incremental capture must ship everything live.
+        self.allocator.mark_all_dirty()
 
 
 def _rebuild_at_exact_addresses(

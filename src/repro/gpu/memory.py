@@ -32,6 +32,12 @@ DEVICE_VA_BASE = 0x7F00_0000_0000
 
 ALIGNMENT = 256
 
+#: granularity of dirty tracking for incremental checkpoints.  64 KiB
+#: matches the GPU MMU page size CRAC-style checkpointers diff at: small
+#: enough that touching one float does not re-ship a whole allocation,
+#: large enough that the page set for 512 MiB stays a few thousand entries.
+PAGE_BYTES = 64 * 1024
+
 
 def _align_up(n: int, alignment: int = ALIGNMENT) -> int:
     return (n + alignment - 1) // alignment * alignment
@@ -65,6 +71,12 @@ class DeviceAllocator:
         #: lifetime counters used by micro-benchmarks and invariants tests
         self.alloc_count = 0
         self.free_count = 0
+        #: pages (PAGE_BYTES-granular, relative to DEVICE_VA_BASE) written
+        #: since the last :meth:`clear_dirty` -- the incremental-checkpoint
+        #: working set
+        self._dirty: set[int] = set()
+        #: lifetime count of page-dirtying operations (instrumentation)
+        self.dirty_marks = 0
 
     # -- allocation ---------------------------------------------------------
 
@@ -94,6 +106,9 @@ class DeviceAllocator:
         bisect.insort(self._sorted_addrs, hole_addr)
         self.used_bytes += span
         self.alloc_count += 1
+        # A fresh allocation's (zeroed) contents are new state: a delta
+        # checkpoint taken after this must carry it.
+        self._mark_dirty(hole_addr, size)
         return hole_addr
 
     def free(self, addr: int) -> None:
@@ -151,13 +166,22 @@ class DeviceAllocator:
         raise InvalidDevicePointerError(f"invalid device address {addr:#x}")
 
     def view(self, addr: int, size: int) -> np.ndarray:
-        """A writable uint8 view of device memory at ``addr``."""
+        """A writable uint8 view of device memory at ``addr``.
+
+        Marks the covered pages dirty: every mutation path -- ``write``,
+        ``memset``, ``copy_within`` and kernel bodies (via
+        :meth:`~repro.gpu.kernels.LaunchContext.view`) -- goes through
+        here, so the dirty set is a sound overapproximation of what
+        changed since the last :meth:`clear_dirty`.
+        """
         allocation, offset = self._find(addr, size)
+        self._mark_dirty(addr, size)
         return allocation.data[offset : offset + size]
 
     def read(self, addr: int, size: int) -> bytes:
-        """Copy ``size`` bytes out of device memory."""
-        return self.view(addr, size).tobytes()
+        """Copy ``size`` bytes out of device memory (does not mark dirty)."""
+        allocation, offset = self._find(addr, size)
+        return allocation.data[offset : offset + size].tobytes()
 
     def write(self, addr: int, data: bytes | np.ndarray) -> None:
         """Copy ``data`` into device memory at ``addr``."""
@@ -172,6 +196,72 @@ class DeviceAllocator:
         """Device-to-device copy (handles overlapping ranges like memmove)."""
         data = self.view(src, size).copy()
         self.view(dst, size)[:] = data
+
+    # -- dirty-page tracking (incremental checkpoints) -----------------------
+
+    def _mark_dirty(self, addr: int, size: int) -> None:
+        if size <= 0:
+            return
+        first = (addr - DEVICE_VA_BASE) // PAGE_BYTES
+        last = (addr + size - 1 - DEVICE_VA_BASE) // PAGE_BYTES
+        self._dirty.update(range(first, last + 1))
+        self.dirty_marks += 1
+
+    def dirty_pages(self) -> frozenset[int]:
+        """Pages written since the last :meth:`clear_dirty`."""
+        return frozenset(self._dirty)
+
+    def clear_dirty(self) -> frozenset[int]:
+        """Return the dirty page set and reset it (checkpoint epoch edge)."""
+        pages = frozenset(self._dirty)
+        self._dirty.clear()
+        return pages
+
+    def mark_all_dirty(self) -> None:
+        """Mark every live allocation dirty (after restore: baseline unknown)."""
+        for allocation in self._allocs.values():
+            self._mark_dirty(allocation.addr, max(allocation.size, 1))
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Upper bound on bytes a delta checkpoint would ship right now."""
+        return len(self._dirty) * PAGE_BYTES
+
+    def dirty_fragments(
+        self, pages: frozenset[int] | set[int] | None = None
+    ) -> list[tuple[int, bytes]]:
+        """Live-memory fragments covered by ``pages`` (default: current dirty set).
+
+        Each fragment is ``(device_addr, data)`` and lies entirely inside
+        one live allocation -- the unit an incremental checkpoint or a
+        pre-copy migration round ships.  Pages overlapping no live
+        allocation contribute nothing (the bytes were freed).
+        """
+        if pages is None:
+            pages = self._dirty
+        if not pages:
+            return []
+        # Merge page indices into contiguous [start, end) address ranges.
+        ranges: list[tuple[int, int]] = []
+        for page in sorted(pages):
+            start = DEVICE_VA_BASE + page * PAGE_BYTES
+            end = start + PAGE_BYTES
+            if ranges and ranges[-1][1] == start:
+                ranges[-1] = (ranges[-1][0], end)
+            else:
+                ranges.append((start, end))
+        fragments: list[tuple[int, bytes]] = []
+        for allocation in self.live_allocations():
+            if allocation.size == 0:
+                continue
+            a_start, a_end = allocation.addr, allocation.addr + allocation.size
+            for r_start, r_end in ranges:
+                lo, hi = max(a_start, r_start), min(a_end, r_end)
+                if lo >= hi:
+                    continue
+                data = allocation.data[lo - a_start : hi - a_start].tobytes()
+                fragments.append((lo, data))
+        return fragments
 
     # -- inspection ------------------------------------------------------------
 

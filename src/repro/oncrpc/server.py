@@ -178,6 +178,10 @@ class RpcServer:
         #: procedures that bypass overload admission: NULL (liveness probes
         #: must answer even under overload) -- subclasses add e.g. rpc_cancel
         self.overload_exempt_procs: set[int] = {0}
+        #: when True, non-exempt calls are shed with RPC_BUSY -- the
+        #: stop-and-copy window of a live migration.  Retransmits of calls
+        #: executed before the pause still replay from the reply cache.
+        self.serving_paused = False
         #: executing calls' cancel tokens, keyed (identity, xid)
         self._inflight_calls: dict[tuple[str, int], CancelToken] = {}
 
@@ -262,6 +266,15 @@ class RpcServer:
             if meta.remaining_ns is not None:
                 ctx.deadline_ns = self.clock.now_ns + meta.remaining_ns
         exempt = call.proc in self.overload_exempt_procs
+        if self.serving_paused and not exempt:
+            # Paused for a migration's stop-and-copy: shed with RPC_BUSY so
+            # the client backs off and retries -- against the migrated-to
+            # server once cutover rotates its endpoint.
+            with self._stats_lock:
+                self.server_stats.paused_rejections += 1
+            return self._finish_reply(
+                self._control_reply(request.xid, msg.RPC_BUSY)
+            )
         if (
             not exempt
             and ctx.deadline_ns is not None

@@ -262,3 +262,195 @@ class FaultInjectingTransport:
     def close(self) -> None:
         """Close the wrapped transport."""
         self.inner.close()
+
+
+# -- storage faults ----------------------------------------------------------
+
+
+class StorageCrashError(OSError):
+    """The simulated machine died mid-storage-operation.
+
+    Raised by :class:`FaultyStorage` for torn writes and
+    crash-before-rename: the caller's process is modeled as gone, so the
+    interesting question is what the *next* process finds on disk.
+    """
+
+
+@dataclass(frozen=True)
+class StorageFaultPlan:
+    """Probabilities and scripted triggers for storage faults.
+
+    Mirrors :class:`FaultPlan` for the durability layer.  Rates are
+    per-operation probabilities; the ``*_next`` fields deterministically
+    fault the next N matching operations regardless of the rates.
+
+    ``torn_write``
+        An atomic write crashes with only a seeded prefix of the data at
+        the target path -- the disk state a crash leaves on a filesystem
+        (or code path) without atomic replace.  This is exactly what
+        generation fallback must survive.
+    ``crash_before_rename``
+        The temp file was written and fsynced but the crash lands before
+        ``os.replace``: the target keeps its *old* content.  No data is
+        torn; the write is simply lost.
+    ``bit_flip``
+        One bit of the payload flips silently (write or read side, its
+        own RNG stream) -- the fault CRC sections exist to catch.
+    ``partial_read``
+        A read returns a prefix, modeling a short read of a file being
+        written or a truncated sector.
+    ``enospc``
+        The write fails cleanly with ``ENOSPC``; nothing changes on disk.
+    """
+
+    torn_write_rate: float = 0.0
+    crash_before_rename_rate: float = 0.0
+    bit_flip_rate: float = 0.0
+    partial_read_rate: float = 0.0
+    enospc_rate: float = 0.0
+    #: deterministically tear the next N atomic writes
+    torn_write_next: int = 0
+    #: deterministically crash-before-rename the next N atomic writes
+    crash_before_rename_next: int = 0
+    #: deterministically bit-flip the next N writes
+    bit_flip_next: int = 0
+    #: deterministically shorten the next N reads
+    partial_read_next: int = 0
+    #: deterministically ENOSPC the next N writes
+    enospc_next: int = 0
+    #: seed for the storage fault decision stream
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "torn_write_rate", "crash_before_rename_rate", "bit_flip_rate",
+            "partial_read_rate", "enospc_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in (
+            "torn_write_next", "crash_before_rename_next", "bit_flip_next",
+            "partial_read_next", "enospc_next",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+
+
+class FaultyStorage:
+    """Wraps a :class:`~repro.cricket.ckptstore.FileStorage`-shaped object.
+
+    Presents the same interface, so the checkpoint store, migration
+    cursor and receiver journal get storage faults without code changes.
+    Scripted ``*_next`` counters are mutable state here (the plan stays
+    frozen): each consumes one trigger per matching operation.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: StorageFaultPlan,
+        *,
+        stats: ResilienceStats | None = None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.stats = stats if stats is not None else ResilienceStats()
+        self._rng = random.Random(plan.seed)
+        self._flip_rng = random.Random(plan.seed ^ 0xD15C)
+        self._torn_left = plan.torn_write_next
+        self._crash_left = plan.crash_before_rename_next
+        self._flip_left = plan.bit_flip_next
+        self._short_left = plan.partial_read_next
+        self._enospc_left = plan.enospc_next
+
+    def _hit(self, rate: float) -> bool:
+        return self._rng.random() < rate
+
+    def _fault(self, kind: str) -> None:
+        self.stats.note_fault(kind)
+
+    def _flip_bit(self, data: bytes) -> bytes:
+        if not data:
+            return data
+        idx = self._flip_rng.randrange(len(data))
+        bit = 1 << self._flip_rng.randrange(8)
+        return data[:idx] + bytes([data[idx] ^ bit]) + data[idx + 1 :]
+
+    # -- storage interface ---------------------------------------------------
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        """Atomic write, possibly torn / lost / flipped / refused."""
+        plan = self.plan
+        torn_hit = self._hit(plan.torn_write_rate)
+        crash_hit = self._hit(plan.crash_before_rename_rate)
+        enospc_hit = self._hit(plan.enospc_rate)
+        flip_hit = self._hit(plan.bit_flip_rate)
+        if self._enospc_left > 0 or enospc_hit:
+            self._enospc_left = max(0, self._enospc_left - 1)
+            self._fault("enospc")
+            import errno
+
+            raise OSError(errno.ENOSPC, f"no space left writing {name}")
+        if self._torn_left > 0 or torn_hit:
+            self._torn_left = max(0, self._torn_left - 1)
+            self._fault("torn_write")
+            cut = self._rng.randrange(1, max(2, len(data)))
+            # The tear lands at the target path: post-crash disk state.
+            self.inner.write_atomic(name, data[:cut])
+            raise StorageCrashError(f"simulated crash mid-write of {name}")
+        if self._crash_left > 0 or crash_hit:
+            self._crash_left = max(0, self._crash_left - 1)
+            self._fault("crash_before_rename")
+            raise StorageCrashError(
+                f"simulated crash before rename of {name} (old content kept)"
+            )
+        if self._flip_left > 0 or flip_hit:
+            self._flip_left = max(0, self._flip_left - 1)
+            self._fault("bit_flip")
+            data = self._flip_bit(data)
+        self.inner.write_atomic(name, data)
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append, possibly torn (prefix lands) or refused with ENOSPC."""
+        plan = self.plan
+        torn_hit = self._hit(plan.torn_write_rate)
+        enospc_hit = self._hit(plan.enospc_rate)
+        if self._enospc_left > 0 or enospc_hit:
+            self._enospc_left = max(0, self._enospc_left - 1)
+            self._fault("enospc")
+            import errno
+
+            raise OSError(errno.ENOSPC, f"no space left appending {name}")
+        if self._torn_left > 0 or torn_hit:
+            self._torn_left = max(0, self._torn_left - 1)
+            self._fault("torn_write")
+            cut = self._rng.randrange(1, max(2, len(data)))
+            self.inner.append(name, data[:cut])
+            raise StorageCrashError(f"simulated crash mid-append to {name}")
+        self.inner.append(name, data)
+
+    def read(self, name: str) -> bytes:
+        """Read, possibly shortened or bit-flipped."""
+        plan = self.plan
+        short_hit = self._hit(plan.partial_read_rate)
+        flip_hit = self._hit(plan.bit_flip_rate)
+        data = self.inner.read(name)
+        if (self._short_left > 0 or short_hit) and len(data) > 1:
+            self._short_left = max(0, self._short_left - 1)
+            self._fault("partial_read")
+            return data[: self._rng.randrange(1, len(data))]
+        if self._flip_left > 0 or flip_hit:
+            self._flip_left = max(0, self._flip_left - 1)
+            self._fault("bit_flip")
+            data = self._flip_bit(data)
+        return data
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def remove(self, name: str) -> None:
+        self.inner.remove(name)
+
+    def listdir(self) -> list[str]:
+        return self.inner.listdir()

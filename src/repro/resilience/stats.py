@@ -149,6 +149,32 @@ class ServerStats:
     slow_readers_disconnected: int = 0
     #: data-channel writes refused because staging memory was exhausted
     data_backpressure_rejected: int = 0
+    #: calls shed with RPC_BUSY while serving was paused (stop-and-copy)
+    paused_rejections: int = 0
+    #: checkpoint generations written (full + delta)
+    checkpoint_generations_written: int = 0
+    #: delta generations among those (the rest are fulls)
+    checkpoint_deltas_written: int = 0
+    #: container bytes written across all generations
+    checkpoint_bytes_written: int = 0
+    #: corrupt/torn generations skipped while falling back to an older one
+    checkpoint_fallbacks: int = 0
+    #: pre-copy rounds driven across all migrations
+    migration_rounds: int = 0
+    #: migration chunks shipped (first transmissions)
+    migration_chunks_sent: int = 0
+    #: migration chunks re-shipped after a disconnect resume or CRC NAK
+    migration_chunks_resent: int = 0
+    #: duplicate chunks the receiver de-duplicated (idempotent redelivery)
+    migration_chunks_duplicate: int = 0
+    #: times a migration resumed from its cursor instead of restarting
+    migration_resumes: int = 0
+    #: virtual nanoseconds spent paused in stop-and-copy windows
+    migration_pause_ns: int = 0
+    #: migrations that reached cutover
+    migrations_completed: int = 0
+    #: migrations aborted with the source left serving
+    migrations_aborted: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Flat counter mapping, ``server.``-prefixed for tracer merging."""
@@ -181,6 +207,19 @@ class ServerStats:
             "server.slow_readers_throttled": self.slow_readers_throttled,
             "server.slow_readers_disconnected": self.slow_readers_disconnected,
             "server.data_backpressure_rejected": self.data_backpressure_rejected,
+            "server.paused_rejections": self.paused_rejections,
+            "server.checkpoint_generations_written": self.checkpoint_generations_written,
+            "server.checkpoint_deltas_written": self.checkpoint_deltas_written,
+            "server.checkpoint_bytes_written": self.checkpoint_bytes_written,
+            "server.checkpoint_fallbacks": self.checkpoint_fallbacks,
+            "server.migration_rounds": self.migration_rounds,
+            "server.migration_chunks_sent": self.migration_chunks_sent,
+            "server.migration_chunks_resent": self.migration_chunks_resent,
+            "server.migration_chunks_duplicate": self.migration_chunks_duplicate,
+            "server.migration_resumes": self.migration_resumes,
+            "server.migration_pause_ns": self.migration_pause_ns,
+            "server.migrations_completed": self.migrations_completed,
+            "server.migrations_aborted": self.migrations_aborted,
         }
 
     def reset(self) -> None:
@@ -213,3 +252,16 @@ class ServerStats:
         self.slow_readers_throttled = 0
         self.slow_readers_disconnected = 0
         self.data_backpressure_rejected = 0
+        self.paused_rejections = 0
+        self.checkpoint_generations_written = 0
+        self.checkpoint_deltas_written = 0
+        self.checkpoint_bytes_written = 0
+        self.checkpoint_fallbacks = 0
+        self.migration_rounds = 0
+        self.migration_chunks_sent = 0
+        self.migration_chunks_resent = 0
+        self.migration_chunks_duplicate = 0
+        self.migration_resumes = 0
+        self.migration_pause_ns = 0
+        self.migrations_completed = 0
+        self.migrations_aborted = 0

@@ -1,0 +1,462 @@
+"""Tests for the crash-consistent checkpoint store and blob validation."""
+
+import os
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cricket import (
+    CheckpointFormatError,
+    CheckpointStore,
+    CricketClient,
+    CricketServer,
+    FileStorage,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.cricket.checkpoint import (
+    FORMAT_VERSION,
+    capture_server_state,
+    restore_server,
+    restore_server_state,
+    snapshot_server,
+    validate_checkpoint_blob,
+)
+from repro.cricket.ckptstore import (
+    KIND_DELTA,
+    KIND_FULL,
+    decode_container,
+    encode_container,
+    _generation_name,
+)
+from repro.cricket.errors import CheckpointError
+from repro.cricket.replication import state_fingerprint
+from repro.gpu import A100, GpuDevice
+from repro.resilience.faults import (
+    FaultyStorage,
+    StorageCrashError,
+    StorageFaultPlan,
+)
+
+MIB = 1 << 20
+
+
+def small_server() -> CricketServer:
+    return CricketServer([GpuDevice(A100, mem_bytes=128 * MIB)])
+
+
+def populated_server() -> tuple[CricketServer, CricketClient, int]:
+    server = small_server()
+    client = CricketClient.loopback(server)
+    ptr = client.malloc(256 * 1024)
+    client.memcpy_h2d(ptr, b"\x42" * 4096)
+    return server, client, ptr
+
+
+class TestContainerFormat:
+    def test_roundtrip(self):
+        sections = [("state", b"hello state"), ("extra", b"\x00" * 100)]
+        blob = encode_container(KIND_FULL, 7, 0, sections)
+        container = decode_container(blob)
+        assert container.kind == KIND_FULL
+        assert container.generation == 7
+        assert container.base_generation == 0
+        assert not container.is_delta
+        assert container.sections["state"] == b"hello state"
+        assert container.sections["extra"] == b"\x00" * 100
+        assert container.manifest["sections"]["state"] == len(b"hello state")
+
+    def test_delta_kind(self):
+        blob = encode_container(KIND_DELTA, 3, 2, [("meta", b"m")])
+        container = decode_container(blob)
+        assert container.is_delta
+        assert container.base_generation == 2
+
+    def test_empty_blob_offset(self):
+        with pytest.raises(CheckpointFormatError) as err:
+            decode_container(b"")
+        assert err.value.offset == 0
+
+    def test_bad_magic_offset_zero(self):
+        blob = bytearray(encode_container(KIND_FULL, 1, 0, [("state", b"x")]))
+        blob[:4] = b"JUNK"
+        with pytest.raises(CheckpointFormatError) as err:
+            decode_container(bytes(blob))
+        assert err.value.offset == 0
+        assert "magic" in str(err.value)
+
+    def test_torn_tail_offset_near_end(self):
+        blob = encode_container(KIND_FULL, 1, 0, [("state", b"y" * 500)])
+        torn = blob[: len(blob) // 2]
+        with pytest.raises(CheckpointFormatError) as err:
+            decode_container(torn)
+        # a torn tail is located at/near the end of what remains
+        assert err.value.offset >= len(torn) - 8
+
+    def test_flipped_bit_is_located_midfile(self):
+        blob = bytearray(encode_container(KIND_FULL, 1, 0, [("state", b"z" * 500)]))
+        blob[len(blob) // 2] ^= 0x40
+        with pytest.raises(CheckpointFormatError) as err:
+            decode_container(bytes(blob))
+        # whole-file CRC catches it first, pointing at the trailer
+        assert err.value.offset > 0
+
+    def test_error_message_carries_offset(self):
+        err = CheckpointFormatError("boom", offset=17)
+        assert "17" in str(err)
+        assert err.offset == 17
+
+
+class TestBlobValidation:
+    def test_empty_blob(self):
+        with pytest.raises(CheckpointFormatError) as err:
+            validate_checkpoint_blob(b"")
+        assert err.value.offset == 0
+
+    def test_garbage_magic(self):
+        with pytest.raises(CheckpointFormatError) as err:
+            validate_checkpoint_blob(b"not a checkpoint")
+        assert err.value.offset == 0
+
+    def test_truncated_pickle_offset_is_length(self):
+        server, _client, _ptr = populated_server()
+        blob = snapshot_server(server)
+        torn = blob[: len(blob) // 2]
+        with pytest.raises(CheckpointFormatError) as err:
+            validate_checkpoint_blob(torn)
+        assert err.value.offset == len(torn)
+
+    def test_restore_server_rejects_torn_blob_typed(self):
+        server, _client, _ptr = populated_server()
+        blob = snapshot_server(server)
+        with pytest.raises(CheckpointFormatError):
+            restore_server(small_server(), blob[:-10])
+
+    def test_valid_blob_passes(self):
+        server, _client, _ptr = populated_server()
+        validate_checkpoint_blob(snapshot_server(server))
+
+
+class TestBlobVersions:
+    def test_v2_roundtrip(self):
+        server, _client, ptr = populated_server()
+        state = capture_server_state(server)
+        assert state["version"] == FORMAT_VERSION
+        restored = small_server()
+        restore_server_state(restored, state)
+        assert state_fingerprint(restored) == state_fingerprint(server)
+
+    def test_v1_blob_still_restores(self):
+        server, _client, ptr = populated_server()
+        state = capture_server_state(server)
+        # a version-1 blob predates the reply cache and session table
+        state["version"] = 1
+        state.pop("reply_cache", None)
+        state.pop("sessions", None)
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        restored = small_server()
+        restore_server(restored, blob)
+        client = CricketClient.loopback(restored)
+        assert client.memcpy_d2h(ptr, 4096) == b"\x42" * 4096
+
+    def test_unknown_version_rejected(self):
+        server, _client, _ptr = populated_server()
+        state = capture_server_state(server)
+        state["version"] = 99
+        with pytest.raises(CheckpointFormatError) as err:
+            restore_server_state(small_server(), state)
+        assert err.value.offset == 1
+
+
+class TestAtomicSave:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        server, _client, _ptr = populated_server()
+        path = str(tmp_path / "cricket.ckpt")
+        save_checkpoint(server, path)
+        assert sorted(os.listdir(tmp_path)) == ["cricket.ckpt"]
+
+    def test_failed_replace_preserves_old_checkpoint(self, tmp_path, monkeypatch):
+        server, client, ptr = populated_server()
+        path = str(tmp_path / "cricket.ckpt")
+        save_checkpoint(server, path)
+        good = open(path, "rb").read()
+        client.memcpy_h2d(ptr, b"\x99" * 4096)
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_checkpoint(server, path)
+        monkeypatch.undo()
+        # the old checkpoint is untouched and no temp files linger
+        assert open(path, "rb").read() == good
+        assert sorted(os.listdir(tmp_path)) == ["cricket.ckpt"]
+        restored = small_server()
+        load_checkpoint(restored, path)
+        client2 = CricketClient.loopback(restored)
+        assert client2.memcpy_d2h(ptr, 4096) == b"\x42" * 4096
+
+
+class TestCheckpointStore:
+    def test_full_save_restore(self, tmp_path):
+        server, _client, _ptr = populated_server()
+        store = CheckpointStore(str(tmp_path))
+        generation = store.save_full(server)
+        assert generation == 1
+        restored = small_server()
+        assert CheckpointStore(str(tmp_path)).restore_latest(restored) == 1
+        assert state_fingerprint(restored) == state_fingerprint(server)
+
+    def test_delta_chain_restores_exactly(self, tmp_path):
+        server, client, ptr = populated_server()
+        store = CheckpointStore(str(tmp_path))
+        store.save_full(server)
+        client.memset(ptr + 128, 0xAB, 64)
+        ptr2 = client.malloc(64 * 1024)
+        client.memcpy_h2d(ptr2, b"\x11" * 1024)
+        store.save_delta(server)
+        client.free(ptr2)  # the next delta must drop it again
+        store.save_delta(server)
+        restored = small_server()
+        CheckpointStore(str(tmp_path)).restore_latest(restored)
+        assert state_fingerprint(restored) == state_fingerprint(server)
+
+    def test_delta_without_base_raises(self, tmp_path):
+        server, _client, _ptr = populated_server()
+        with pytest.raises(CheckpointError):
+            CheckpointStore(str(tmp_path)).save_delta(server)
+
+    def test_save_picks_delta_after_full(self, tmp_path):
+        server, _client, _ptr = populated_server()
+        store = CheckpointStore(str(tmp_path))
+        g1 = store.save(server)
+        g2 = store.save(server)
+        first = decode_container(store.storage.read(_generation_name(g1)))
+        second = decode_container(store.storage.read(_generation_name(g2)))
+        assert not first.is_delta
+        assert second.is_delta
+        assert second.base_generation == g1
+
+    def test_delta_is_smaller_than_full(self, tmp_path):
+        server, client, ptr = populated_server()
+        client.memcpy_h2d(ptr, b"\x55" * (256 * 1024))  # bulk payload
+        store = CheckpointStore(str(tmp_path))
+        g1 = store.save_full(server)
+        client.memset(ptr, 0x01, 16)  # dirty a single page
+        g2 = store.save_delta(server)
+        full_size = len(store.storage.read(_generation_name(g1)))
+        delta_size = len(store.storage.read(_generation_name(g2)))
+        assert delta_size < full_size
+
+    def test_torn_newest_falls_back_to_previous(self, tmp_path):
+        server, client, ptr = populated_server()
+        store = CheckpointStore(str(tmp_path))
+        g1 = store.save_full(server)
+        fingerprint = state_fingerprint(server)
+        client.memset(ptr, 0xEE, 256)
+        g2 = store.save_full(server)
+        # tear the newest generation in half
+        name = _generation_name(g2)
+        blob = store.storage.read(name)
+        path = tmp_path / name
+        path.write_bytes(blob[: len(blob) // 2])
+        restored = small_server()
+        recovery = CheckpointStore(str(tmp_path), stats=restored.server_stats)
+        assert recovery.restore_latest(restored) == g1
+        assert state_fingerprint(restored) == fingerprint
+        assert restored.server_stats.checkpoint_fallbacks == 1
+
+    def test_all_generations_corrupt_raises(self, tmp_path):
+        server, _client, _ptr = populated_server()
+        store = CheckpointStore(str(tmp_path))
+        store.save_full(server)
+        for name in os.listdir(tmp_path):
+            (tmp_path / name).write_bytes(b"JUNK")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(str(tmp_path)).load_state()
+
+    def test_compaction_equivalent_and_prunes(self, tmp_path):
+        server, client, ptr = populated_server()
+        store = CheckpointStore(str(tmp_path))
+        store.save_full(server)
+        client.memset(ptr, 0x01, 32)
+        store.save_delta(server)
+        client.memset(ptr + 4096, 0x02, 32)
+        store.save_delta(server)
+        fingerprint = state_fingerprint(server)
+        compacted = store.compact()
+        assert store.generations() == [compacted]
+        restored = small_server()
+        CheckpointStore(str(tmp_path)).restore_latest(restored)
+        assert state_fingerprint(restored) == fingerprint
+
+    def test_retention_keeps_delta_bases(self, tmp_path):
+        server, client, ptr = populated_server()
+        store = CheckpointStore(str(tmp_path), retain=2)
+        base = store.save_full(server)
+        for i in range(4):
+            client.memset(ptr + i * 4096, i + 1, 32)
+            store.save_delta(server)
+        kept = store.generations()
+        # the newest two plus the transitive bases of any kept delta
+        assert len(kept) >= 2
+        assert base in kept  # every delta chains back to the only full
+        restored = small_server()
+        CheckpointStore(str(tmp_path)).restore_latest(restored)
+        assert state_fingerprint(restored) == state_fingerprint(server)
+
+    def test_failed_delta_remarks_dirty_pages(self, tmp_path):
+        server, client, ptr = populated_server()
+        faulty = FaultyStorage(
+            FileStorage(str(tmp_path)), StorageFaultPlan(seed=1)
+        )
+        store = CheckpointStore(storage=faulty)
+        store.save_full(server)
+        client.memset(ptr, 0x77, 8192)
+        dirty_before = server.device.dirty_bytes
+        assert dirty_before > 0
+        faulty._enospc_left = 1
+        with pytest.raises(OSError):
+            store.save_delta(server)
+        # the failed save must not have narrowed the next checkpoint
+        assert server.device.dirty_bytes == dirty_before
+        generation = store.save_delta(server)
+        restored = small_server()
+        CheckpointStore(str(tmp_path)).restore_latest(restored)
+        assert state_fingerprint(restored) == state_fingerprint(server)
+        assert generation == 2
+
+
+class TestStorageFaults:
+    def test_torn_write_leaves_prefix(self, tmp_path):
+        faulty = FaultyStorage(
+            FileStorage(str(tmp_path)), StorageFaultPlan(torn_write_next=1, seed=3)
+        )
+        with pytest.raises(StorageCrashError):
+            faulty.write_atomic("f", b"A" * 1000)
+        torn = faulty.read("f")
+        assert 0 < len(torn) < 1000
+        assert torn == b"A" * len(torn)
+
+    def test_crash_before_rename_keeps_old(self, tmp_path):
+        faulty = FaultyStorage(FileStorage(str(tmp_path)), StorageFaultPlan(seed=3))
+        faulty.write_atomic("f", b"old content")
+        faulty._crash_left = 1
+        with pytest.raises(StorageCrashError):
+            faulty.write_atomic("f", b"new content")
+        assert faulty.read("f") == b"old content"
+
+    def test_enospc_writes_nothing(self, tmp_path):
+        faulty = FaultyStorage(
+            FileStorage(str(tmp_path)), StorageFaultPlan(enospc_next=1, seed=3)
+        )
+        with pytest.raises(OSError):
+            faulty.write_atomic("f", b"data")
+        assert not faulty.exists("f")
+
+    def test_bit_flip_detected_by_store(self, tmp_path):
+        server, client, ptr = populated_server()
+        faulty = FaultyStorage(FileStorage(str(tmp_path)), StorageFaultPlan(seed=3))
+        store = CheckpointStore(storage=faulty)
+        g1 = store.save_full(server)
+        client.memset(ptr, 0x31, 64)
+        faulty._flip_left = 1
+        g2 = store.save_full(server)  # silently corrupted on disk
+        assert g2 > g1
+        restored = small_server()
+        recovery = CheckpointStore(str(tmp_path), stats=restored.server_stats)
+        assert recovery.restore_latest(restored) == g1
+        assert restored.server_stats.checkpoint_fallbacks == 1
+
+    def test_partial_read_detected(self, tmp_path):
+        server, _client, _ptr = populated_server()
+        store = CheckpointStore(str(tmp_path))
+        store.save_full(server)
+        faulty = FaultyStorage(
+            FileStorage(str(tmp_path)),
+            StorageFaultPlan(partial_read_next=1, seed=3),
+        )
+        with pytest.raises((CheckpointError, CheckpointFormatError)):
+            CheckpointStore(storage=faulty).load_state()
+
+
+class TestDirtyTracking:
+    def test_writes_mark_pages_dirty(self):
+        server, client, ptr = populated_server()
+        server.device.allocator.clear_dirty()
+        assert server.device.dirty_bytes == 0
+        client.memset(ptr, 0x01, 64)
+        assert server.device.dirty_bytes > 0
+
+    def test_reads_do_not_mark(self):
+        server, client, ptr = populated_server()
+        server.device.allocator.clear_dirty()
+        client.memcpy_d2h(ptr, 4096)
+        assert server.device.dirty_bytes == 0
+
+    def test_fragments_cover_only_live_allocations(self):
+        server, client, _ptr = populated_server()
+        ptr2 = client.malloc(64 * 1024)
+        client.memcpy_h2d(ptr2, b"\x01" * 1024)
+        client.free(ptr2)
+        fragments = server.device.delta_fragments()
+        for addr, data in fragments:
+            assert not (ptr2 <= addr < ptr2 + 64 * 1024) or addr < ptr2
+
+    def test_restore_marks_everything_dirty(self):
+        server, _client, _ptr = populated_server()
+        blob = snapshot_server(server)
+        restored = small_server()
+        restore_server(restored, blob)
+        # the next delta after a restore must cover all live memory
+        assert restored.device.dirty_bytes > 0
+
+
+# -- hypothesis property: snapshot -> restore reproduces the fingerprint --
+
+_OPS = st.lists(
+    st.one_of(
+        # allocations are at least 16 bytes so the fixed-size memset fits
+        st.tuples(st.just("malloc"), st.integers(16, 64 * 1024)),
+        st.tuples(st.just("memset"), st.integers(0, 255)),
+        st.tuples(st.just("free"), st.integers(0, 7)),
+        st.tuples(st.just("stream"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestSnapshotProperty:
+    @given(ops=_OPS, use_store=st.booleans())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_restore_reproduces_fingerprint(self, tmp_path_factory, ops, use_store):
+        server = small_server()
+        client = CricketClient.loopback(server)
+        live: list[int] = []
+        for op, arg in ops:
+            if op == "malloc":
+                live.append(client.malloc(arg))
+            elif op == "memset" and live:
+                client.memset(live[-1], arg, 16)
+            elif op == "free" and live:
+                client.free(live.pop(arg % len(live)))
+            elif op == "stream":
+                client.stream_create()
+        fingerprint = state_fingerprint(server)
+        restored = small_server()
+        if use_store:
+            directory = str(tmp_path_factory.mktemp("store"))
+            store = CheckpointStore(directory)
+            store.save_full(server)
+            CheckpointStore(directory).restore_latest(restored)
+        else:
+            restore_server(restored, snapshot_server(server))
+        assert state_fingerprint(restored) == fingerprint

@@ -32,9 +32,11 @@ from repro.cricket.scheduler import (
     GpuScheduler,
     SchedulingPolicy,
 )
+from repro.cricket.recovery import RecoveryLadder
 from repro.cricket.sessions import LEASE_FOREVER, SessionManager
 from repro.cricket.spec import CRICKET_PROG_NAME, CRICKET_SPEC, CRICKET_VERS
 from repro.cuda import constants as C
+from repro.cuda.errors import code_for_exception
 from repro.cuda.cublas import CublasContext
 from repro.cuda.cufft import CufftContext
 from repro.cuda.cusolver import CusolverContext
@@ -42,7 +44,10 @@ from repro.cuda.driver import CudaDriver
 from repro.cuda.runtime import CudaRuntime
 from repro.gpu.catalog import A100
 from repro.gpu.device import GpuDevice
+from repro.gpu.errors import SanitizerError
+from repro.gpu.sanitizer import SanitizerConfig
 from repro.gpu.stream import StreamTable
+from repro.gpu.watchdog import KernelWatchdog
 from repro.net.simclock import SimClock
 from repro.oncrpc.server import RpcServer
 from repro.resilience.overload import CallCancelledError, OverloadConfig
@@ -99,6 +104,12 @@ class CricketImplementation:
         CUDA error admission control wants surfaced.  Procedures that do
         not create resources may ignore the return value -- the heartbeat
         and reap side effects are what keep the lifecycle moving.
+
+        Besides the reaper, every dispatch opportunistically runs the
+        sanitizer's periodic canary sweep and the recovery ladder, so a
+        device a buggy tenant poisoned is healed *before* this call's
+        executor touches it: innocent co-tenants never observe a failed
+        call, whoever happens to dispatch next.
         """
         self.clock.advance_s(self._server.dispatch_cost_s)
         self._server.dispatch_time_charged_ns += int(
@@ -109,6 +120,9 @@ class CricketImplementation:
         if ctx is not None and ctx.identity:
             session, deny = self.sessions.open(ctx.identity, now)
         self.sessions.reap(now, self._server.release_ledger)
+        self._server._maybe_sweep()
+        if self._server.auto_recover and self._server.recovery.needs_heal():
+            self._server.recovery.heal()
         return session, deny
 
     def _ordinal(self) -> int:
@@ -213,6 +227,16 @@ class CricketImplementation:
                 raise CallCancelledError("rpc_cudaMalloc cancelled; allocation undone")
             if err == C.cudaSuccess and session is not None:
                 session.ledger.allocations[int(ptr)] = (self._ordinal(), int(size))
+            if err == C.cudaSuccess:
+                # Allocation-site attribution for the sanitizer: every
+                # later violation or leak involving this memory names the
+                # tenant and the call that created it.
+                owner = (ctx.identity or ctx.client_id) if ctx is not None else ""
+                self._server.devices[self._ordinal()].allocator.annotate(
+                    int(ptr),
+                    owner=owner,
+                    site=f"cudaMalloc#{self.runtime.api_call_count}",
+                )
             return {"err": err, "ptr": ptr}
 
     def rpc_cudaFree(self, ptr, ctx=None):
@@ -519,8 +543,10 @@ class CricketImplementation:
 
             try:
                 return {"err": 0, "data": snapshot_server(self._server)}
-            except Exception:
-                return {"err": C.cudaErrorUnknown, "data": b""}
+            except Exception as exc:
+                # A canary failure at snapshot time surfaces as its typed
+                # CUDA error (illegal address), not a generic unknown.
+                return {"err": code_for_exception(exc), "data": b""}
 
     def rpc_restore(self, blob, ctx=None):
         """Cricket procedure ``rpc_restore`` (forwards to the CUDA executor)."""
@@ -531,8 +557,8 @@ class CricketImplementation:
             try:
                 restore_server(self._server, blob)
                 return 0
-            except Exception:
-                return C.cudaErrorUnknown
+            except Exception as exc:
+                return code_for_exception(exc)
 
     # -- session lifecycle -----------------------------------------------------
 
@@ -587,6 +613,10 @@ class CricketServer(RpcServer):
         memory_quota_bytes: int | None = None,
         crc_records: bool = False,
         overload: OverloadConfig | None = None,
+        sanitizer: SanitizerConfig | bool | None = None,
+        watchdog: KernelWatchdog | bool | None = None,
+        auto_recover: bool | None = None,
+        sanitizer_sweep_every: int = 64,
     ) -> None:
         clock = clock if clock is not None else SimClock()
         if (
@@ -603,9 +633,56 @@ class CricketServer(RpcServer):
         # (63) is how overloaded work gets *aborted* -- neither may queue
         # behind the very backlog they exist to manage.
         self.overload_exempt_procs |= {62, 63}
+        #: sanitizer configuration (None = unsanitized, the historical default)
+        self.sanitizer_config = (
+            SanitizerConfig() if sanitizer is True else (sanitizer or None)
+        )
+        #: kernel watchdog shared by every device on this node, or None
+        self.watchdog = (
+            KernelWatchdog() if watchdog is True else (watchdog or None)
+        )
         if devices is None:
-            devices = [GpuDevice(A100, execute=execute)]
+            devices = [
+                GpuDevice(
+                    A100,
+                    execute=execute,
+                    sanitizer=self.sanitizer_config,
+                    watchdog=self.watchdog,
+                )
+            ]
+        else:
+            # Caller-provided devices: arm any that are not already
+            # sanitized/watched.  Re-arming an allocator is only safe while
+            # it is empty (redzones change the address layout).
+            for device in devices:
+                if (
+                    self.sanitizer_config is not None
+                    and device.sanitizer_config is None
+                    and device.allocator.used_bytes == 0
+                ):
+                    device.sanitizer_config = self.sanitizer_config
+                    device.allocator = device._new_allocator(device.allocator.capacity)
+                if self.watchdog is not None and device.watchdog is None:
+                    device.watchdog = self.watchdog
         self.devices = devices
+        #: auto-heal via the recovery ladder; defaults on when either the
+        #: sanitizer or the watchdog is armed (they produce the verdicts
+        #: the ladder consumes), off otherwise -- injected faults keep
+        #: their PR-3 manual-failover semantics either way
+        self.auto_recover = (
+            auto_recover
+            if auto_recover is not None
+            else (self.sanitizer_config is not None or self.watchdog is not None)
+        )
+        self.recovery = RecoveryLadder(self)
+        #: violation log: (kind, owner, site, addr) per detected violation
+        self.violations: list[tuple[str, str, str, int]] = []
+        #: leak reports from ledger releases: dicts with ptr/ordinal/size/owner/site
+        self.leak_reports: list[dict] = []
+        self.sanitizer_sweep_every = max(int(sanitizer_sweep_every), 1)
+        self._dispatches_since_sweep = 0
+        for device in self.devices:
+            device.on_violation = self._note_violation
         self.dispatch_cost_s = dispatch_cost_s
         #: cumulative server CPU charged for RPC dispatch, nanoseconds
         self.dispatch_time_charged_ns = 0
@@ -672,6 +749,56 @@ class CricketServer(RpcServer):
         """cuFFT context of the current device."""
         return self._ffts[self.runtime._current]
 
+    # -- sanitizer / watchdog / recovery ------------------------------------
+
+    _VIOLATION_COUNTERS = {
+        "oob-write": "sanitizer_oob_writes",
+        "oob-read": "sanitizer_oob_reads",
+        "use-after-free": "sanitizer_use_after_free",
+        "double-free": "sanitizer_double_frees",
+        "redzone-corruption": "sanitizer_redzone_hits",
+    }
+
+    def _note_violation(self, err: SanitizerError) -> None:
+        """Device violation observer: count by kind and log attribution."""
+        counter = self._VIOLATION_COUNTERS.get(err.kind)
+        if counter is not None:
+            setattr(self.server_stats, counter, getattr(self.server_stats, counter) + 1)
+        self.violations.append((err.kind, err.owner, err.site, err.addr))
+
+    def _maybe_sweep(self) -> None:
+        """Periodic canary sweep, every ``sanitizer_sweep_every`` dispatches.
+
+        A corruption found here poisons the device (via the sanitizer's
+        violation callback); the sweep itself never raises into the
+        dispatching call -- the recovery ladder, running right after in
+        ``_charge_dispatch``, heals the device before the call proceeds.
+        """
+        if self.sanitizer_config is None:
+            return
+        self._dispatches_since_sweep += 1
+        if self._dispatches_since_sweep < self.sanitizer_sweep_every:
+            return
+        self._dispatches_since_sweep = 0
+        for device in self.devices:
+            if device.allocator.sanitizer is None or not device.healthy:
+                continue
+            try:
+                device.allocator.verify_canaries()
+            except SanitizerError:
+                pass  # reported via _note_violation; ladder heals next
+
+    def sweep_now(self) -> None:
+        """Force a canary sweep on every device (tests/operators)."""
+        with self.implementation._lock:
+            self._dispatches_since_sweep = self.sanitizer_sweep_every
+            self._maybe_sweep()
+
+    def recover_now(self) -> None:
+        """Run the recovery ladder immediately (tests/operators)."""
+        with self.implementation._lock:
+            self.recovery.heal()
+
     # -- session lifecycle --------------------------------------------------
 
     def release_ledger(self, ledger) -> int:
@@ -684,6 +811,24 @@ class CricketServer(RpcServer):
         stale handle.
         """
         before = sum(d.allocator.used_bytes for d in self.devices)
+        # Leak report: allocations still live at release time never met a
+        # cudaFree -- attribute each to its recorded allocation site before
+        # the memory is reclaimed below.
+        for ptr, (ordinal, size) in ledger.allocations.items():
+            allocator = self.devices[ordinal].allocator
+            if allocator.sanitizer is None or not allocator.is_live(int(ptr)):
+                continue
+            owner, site = allocator.site_of(int(ptr))
+            self.leak_reports.append(
+                {
+                    "ptr": int(ptr),
+                    "ordinal": ordinal,
+                    "size": size,
+                    "owner": owner,
+                    "site": site,
+                }
+            )
+            self.server_stats.sanitizer_leaks_reported += 1
         # Modules first: unloading frees their globals' device memory too.
         for handle, ordinal in list(ledger.modules.items()):
             try:
@@ -812,29 +957,40 @@ class CricketServer(RpcServer):
         to whole-server failover via the standby).
         """
         with self.implementation._lock:
-            faulted = self.devices[ordinal]
-            if spare_ordinal is None:
-                spare_ordinal = self._find_spare(ordinal)
-            if spare_ordinal is None:
-                raise RuntimeError(
-                    f"no healthy idle {faulted.spec.name!r} spare for device {ordinal}"
-                )
-            spare = self.devices[spare_ordinal]
-            spare.restore(faulted.snapshot())
-            # Stream/event handles are application state too: the table moves
-            # with the workload, the faulted card gets a fresh empty one.
-            spare.streams, faulted.streams = faulted.streams, StreamTable()
-            self.devices[ordinal], self.devices[spare_ordinal] = spare, faulted
-            # runtime holds its own copy of the device list
-            self.runtime.devices[ordinal] = spare
-            self.runtime.devices[spare_ordinal] = faulted
-            # per-slot executor contexts follow the slot, not the silicon
-            for contexts in (self._drivers, self._blas, self._solvers, self._ffts):
-                contexts[ordinal].device = spare
-                contexts[spare_ordinal].device = faulted
-            faulted.reset()  # clears the sticky fault; card becomes the new spare
-            self.server_stats.device_failovers += 1
-            return spare_ordinal
+            return self._failover_device_locked(ordinal, spare_ordinal)
+
+    def _failover_device_locked(
+        self, ordinal: int, spare_ordinal: int | None = None
+    ) -> int:
+        """Body of :meth:`failover_device`; caller holds the dispatch lock.
+
+        Split out so the recovery ladder -- which already runs under the
+        lock inside ``_charge_dispatch`` -- can take this rung without
+        deadlocking on re-entry.
+        """
+        faulted = self.devices[ordinal]
+        if spare_ordinal is None:
+            spare_ordinal = self._find_spare(ordinal)
+        if spare_ordinal is None:
+            raise RuntimeError(
+                f"no healthy idle {faulted.spec.name!r} spare for device {ordinal}"
+            )
+        spare = self.devices[spare_ordinal]
+        spare.restore(faulted.snapshot())
+        # Stream/event handles are application state too: the table moves
+        # with the workload, the faulted card gets a fresh empty one.
+        spare.streams, faulted.streams = faulted.streams, StreamTable()
+        self.devices[ordinal], self.devices[spare_ordinal] = spare, faulted
+        # runtime holds its own copy of the device list
+        self.runtime.devices[ordinal] = spare
+        self.runtime.devices[spare_ordinal] = faulted
+        # per-slot executor contexts follow the slot, not the silicon
+        for contexts in (self._drivers, self._blas, self._solvers, self._ffts):
+            contexts[ordinal].device = spare
+            contexts[spare_ordinal].device = faulted
+        faulted.reset()  # clears the sticky fault; card becomes the new spare
+        self.server_stats.device_failovers += 1
+        return spare_ordinal
 
     # -- RpcServer hooks ----------------------------------------------------
 

@@ -325,6 +325,19 @@ class SessionManager:
             return C.cudaErrorMemoryAllocation
         return 0
 
+    def evict(self, identity: str) -> Session | None:
+        """Forcibly remove a session from the table (recovery backstop).
+
+        Used by the recovery ladder's last rung: the culprit tenant's
+        session is expelled so the device can be rebuilt for everyone
+        else.  The caller is responsible for releasing the ledger first.
+        Returns the evicted session, or None if the identity was unknown.
+        """
+        session = self._sessions.pop(identity, None)
+        if session is not None:
+            self.stats.sessions_reclaimed += 1
+        return session
+
     # -- cross-session bookkeeping ----------------------------------------
 
     def forget(self, kind: str, key: int) -> None:

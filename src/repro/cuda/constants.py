@@ -21,6 +21,7 @@ cudaErrorInvalidKernelImage = 200
 cudaErrorECCUncorrectable = 214
 cudaErrorInvalidResourceHandle = 400
 cudaErrorIllegalAddress = 700
+cudaErrorLaunchTimeout = 702
 cudaErrorNotSupported = 801
 cudaErrorUnknown = 999
 
@@ -38,6 +39,7 @@ _ERROR_NAMES = {
     cudaErrorECCUncorrectable: "cudaErrorECCUncorrectable",
     cudaErrorInvalidResourceHandle: "cudaErrorInvalidResourceHandle",
     cudaErrorIllegalAddress: "cudaErrorIllegalAddress",
+    cudaErrorLaunchTimeout: "cudaErrorLaunchTimeout",
     cudaErrorNotSupported: "cudaErrorNotSupported",
     cudaErrorUnknown: "cudaErrorUnknown",
 }

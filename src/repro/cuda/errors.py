@@ -11,8 +11,10 @@ from repro.gpu.errors import (
     GpuError,
     InvalidDevicePointerError,
     InvalidStreamError,
+    KernelHangError,
     KernelParamError,
     OutOfMemoryError,
+    SanitizerError,
     UnknownKernelError,
 )
 
@@ -31,6 +33,16 @@ def code_for_exception(exc: BaseException) -> int:
         return exc.code
     if isinstance(exc, DeviceFaultError):
         return exc.code
+    if isinstance(exc, KernelHangError):
+        return C.cudaErrorLaunchTimeout
+    if isinstance(exc, SanitizerError):
+        # Illegal-address-class violations (OOB, use-after-free, redzone
+        # corruption) are sticky context poisons; quarantine double frees
+        # surface like any double free.  Checked before the legacy branch
+        # below because QuarantineDoubleFreeError subclasses both.
+        return (
+            C.cudaErrorIllegalAddress if exc.sticky else C.cudaErrorInvalidDevicePointer
+        )
     if isinstance(exc, OutOfMemoryError):
         return C.cudaErrorMemoryAllocation
     if isinstance(exc, (InvalidDevicePointerError, DoubleFreeError, AllocationOverlapError)):

@@ -78,6 +78,18 @@ class CudaRuntime:
             self._last_error = err
         return err
 
+    def _fault_code(self) -> int:
+        """The current device's sticky fault code, or ``cudaSuccess``.
+
+        Entry points that touch device state (streams, events, memory,
+        launches) check this first: on a poisoned context *every* such
+        call reports the same fault until ``cudaDeviceReset`` -- real CUDA
+        sticky semantics.  Device management, property queries and the
+        error peeks stay answerable, as on real hardware.
+        """
+        fault = self._device().fault
+        return fault.code if fault is not None else C.cudaSuccess
+
     # -- error state -----------------------------------------------------------
 
     def cudaGetLastError(self) -> int:
@@ -131,9 +143,14 @@ class CudaRuntime:
 
         A sticky device fault (ECC / corrupted context) surfaces here just
         like in real CUDA: synchronization reports the fault's error code.
+        A stream flagged hung by the watchdog reports
+        ``cudaErrorLaunchTimeout`` *without* advancing virtual time -- the
+        device never reaches its queued tail.
         """
         self._count()
         device = self._device()
+        if device.streams.hung_streams():
+            return self._record(C.cudaErrorLaunchTimeout)
         self._advance_to(device.synchronize_ns())
         if device.fault is not None:
             return self._record(device.fault.code)
@@ -183,7 +200,10 @@ class CudaRuntime:
         self._count()
         device = self._device()
         # Default-stream semantics: a synchronous memcpy waits for all
-        # previously launched work before the copy begins.
+        # previously launched work before the copy begins -- so a hung
+        # stream times the copy out before any data moves.
+        if device.streams.hung_streams():
+            return self._record(C.cudaErrorLaunchTimeout), None
         self._advance_to(device.synchronize_ns())
         try:
             if kind == C.cudaMemcpyHostToDevice:
@@ -216,85 +236,118 @@ class CudaRuntime:
             self._advance(self._device().memset(int(ptr), int(value), int(count)))
             return C.cudaSuccess
         except Exception as exc:
-            return code_for_exception(exc)
+            return self._record(code_for_exception(exc))
 
     # -- streams and events -------------------------------------------------------
 
     def cudaStreamCreate(self) -> tuple[int, int]:
         """Return (err, stream handle)."""
         self._count()
+        fault = self._fault_code()
+        if fault:
+            return self._record(fault), 0
         return C.cudaSuccess, self._device().streams.create_stream()
 
     def cudaStreamDestroy(self, handle: int) -> int:
         """Destroy a stream (cudaStreamDestroy)."""
         self._count()
+        fault = self._fault_code()
+        if fault:
+            return self._record(fault)
         try:
             self._device().streams.destroy_stream(int(handle))
             return C.cudaSuccess
         except Exception as exc:
-            return code_for_exception(exc)
+            return self._record(code_for_exception(exc))
 
     def cudaStreamSynchronize(self, handle: int) -> int:
-        """Wait for one stream's work (advances virtual time)."""
+        """Wait for one stream's work (advances virtual time).
+
+        A hung stream reports ``cudaErrorLaunchTimeout`` without the clock
+        ever reaching the (unreachable) queued tail.
+        """
         self._count()
+        fault = self._fault_code()
+        if fault:
+            return self._record(fault)
         try:
-            tail = self._device().streams.stream(int(handle)).tail_ns
-            self._advance_to(tail)
+            stream = self._device().streams.stream(int(handle))
+            if stream.hang is not None:
+                return self._record(C.cudaErrorLaunchTimeout)
+            self._advance_to(stream.tail_ns)
             return C.cudaSuccess
         except Exception as exc:
-            return code_for_exception(exc)
+            return self._record(code_for_exception(exc))
 
     def cudaStreamWaitEvent(self, stream: int, event: int) -> int:
         """Make a stream wait for an event (asynchronous, no clock charge)."""
         self._count()
+        fault = self._fault_code()
+        if fault:
+            return self._record(fault)
         try:
             self._device().streams.wait_event(int(stream), int(event))
             return C.cudaSuccess
         except Exception as exc:
-            return code_for_exception(exc)
+            return self._record(code_for_exception(exc))
 
     def cudaEventCreate(self) -> tuple[int, int]:
         """Create an event; returns (err, handle)."""
         self._count()
+        fault = self._fault_code()
+        if fault:
+            return self._record(fault), 0
         return C.cudaSuccess, self._device().streams.create_event()
 
     def cudaEventDestroy(self, handle: int) -> int:
         """Destroy an event."""
         self._count()
+        fault = self._fault_code()
+        if fault:
+            return self._record(fault)
         try:
             self._device().streams.destroy_event(int(handle))
             return C.cudaSuccess
         except Exception as exc:
-            return code_for_exception(exc)
+            return self._record(code_for_exception(exc))
 
     def cudaEventRecord(self, event: int, stream: int = DEFAULT_STREAM) -> int:
         """Record an event on a stream."""
         self._count()
+        fault = self._fault_code()
+        if fault:
+            return self._record(fault)
         try:
             self._device().streams.record_event(int(event), int(stream))
             return C.cudaSuccess
         except Exception as exc:
-            return code_for_exception(exc)
+            return self._record(code_for_exception(exc))
 
     def cudaEventSynchronize(self, event: int) -> int:
         """Wait for a recorded event (advances virtual time)."""
         self._count()
+        fault = self._fault_code()
+        if fault:
+            return self._record(fault)
         try:
             ev = self._device().streams.event(int(event))
             if not ev.recorded:
-                return C.cudaErrorInvalidResourceHandle
+                return self._record(C.cudaErrorInvalidResourceHandle)
             self._advance_to(ev.timestamp_ns)
             return C.cudaSuccess
         except Exception as exc:
-            return code_for_exception(exc)
+            return self._record(code_for_exception(exc))
 
     def cudaEventElapsedTime(self, start: int, stop: int) -> tuple[int, float]:
         """Return (err, milliseconds between events)."""
         self._count()
+        fault = self._fault_code()
+        if fault:
+            return self._record(fault), 0.0
         try:
             return C.cudaSuccess, self._device().streams.elapsed_ms(int(start), int(stop))
         except Exception as exc:
-            return code_for_exception(exc), 0.0
+            return self._record(code_for_exception(exc)), 0.0
 
     # -- asynchronous memcpy ------------------------------------------------------
 
@@ -336,7 +389,7 @@ class CudaRuntime:
                 return C.cudaSuccess, None
             return C.cudaErrorInvalidMemcpyDirection, None
         except Exception as exc:
-            return code_for_exception(exc), None
+            return self._record(code_for_exception(exc)), None
 
     # -- launching (runtime-style, by kernel name) ---------------------------------
 

@@ -14,6 +14,10 @@ Components:
   by the paper's proxy applications,
 * :mod:`repro.gpu.stream` -- streams and events over virtual time,
 * :mod:`repro.gpu.timing` -- the roofline timing model,
+* :mod:`repro.gpu.sanitizer` -- redzones, quarantine and attribution for
+  the device allocator (compute-sanitizer semantics at the RPC boundary),
+* :mod:`repro.gpu.watchdog` -- per-stream kernel execution budgets over
+  virtual time,
 * :mod:`repro.gpu.device` -- the device facade, with checkpoint/restore.
 """
 
@@ -21,14 +25,21 @@ from repro.gpu.catalog import A100, CATALOG, P40, T4, V100, GpuSpec, by_name
 from repro.gpu.device import GpuDevice, LaunchResult
 from repro.gpu.errors import (
     AllocationOverlapError,
+    DeviceFaultError,
     DeviceMismatchError,
     DoubleFreeError,
     GpuError,
     InvalidDevicePointerError,
     InvalidStreamError,
+    KernelHangError,
     KernelParamError,
+    OutOfBoundsError,
     OutOfMemoryError,
+    QuarantineDoubleFreeError,
+    RedzoneCorruptionError,
+    SanitizerError,
     UnknownKernelError,
+    UseAfterFreeError,
 )
 from repro.gpu.kernels import (
     DEFAULT_REGISTRY,
@@ -39,8 +50,10 @@ from repro.gpu.kernels import (
     build_default_registry,
 )
 from repro.gpu.memory import DEVICE_VA_BASE, DeviceAllocator
+from repro.gpu.sanitizer import CANARY, POISON, Sanitizer, SanitizerConfig
 from repro.gpu.stream import DEFAULT_STREAM, Event, Stream, StreamTable
 from repro.gpu.timing import GpuTimingModel
+from repro.gpu.watchdog import DEFAULT_BUDGET_NS, KernelWatchdog
 
 __all__ = [
     "GpuDevice",
@@ -65,6 +78,12 @@ __all__ = [
     "Event",
     "StreamTable",
     "DEFAULT_STREAM",
+    "Sanitizer",
+    "SanitizerConfig",
+    "CANARY",
+    "POISON",
+    "KernelWatchdog",
+    "DEFAULT_BUDGET_NS",
     "GpuError",
     "OutOfMemoryError",
     "InvalidDevicePointerError",
@@ -74,4 +93,11 @@ __all__ = [
     "KernelParamError",
     "InvalidStreamError",
     "DeviceMismatchError",
+    "DeviceFaultError",
+    "SanitizerError",
+    "OutOfBoundsError",
+    "UseAfterFreeError",
+    "QuarantineDoubleFreeError",
+    "RedzoneCorruptionError",
+    "KernelHangError",
 ]

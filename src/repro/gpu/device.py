@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.gpu.catalog import A100, GpuSpec
-from repro.gpu.errors import DeviceFaultError, GpuError
+from repro.gpu.errors import DeviceFaultError, GpuError, SanitizerError
 from repro.gpu.kernels import (
     DEFAULT_REGISTRY,
     Kernel,
@@ -27,8 +27,10 @@ from repro.gpu.kernels import (
     LaunchContext,
 )
 from repro.gpu.memory import DeviceAllocator
+from repro.gpu.sanitizer import SanitizerConfig
 from repro.gpu.stream import DEFAULT_STREAM, StreamTable
 from repro.gpu.timing import GpuTimingModel
+from repro.gpu.watchdog import KernelWatchdog
 
 
 @dataclass(frozen=True)
@@ -62,18 +64,35 @@ class GpuDevice:
         registry: KernelRegistry | None = None,
         execute: bool = True,
         mem_bytes: int | None = None,
+        sanitizer: SanitizerConfig | None = None,
+        watchdog: KernelWatchdog | None = None,
     ) -> None:
         self.spec = spec
         self.ordinal = ordinal
         self.execute = execute
         self.registry = registry if registry is not None else DEFAULT_REGISTRY.clone()
-        self.allocator = DeviceAllocator(mem_bytes or spec.mem_bytes)
+        #: sanitizer configuration threaded through reset/restore so a
+        #: rebuilt allocator stays sanitized (or stays plain)
+        self.sanitizer_config = sanitizer
+        #: kernel watchdog (may be shared across a node's devices), or None
+        self.watchdog = watchdog
+        #: external violation observer (the Cricket server hooks this to
+        #: count violations in ServerStats); called after context poisoning
+        self.on_violation = None
+        self.allocator = self._new_allocator(mem_bytes or spec.mem_bytes)
         self.timing = GpuTimingModel(spec)
         self.streams = StreamTable()
         #: monotonically increasing count of launches (instrumentation)
         self.launch_count = 0
         #: sticky hardware fault, or None when healthy (see :meth:`inject_fault`)
         self.fault: DeviceFaultError | None = None
+
+    def _new_allocator(self, capacity: int) -> DeviceAllocator:
+        """A fresh allocator carrying this device's sanitizer wiring."""
+        allocator = DeviceAllocator(capacity, sanitizer=self.sanitizer_config)
+        if allocator.sanitizer is not None:
+            allocator.sanitizer.on_violation = self._note_violation
+        return allocator
 
     # -- fault model --------------------------------------------------------
 
@@ -92,6 +111,36 @@ class GpuDevice:
         if kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {kind!r} (want one of {sorted(FAULT_KINDS)})")
         self.fault = DeviceFaultError(kind, FAULT_KINDS[kind])
+
+    def _note_violation(self, err: SanitizerError) -> None:
+        """Sanitizer callback: sticky violations poison the context.
+
+        An illegal-address-class violation corrupts the CUDA context on
+        real hardware; here it arms the same sticky-fault machinery an
+        injected ``"context"`` fault uses, but with ``origin="sanitizer"``
+        and the offending tenant recorded -- the recovery ladder only
+        auto-heals faults a tenant bug caused, never operator-injected
+        ones.
+        """
+        if err.sticky and self.fault is None:
+            self.fault = DeviceFaultError(
+                "context",
+                FAULT_KINDS["context"],
+                origin="sanitizer",
+                culprit=err.owner,
+            )
+        if self.on_violation is not None:
+            self.on_violation(err)
+
+    def inject_hang(self, stream: int = DEFAULT_STREAM, kind: str = "spin") -> None:
+        """Mark a stream's work hung (chaos hook for the watchdog).
+
+        Requires a watchdog: a device without one has no machinery to
+        notice or report the hang.
+        """
+        if self.watchdog is None:
+            raise GpuError("cannot inject a hang on a device without a watchdog")
+        self.watchdog.inject_hang(self.streams.stream(stream), kind)
 
     @property
     def healthy(self) -> bool:
@@ -174,8 +223,13 @@ class GpuDevice:
             kernel.body(ctx)
         duration_s = self.timing.kernel_time_s(kernel.cost(ctx), fp64=fp64)
         duration_ns = int(round(duration_s * 1e9))
-        done_ns = self.streams.stream(stream).submit(submit_ns, duration_ns)
+        stream_obj = self.streams.stream(stream)
+        done_ns = stream_obj.submit(submit_ns, duration_ns)
         self.launch_count += 1
+        if self.watchdog is not None:
+            # Launches stay asynchronous even when over budget: the flag is
+            # raised here, the timeout surfaces at the next sync point.
+            self.watchdog.observe_launch(stream_obj, duration_ns)
         return LaunchResult(done_ns=done_ns, duration_ns=duration_ns)
 
     def synchronize_ns(self) -> int:
@@ -190,7 +244,7 @@ class GpuDevice:
         Also clears any sticky fault -- a device reset is the documented
         CUDA remedy for ECC / corrupted-context errors.
         """
-        self.allocator = DeviceAllocator(self.allocator.capacity)
+        self.allocator = self._new_allocator(self.allocator.capacity)
         self.streams = StreamTable()
         self.fault = None
 
@@ -236,7 +290,16 @@ class GpuDevice:
         This is Cricket's checkpoint primitive: enough state to re-create
         the GPU side of an application on another device of the same model.
         Kernel registries are code, not state, and must match on restore.
+
+        On a *healthy* sanitized device the guard bands are verified first
+        -- a checkpoint must not silently immortalize state a wild write
+        already corrupted.  The check is skipped while a sticky fault is
+        outstanding: that is the admin path ``failover_device`` uses to
+        salvage memory off poisoned silicon, and the corruption (if any)
+        has already been attributed.
         """
+        if self.healthy and self.allocator.sanitizer is not None:
+            self.allocator.verify_canaries()
         allocations = [
             (a.addr, a.size, a.data.tobytes())
             for a in self.allocator.live_allocations()
@@ -247,6 +310,17 @@ class GpuDevice:
             "allocations": allocations,
             "launch_count": self.launch_count,
         }
+        if self.allocator.sanitizer is not None:
+            # Owner/site attribution survives restore (and device failover):
+            # a leak or violation after the move still names the tenant and
+            # the cudaMalloc that created the memory.
+            sites = {
+                a.addr: self.allocator.site_of(a.addr)
+                for a in self.allocator.live_allocations()
+            }
+            payload["sites"] = {
+                addr: pair for addr, pair in sites.items() if pair != ("", "")
+            }
         return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
     def restore(self, blob: bytes) -> None:
@@ -258,18 +332,28 @@ class GpuDevice:
                 f"({payload['spec_name']!r} vs {self.spec.name!r})"
             )
         self.reset()
-        restored = DeviceAllocator(payload["capacity"])
-        # Re-create allocations at their original addresses by replaying the
-        # allocator; addresses are part of application state (device
-        # pointers live inside client structures).
-        for addr, size, data in payload["allocations"]:
-            restored_addr = restored.alloc(size)
-            if restored_addr != addr:
-                restored = _rebuild_at_exact_addresses(
-                    payload["capacity"], payload["allocations"]
-                )
-                break
-            restored.write(addr, data)
+        restored = self._new_allocator(payload["capacity"])
+        # Re-create allocations at their original addresses: addresses are
+        # part of application state (device pointers live inside client
+        # structures).  On a sanitized device each placement re-arms fresh
+        # guard bands (canaries are allocator metadata, not checkpointed
+        # state) and the quarantine starts empty -- freed spans do not
+        # survive a checkpoint.
+        try:
+            for addr, size, data in sorted(payload["allocations"]):
+                restored.alloc_at(addr, size)
+                if size:
+                    restored.write(addr, data)
+        except GpuError:
+            # Exact placement failed -- a sanitizer armed over a checkpoint
+            # taken unsanitized has no redzone gaps to carve.  Rebuild the
+            # layout directly; the allocator runs unsanitized until the
+            # next reset.
+            restored = _rebuild_at_exact_addresses(
+                payload["capacity"], payload["allocations"]
+            )
+        for addr, (owner, site) in payload.get("sites", {}).items():
+            restored.annotate(addr, owner=owner, site=site)
         self.allocator = restored
         self.launch_count = payload["launch_count"]
         # The restored contents have no delta baseline: until the next full

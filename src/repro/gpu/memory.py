@@ -15,6 +15,7 @@ accesses -- and reports them as typed exceptions.
 from __future__ import annotations
 
 import bisect
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,8 +24,16 @@ from repro.gpu.errors import (
     AllocationOverlapError,
     DoubleFreeError,
     InvalidDevicePointerError,
+    OutOfBoundsError,
     OutOfMemoryError,
+    QuarantineDoubleFreeError,
+    UseAfterFreeError,
 )
+from repro.gpu.sanitizer import POISON, Sanitizer, SanitizerConfig
+
+#: env flag: verify allocator invariants after every mutating operation
+#: (expensive; CI soak jobs set it, production paths leave it unset)
+DEBUG_ALLOCATOR_ENV = "REPRO_DEBUG_ALLOCATOR"
 
 #: Base of the simulated device virtual address space.  Non-zero so that a
 #: NULL pointer is never a valid device address.
@@ -57,9 +66,17 @@ class Allocation:
 
 
 class DeviceAllocator:
-    """First-fit free-list allocator over a bounded device memory."""
+    """First-fit free-list allocator over a bounded device memory.
 
-    def __init__(self, capacity: int) -> None:
+    With ``sanitizer`` set, every allocation is bracketed by canary-filled
+    redzones and freed spans pass through a quarantine before reuse --
+    see :mod:`repro.gpu.sanitizer`.  The sanitized allocator keeps the
+    same external contract (``Allocation.addr`` is the user pointer,
+    ``Allocation.data`` the user-sized payload), so checkpoints, delta
+    fragments and state fingerprints are format-compatible either way.
+    """
+
+    def __init__(self, capacity: int, *, sanitizer: SanitizerConfig | None = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
@@ -77,8 +94,22 @@ class DeviceAllocator:
         self._dirty: set[int] = set()
         #: lifetime count of page-dirtying operations (instrumentation)
         self.dirty_marks = 0
+        #: compute-sanitizer state, or None when running unsanitized
+        self.sanitizer = Sanitizer(sanitizer) if sanitizer is not None else None
+        self._debug_invariants = os.environ.get(DEBUG_ALLOCATOR_ENV, "") not in ("", "0")
+
+    def _debug_check(self) -> None:
+        if self._debug_invariants:
+            self.check_invariants()
 
     # -- allocation ---------------------------------------------------------
+
+    def _find_hole(self, span: int) -> int | None:
+        """Index of the first free hole holding ``span`` bytes, or None."""
+        for index, (_hole_addr, hole_size) in enumerate(self._free):
+            if hole_size >= span:
+                return index
+        return None
 
     def alloc(self, size: int) -> int:
         """Allocate ``size`` bytes; returns the device address.
@@ -89,39 +120,120 @@ class DeviceAllocator:
         if size < 0:
             raise ValueError("allocation size cannot be negative")
         span = _align_up(max(size, 1))
-        for index, (hole_addr, hole_size) in enumerate(self._free):
-            if hole_size >= span:
-                break
-        else:
+        redzone = self.sanitizer.config.redzone_bytes if self.sanitizer else 0
+        total = span + 2 * redzone
+        index = self._find_hole(total)
+        if index is None and self.sanitizer is not None:
+            # Quarantined memory is still *free* memory: recycle all of it
+            # (losing use-after-free coverage for those spans) before
+            # telling the tenant the device is full.
+            for entry in self.sanitizer.flush_quarantine():
+                self._insert_hole(entry.base, entry.span)
+            index = self._find_hole(total)
+        if index is None:
             raise OutOfMemoryError(
                 f"cannot allocate {size} bytes ({self.free_bytes} free, fragmented)"
             )
-        remaining = hole_size - span
+        hole_addr, hole_size = self._free[index]
+        remaining = hole_size - total
         if remaining:
-            self._free[index] = (hole_addr + span, remaining)
+            self._free[index] = (hole_addr + total, remaining)
         else:
             del self._free[index]
-        allocation = Allocation(hole_addr, size, np.zeros(size, dtype=np.uint8))
-        self._allocs[hole_addr] = allocation
-        bisect.insort(self._sorted_addrs, hole_addr)
-        self.used_bytes += span
+        user_addr = hole_addr + redzone
+        allocation = Allocation(user_addr, size, np.zeros(size, dtype=np.uint8))
+        self._allocs[user_addr] = allocation
+        bisect.insort(self._sorted_addrs, user_addr)
+        self.used_bytes += total
         self.alloc_count += 1
+        if self.sanitizer is not None:
+            self.sanitizer.register(hole_addr, user_addr, size, span)
         # A fresh allocation's (zeroed) contents are new state: a delta
         # checkpoint taken after this must carry it.
-        self._mark_dirty(hole_addr, size)
-        return hole_addr
+        self._mark_dirty(user_addr, size)
+        self._debug_check()
+        return user_addr
+
+    def alloc_at(self, addr: int, size: int) -> int:
+        """Allocate ``size`` bytes at the exact user address ``addr``.
+
+        The restore path's primitive: device pointers are application
+        state (they live inside client structures), so a restored
+        allocation must reappear at its checkpointed address.  Under the
+        sanitizer the redzones are carved around ``addr`` exactly as
+        :meth:`alloc` would have placed them, so a restored device keeps
+        full guard-band and quarantine coverage.  Raises
+        :class:`~repro.gpu.errors.OutOfMemoryError` when the required
+        footprint is not entirely free (e.g. arming a sanitizer over a
+        checkpoint taken unsanitized, where no redzone gaps exist).
+        """
+        if size < 0:
+            raise ValueError("allocation size cannot be negative")
+        if addr in self._allocs:
+            raise AllocationOverlapError(f"address {addr:#x} is already live")
+        span = _align_up(max(size, 1))
+        redzone = self.sanitizer.config.redzone_bytes if self.sanitizer else 0
+        base = addr - redzone
+        total = span + 2 * redzone
+        index = next(
+            (
+                i
+                for i, (hole_addr, hole_size) in enumerate(self._free)
+                if hole_addr <= base and base + total <= hole_addr + hole_size
+            ),
+            None,
+        )
+        if index is None:
+            raise OutOfMemoryError(
+                f"cannot place {size} bytes at {addr:#x}: footprint not free"
+            )
+        hole_addr, hole_size = self._free[index]
+        del self._free[index]
+        if base > hole_addr:
+            self._free.insert(index, (hole_addr, base - hole_addr))
+            index += 1
+        if hole_addr + hole_size > base + total:
+            self._free.insert(
+                index, (base + total, hole_addr + hole_size - (base + total))
+            )
+        allocation = Allocation(addr, size, np.zeros(size, dtype=np.uint8))
+        self._allocs[addr] = allocation
+        bisect.insort(self._sorted_addrs, addr)
+        self.used_bytes += total
+        self.alloc_count += 1
+        if self.sanitizer is not None:
+            self.sanitizer.register(base, addr, size, span)
+        self._mark_dirty(addr, size)
+        self._debug_check()
+        return addr
 
     def free(self, addr: int) -> None:
         """Release the allocation starting at ``addr``.
 
         Freeing address 0 is a no-op (``cudaFree(NULL)`` is legal); freeing
         a non-allocation address raises, freeing twice raises
-        :class:`~repro.gpu.errors.DoubleFreeError`.
+        :class:`~repro.gpu.errors.DoubleFreeError`.  Under the sanitizer
+        the guard bands are verified, the contents are poisoned, and the
+        span is quarantined instead of reused immediately.
         """
         if addr == 0:
             return
         allocation = self._allocs.pop(addr, None)
         if allocation is None:
+            if self.sanitizer is not None:
+                entry = next(
+                    (e for e in self.sanitizer.quarantine_entries() if e.user_addr == addr),
+                    None,
+                )
+                if entry is not None:
+                    raise self.sanitizer.report(
+                        QuarantineDoubleFreeError(
+                            f"double free of {addr:#x}",
+                            addr=addr,
+                            owner=entry.owner,
+                            site=entry.site,
+                        )
+                    )
             if any(a.addr < addr < a.addr + max(a.size, 1) for a in self._allocs.values()):
                 raise InvalidDevicePointerError(
                     f"free of interior pointer {addr:#x}"
@@ -129,9 +241,24 @@ class DeviceAllocator:
             raise DoubleFreeError(f"free of unallocated address {addr:#x}")
         self._sorted_addrs.remove(addr)
         span = _align_up(max(allocation.size, 1))
-        self.used_bytes -= span
         self.free_count += 1
-        self._insert_hole(addr, span)
+        if self.sanitizer is None:
+            self.used_bytes -= span
+            self._insert_hole(addr, span)
+            self._debug_check()
+            return
+        guard = self.sanitizer.guard(addr)
+        violation = self.sanitizer.check_guard(guard)
+        # Complete the free even when the guard bands are corrupt: the
+        # allocator must stay consistent for the co-tenants that the
+        # recovery ladder is about to protect.
+        allocation.data[:] = POISON
+        self.used_bytes -= guard.span
+        for entry in self.sanitizer.quarantine(guard):
+            self._insert_hole(entry.base, entry.span)
+        self._debug_check()
+        if violation is not None:
+            raise self.sanitizer.report(violation)
 
     def _insert_hole(self, addr: int, size: int) -> None:
         index = bisect.bisect_left(self._free, (addr, 0))
@@ -151,17 +278,49 @@ class DeviceAllocator:
 
     # -- access --------------------------------------------------------------
 
-    def _find(self, addr: int, size: int) -> tuple[Allocation, int]:
-        """Locate the allocation containing [addr, addr+size)."""
+    def _find(self, addr: int, size: int, mode: str = "write") -> tuple[Allocation, int]:
+        """Locate the allocation containing [addr, addr+size).
+
+        ``mode`` classifies the failed access for the sanitizer's typed
+        errors (``"read"`` or ``"write"``); it does not affect lookup.
+        """
         index = bisect.bisect_right(self._sorted_addrs, addr) - 1
         if index >= 0:
             allocation = self._allocs[self._sorted_addrs[index]]
             if allocation.contains(addr, size):
                 return allocation, addr - allocation.addr
-            if allocation.addr <= addr < allocation.addr + allocation.size:
-                raise AllocationOverlapError(
+            guard = self.sanitizer.guard(allocation.addr) if self.sanitizer else None
+            crosses_end = allocation.addr <= addr < allocation.addr + allocation.size
+            # Under the sanitizer the back redzone (and alignment slack)
+            # also belongs to this allocation for diagnostic purposes: an
+            # access landing there is an out-of-bounds on *this* buffer.
+            in_back_zone = guard is not None and allocation.addr <= addr < guard.end
+            if crosses_end or in_back_zone:
+                message = (
                     f"access [{addr:#x}, +{size}) crosses end of allocation "
                     f"[{allocation.addr:#x}, +{allocation.size})"
+                )
+                if self.sanitizer is not None:
+                    raise self.sanitizer.report(
+                        OutOfBoundsError(
+                            message,
+                            mode=mode,
+                            addr=addr,
+                            owner=guard.owner if guard else "",
+                            site=guard.site if guard else "",
+                        )
+                    )
+                raise AllocationOverlapError(message)
+        if self.sanitizer is not None:
+            entry = self.sanitizer.quarantined_at(addr, size)
+            if entry is not None:
+                raise self.sanitizer.report(
+                    UseAfterFreeError(
+                        f"{mode} of freed (quarantined) memory at {addr:#x}",
+                        addr=addr,
+                        owner=entry.owner,
+                        site=entry.site,
+                    )
                 )
         raise InvalidDevicePointerError(f"invalid device address {addr:#x}")
 
@@ -174,13 +333,14 @@ class DeviceAllocator:
         here, so the dirty set is a sound overapproximation of what
         changed since the last :meth:`clear_dirty`.
         """
-        allocation, offset = self._find(addr, size)
+        allocation, offset = self._find(addr, size, mode="write")
         self._mark_dirty(addr, size)
+        self._debug_check()
         return allocation.data[offset : offset + size]
 
     def read(self, addr: int, size: int) -> bytes:
         """Copy ``size`` bytes out of device memory (does not mark dirty)."""
-        allocation, offset = self._find(addr, size)
+        allocation, offset = self._find(addr, size, mode="read")
         return allocation.data[offset : offset + size].tobytes()
 
     def write(self, addr: int, data: bytes | np.ndarray) -> None:
@@ -194,8 +354,34 @@ class DeviceAllocator:
 
     def copy_within(self, dst: int, src: int, size: int) -> None:
         """Device-to-device copy (handles overlapping ranges like memmove)."""
-        data = self.view(src, size).copy()
+        allocation, offset = self._find(src, size, mode="read")
+        data = allocation.data[offset : offset + size].copy()
         self.view(dst, size)[:] = data
+
+    def wild_write(self, addr: int, data: bytes) -> int:
+        """Unchecked device write: a buggy kernel's wild pointer (chaos hook).
+
+        Deliberately bypasses bounds validation -- this models the class of
+        bug the checked RPC paths *cannot* make, a kernel scribbling
+        through an arbitrary pointer.  Bytes land wherever the range
+        overlaps live allocation payloads or guard bands; canary damage is
+        caught later by free/sweep/checkpoint verification.  Returns the
+        number of canary bytes corrupted (0 when unsanitized or the write
+        missed every redzone).
+        """
+        buf = np.frombuffer(bytes(data), dtype=np.uint8)
+        end = addr + buf.size
+        for allocation in self.live_allocations():
+            lo = max(addr, allocation.addr)
+            hi = min(end, allocation.addr + allocation.size)
+            if lo < hi:
+                allocation.data[lo - allocation.addr : hi - allocation.addr] = (
+                    buf[lo - addr : hi - addr]
+                )
+                self._mark_dirty(lo, hi - lo)
+        if self.sanitizer is None:
+            return 0
+        return self.sanitizer.corrupt_guards(addr, buf)
 
     # -- dirty-page tracking (incremental checkpoints) -----------------------
 
@@ -267,8 +453,17 @@ class DeviceAllocator:
 
     @property
     def free_bytes(self) -> int:
-        """Unallocated device memory, bytes."""
+        """Device memory available to new allocations, bytes.
+
+        Quarantined spans count as free -- they are recycled (oldest
+        first, or flushed entirely) before the allocator reports OOM.
+        """
         return self.capacity - self.used_bytes
+
+    @property
+    def quarantined_bytes(self) -> int:
+        """Freed bytes currently withheld from reuse by the sanitizer."""
+        return self.sanitizer.quarantined_bytes if self.sanitizer is not None else 0
 
     def live_allocations(self) -> tuple[Allocation, ...]:
         """All live allocations, ordered by address."""
@@ -278,12 +473,63 @@ class DeviceAllocator:
         """True if ``addr`` is the base of a live allocation."""
         return addr in self._allocs
 
+    # -- attribution and canary verification ----------------------------------
+
+    def annotate(self, addr: int, owner: str = "", site: str = "") -> None:
+        """Attach owner/allocation-site attribution (no-op unsanitized)."""
+        if self.sanitizer is not None:
+            self.sanitizer.annotate(addr, owner=owner, site=site)
+
+    def site_of(self, addr: int) -> tuple[str, str]:
+        """(owner, site) recorded for a live allocation ("" when unknown)."""
+        if self.sanitizer is not None:
+            guard = self.sanitizer.guard(addr)
+            if guard is not None:
+                return guard.owner, guard.site
+        return "", ""
+
+    def live_report(self) -> list[tuple[int, int, str, str]]:
+        """(addr, size, owner, site) for every live allocation.
+
+        The input to the server's leak report when a session's ledger is
+        released with memory still live.
+        """
+        return [
+            (a.addr, a.size, *self.site_of(a.addr)) for a in self.live_allocations()
+        ]
+
+    def verify_canaries(self) -> int:
+        """Check every guard band now; raises on the first corruption.
+
+        Returns the number of allocations verified (0 unsanitized).  Run
+        by the server's periodic sweep and at checkpoint time.
+        """
+        if self.sanitizer is None:
+            return 0
+        return self.sanitizer.sweep()
+
     def check_invariants(self) -> None:
-        """Verify allocator bookkeeping; used by property-based tests."""
-        spans = sorted(
-            [(a.addr, _align_up(max(a.size, 1))) for a in self._allocs.values()]
-            + list(self._free)
-        )
+        """Verify allocator bookkeeping; used by property-based tests.
+
+        Under the sanitizer, each allocation's footprint includes its
+        redzones and quarantined spans tile alongside free holes -- the
+        address space must still be covered exactly.
+        """
+        if self.sanitizer is not None:
+            alloc_spans = []
+            for a in self._allocs.values():
+                guard = self.sanitizer.guard(a.addr)
+                if guard is None:
+                    raise AssertionError(f"live allocation {a.addr:#x} has no guard")
+                alloc_spans.append((guard.base, guard.span))
+            spans = sorted(
+                alloc_spans + list(self._free) + self.sanitizer.quarantine_spans()
+            )
+        else:
+            spans = sorted(
+                [(a.addr, _align_up(max(a.size, 1))) for a in self._allocs.values()]
+                + list(self._free)
+            )
         cursor = DEVICE_VA_BASE
         total = 0
         for addr, size in spans:

@@ -27,6 +27,11 @@ class Stream:
     tail_ns: int = 0
     #: number of operations submitted over the stream's lifetime
     ops_submitted: int = 0
+    #: outstanding hang verdict from the kernel watchdog ("spin", "budget"
+    #: or "fused" -- see :mod:`repro.gpu.watchdog`), or None when healthy.
+    #: While set, synchronizing on the stream returns
+    #: ``cudaErrorLaunchTimeout`` instead of advancing virtual time.
+    hang: str | None = None
 
     def submit(self, start_ns: int, duration_ns: float) -> int:
         """Queue an operation; returns its completion time.
@@ -92,6 +97,10 @@ class StreamTable:
     def device_tail_ns(self) -> int:
         """Completion time of all work on all streams (device sync point)."""
         return max(s.tail_ns for s in self._streams.values())
+
+    def hung_streams(self) -> tuple[Stream, ...]:
+        """Streams currently flagged hung by the watchdog."""
+        return tuple(s for s in self._streams.values() if s.hang is not None)
 
     # -- events --------------------------------------------------------------
 

@@ -1214,3 +1214,260 @@ class MigrationChaosHarness:
             and server.server_stats.reply_cache_hits == hits_before + 1
             and used_after == used_before
         )
+
+
+# -- sanitizer chaos: one buggy tenant beside healthy neighbours ----------
+
+
+#: every bug the harness knows how to inject (and must detect)
+SANITIZER_BUG_KINDS = (
+    "oob-write",
+    "oob-read",
+    "double-free",
+    "use-after-free",
+    "wild-write",
+    "hang",
+    "leak",
+)
+
+
+@dataclass
+class SanitizerChaosPlan:
+    """Seeded description of one buggy-tenant chaos run.
+
+    The acceptance bar (mirrors the issue): a deliberately buggy tenant
+    runs beside healthy ones on a sanitized, watchdog-armed server and
+
+    * **100% detection** -- every injected bug (out-of-bounds write and
+      read, double free, use-after-free, wild kernel write, hung kernel,
+      leak) is caught with a typed sanitizer/watchdog verdict;
+    * **zero cross-tenant impact** -- healthy tenants complete every call
+      without an error and read back exactly the bytes they wrote;
+    * **ladder convergence** -- the recovery ladder returns every device
+      to healthy without a server restart.
+    """
+
+    #: healthy loopback clients running beside the buggy one
+    healthy_clients: int = 3
+    #: allocate/verify rounds (one bug fires per round, schedule seeded)
+    rounds: int = 7
+    #: allocations each healthy client makes per round
+    allocs_per_round: int = 2
+    #: size of each healthy allocation
+    alloc_bytes: int = 1 << 16
+    #: bugs to inject, one per round (order shuffled by the seed)
+    bugs: tuple = SANITIZER_BUG_KINDS
+    #: RNG seed for the bug schedule and payload patterns
+    seed: int = 0
+    #: server lease interval (virtual seconds) -- drives leak reclamation
+    lease_s: float = 1.0
+    #: orphan grace period (virtual seconds)
+    grace_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.healthy_clients < 1:
+            raise ValueError("need at least one healthy client")
+        unknown = set(self.bugs) - set(SANITIZER_BUG_KINDS)
+        if unknown:
+            raise ValueError(f"unknown bug kinds: {sorted(unknown)}")
+        if self.rounds < len(self.bugs):
+            raise ValueError("need at least one round per bug")
+
+
+@dataclass
+class SanitizerChaosResult:
+    """Outcome of a sanitizer chaos run, ready for assertions."""
+
+    #: bug kinds in the order they were injected
+    injected: list[str]
+    #: bug kind -> whether it was detected with a typed verdict
+    detected: dict[str, bool]
+    #: server-side identity of the buggy tenant
+    buggy_identity: str
+    #: healthy-tenant calls that returned an error (must be 0)
+    healthy_failed_calls: int
+    #: healthy allocations whose read-back bytes mismatched (must be 0)
+    lost_allocations: int
+    #: leak-report entries attributed to the buggy tenant
+    leaks_attributed: int
+    #: every device healthy when the run ended
+    devices_healthy: bool
+    #: recovery-ladder rungs taken (sum over all five)
+    ladder_rungs_taken: int
+    #: final ``ServerStats.as_dict()``
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when every bug was caught and no healthy tenant noticed."""
+        return (
+            all(self.detected.values())
+            and self.healthy_failed_calls == 0
+            and self.lost_allocations == 0
+            and self.devices_healthy
+        )
+
+
+class SanitizerChaosHarness:
+    """Run a :class:`SanitizerChaosPlan` against a sanitized server."""
+
+    def __init__(self, plan: SanitizerChaosPlan | None = None) -> None:
+        self.plan = plan if plan is not None else SanitizerChaosPlan()
+        #: the server of the most recent run (inspection/debugging)
+        self.server: Any = None
+
+    def run(self) -> SanitizerChaosResult:
+        """Execute the plan; returns the detection/containment accounting."""
+        import random
+
+        from repro.cricket.client import CricketClient
+        from repro.cricket.server import CricketServer
+        from repro.cuda.errors import CudaError
+        from repro.gpu.catalog import A100
+        from repro.gpu.device import GpuDevice
+        from repro.net.simclock import SimClock
+
+        plan = self.plan
+        rng = random.Random(plan.seed)
+        # device 1 is the idle same-model spare the ladder's failover rung
+        # migrates onto when a sticky poison lands amid co-tenants
+        server = CricketServer(
+            [GpuDevice(A100), GpuDevice(A100)],
+            clock=SimClock(),
+            lease_s=plan.lease_s,
+            grace_s=plan.grace_s,
+            sanitizer=True,
+            watchdog=True,
+        )
+        self.server = server
+        healthy = [
+            CricketClient.loopback(server) for _ in range(plan.healthy_clients)
+        ]
+        buggy = CricketClient.loopback(server)
+        buggy_id = ""
+
+        schedule = list(plan.bugs)
+        rng.shuffle(schedule)
+        detected = {kind: False for kind in plan.bugs}
+        healthy_failed = 0
+        # expected contents of every healthy allocation: ptr -> bytes
+        expected: dict[int, bytes] = {}
+        leaked_ptrs: list[int] = []
+        pattern = 0
+
+        def violation_kinds() -> set:
+            return {kind for kind, _owner, _site, _addr in server.violations}
+
+        for rnd in range(plan.rounds):
+            bug = schedule[rnd] if rnd < len(schedule) else None
+            if bug == "leak":
+                # allocate and never free; detection happens when the
+                # buggy session's ledger is released after the run
+                leaked_ptrs.append(buggy.malloc(plan.alloc_bytes))
+            elif bug == "hang":
+                hangs_before = server.server_stats.watchdog_hangs
+                server.devices[0].inject_hang(
+                    kind="spin" if rng.random() < 0.5 else "fused"
+                )
+                # the next dispatched call -- whoever sends it -- trips
+                # the ladder; detection shows up in the hang counter
+            elif bug == "wild-write":
+                # a kernel scribbling through a wild pointer: corrupt the
+                # buggy tenant's own guard band server-side, then let the
+                # periodic sweep find it
+                ptr = buggy.malloc(plan.alloc_bytes)
+                server.devices[0].allocator.wild_write(
+                    ptr + plan.alloc_bytes, b"\xff" * 8
+                )
+                server.sweep_now()
+                if "redzone-corruption" in violation_kinds():
+                    detected["wild-write"] = True
+            elif bug is not None:
+                try:
+                    if bug == "oob-write":
+                        ptr = buggy.malloc(plan.alloc_bytes)
+                        buggy.memcpy_h2d(ptr, b"\xee" * (plan.alloc_bytes + 64))
+                    elif bug == "oob-read":
+                        ptr = buggy.malloc(plan.alloc_bytes)
+                        buggy.memcpy_d2h(ptr, plan.alloc_bytes + 64)
+                    elif bug == "double-free":
+                        ptr = buggy.malloc(plan.alloc_bytes)
+                        buggy.free(ptr)
+                        buggy.free(ptr)
+                    elif bug == "use-after-free":
+                        ptr = buggy.malloc(plan.alloc_bytes)
+                        buggy.free(ptr)
+                        buggy.memcpy_h2d(ptr, b"\xdd" * 64)
+                except CudaError:
+                    if bug in violation_kinds():
+                        detected[bug] = True
+            if not buggy_id:
+                buggy_id = buggy.session_identity
+
+            # healthy tenants carry on, blind to their neighbour's bugs
+            for client in healthy:
+                try:
+                    for _ in range(plan.allocs_per_round):
+                        pattern = (pattern + 1) % 255
+                        payload = bytes([pattern + 1]) * min(
+                            plan.alloc_bytes, 256
+                        )
+                        ptr = client.malloc(plan.alloc_bytes)
+                        client.memcpy_h2d(ptr, payload)
+                        expected[ptr] = payload
+                    if expected and rng.random() < 0.3:
+                        dead = rng.choice(sorted(expected))
+                        client.free(dead)
+                        del expected[dead]
+                except CudaError:
+                    healthy_failed += 1
+
+            if bug == "hang" and (
+                server.server_stats.watchdog_hangs > hangs_before
+            ):
+                detected["hang"] = True
+
+        # The buggy tenant "crashes": stops heartbeating, its lease and
+        # grace lapse, and the reaper's ledger release files the leak
+        # report for everything it never freed.
+        total_s = plan.lease_s + plan.grace_s
+        step_s = plan.lease_s / 2
+        elapsed = 0.0
+        while elapsed <= total_s:
+            server.clock.advance_s(step_s)
+            elapsed += step_s
+            for client in healthy:
+                client.renew_lease()
+        server.reap_sessions()
+        leaks = sum(1 for r in server.leak_reports if r["owner"] == buggy_id)
+        if "leak" in plan.bugs and leaks >= len(leaked_ptrs) > 0:
+            detected["leak"] = True
+
+        # verification: healthy data intact, every device healed in place
+        lost = 0
+        for ptr, payload in expected.items():
+            try:
+                got = healthy[0].memcpy_d2h(ptr, len(payload))
+            except Exception:
+                got = None
+            if got != payload:
+                lost += 1
+        stats = server.server_stats
+        rungs = (
+            stats.ladder_cooperative_cancels
+            + stats.ladder_stream_aborts
+            + stats.ladder_context_resets
+            + stats.ladder_device_failovers
+            + stats.ladder_session_reclaims
+        )
+        return SanitizerChaosResult(
+            injected=schedule,
+            detected=detected,
+            buggy_identity=buggy_id,
+            healthy_failed_calls=healthy_failed,
+            lost_allocations=lost,
+            leaks_attributed=leaks,
+            devices_healthy=all(d.healthy for d in server.devices),
+            ladder_rungs_taken=rungs,
+            counters=stats.as_dict(),
+        )

@@ -175,6 +175,30 @@ class ServerStats:
     migrations_completed: int = 0
     #: migrations aborted with the source left serving
     migrations_aborted: int = 0
+    #: sanitizer: out-of-bounds writes detected (sticky context poison)
+    sanitizer_oob_writes: int = 0
+    #: sanitizer: out-of-bounds reads detected (sticky context poison)
+    sanitizer_oob_reads: int = 0
+    #: sanitizer: accesses to freed (quarantined) memory detected
+    sanitizer_use_after_free: int = 0
+    #: sanitizer: double frees caught by the quarantine
+    sanitizer_double_frees: int = 0
+    #: sanitizer: redzone canaries found corrupted by wild device writes
+    sanitizer_redzone_hits: int = 0
+    #: leaked allocations reported (with sites) during ledger release
+    sanitizer_leaks_reported: int = 0
+    #: streams flagged hung by the kernel watchdog and handled by the ladder
+    watchdog_hangs: int = 0
+    #: ladder rung 1: hung kernels cancelled cooperatively
+    ladder_cooperative_cancels: int = 0
+    #: ladder rung 2: hard-hung streams aborted
+    ladder_stream_aborts: int = 0
+    #: ladder rung 3: contexts reset (culprit-only device state)
+    ladder_context_resets: int = 0
+    #: ladder rung 4: devices failed over to a spare to protect co-tenants
+    ladder_device_failovers: int = 0
+    #: ladder rung 5: culprit sessions reclaimed to salvage the device
+    ladder_session_reclaims: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Flat counter mapping, ``server.``-prefixed for tracer merging."""
@@ -220,6 +244,18 @@ class ServerStats:
             "server.migration_pause_ns": self.migration_pause_ns,
             "server.migrations_completed": self.migrations_completed,
             "server.migrations_aborted": self.migrations_aborted,
+            "server.sanitizer_oob_writes": self.sanitizer_oob_writes,
+            "server.sanitizer_oob_reads": self.sanitizer_oob_reads,
+            "server.sanitizer_use_after_free": self.sanitizer_use_after_free,
+            "server.sanitizer_double_frees": self.sanitizer_double_frees,
+            "server.sanitizer_redzone_hits": self.sanitizer_redzone_hits,
+            "server.sanitizer_leaks_reported": self.sanitizer_leaks_reported,
+            "server.watchdog_hangs": self.watchdog_hangs,
+            "server.ladder_cooperative_cancels": self.ladder_cooperative_cancels,
+            "server.ladder_stream_aborts": self.ladder_stream_aborts,
+            "server.ladder_context_resets": self.ladder_context_resets,
+            "server.ladder_device_failovers": self.ladder_device_failovers,
+            "server.ladder_session_reclaims": self.ladder_session_reclaims,
         }
 
     def reset(self) -> None:
@@ -265,3 +301,15 @@ class ServerStats:
         self.migration_pause_ns = 0
         self.migrations_completed = 0
         self.migrations_aborted = 0
+        self.sanitizer_oob_writes = 0
+        self.sanitizer_oob_reads = 0
+        self.sanitizer_use_after_free = 0
+        self.sanitizer_double_frees = 0
+        self.sanitizer_redzone_hits = 0
+        self.sanitizer_leaks_reported = 0
+        self.watchdog_hangs = 0
+        self.ladder_cooperative_cancels = 0
+        self.ladder_stream_aborts = 0
+        self.ladder_context_resets = 0
+        self.ladder_device_failovers = 0
+        self.ladder_session_reclaims = 0

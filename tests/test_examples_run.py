@@ -27,6 +27,7 @@ FAST_EXAMPLES = [
     "fault_tolerance_demo.py",
     "session_lifecycle_demo.py",
     "failover_demo.py",
+    "sanitizer_demo.py",
 ]
 
 

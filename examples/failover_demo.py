@@ -41,7 +41,7 @@ def replication_and_failover() -> None:
     """Primary dies in the dangerous window; at-most-once survives."""
     primary = CricketServer(clock=SimClock())
     standby = CricketServer(clock=SimClock())
-    link, endpoints = make_ha_pair(primary, standby)
+    link, endpoints = make_ha_pair(primary, standby, unfenced=True)
     client = CricketClient.failover(endpoints, retry_policy=RetryPolicy(max_attempts=8))
 
     ptr = client.malloc(4 * MiB)

@@ -44,7 +44,16 @@ from repro.cricket.replication import (
     ReplicationLink,
     make_ha_pair,
     promote,
+    promote_with_witness,
     state_fingerprint,
+)
+from repro.cricket.witness import (
+    LeadershipFence,
+    LeadershipLease,
+    LeadershipRefused,
+    StaleEpochError,
+    Witness,
+    WitnessUnreachableError,
 )
 from repro.cricket.data_channel import DataChannelClient, DataChannelServer
 from repro.cricket.errors import (
@@ -113,6 +122,13 @@ __all__ = [
     "MUTATING_PROC_NAMES",
     "make_ha_pair",
     "promote",
+    "promote_with_witness",
+    "Witness",
+    "LeadershipFence",
+    "LeadershipLease",
+    "LeadershipRefused",
+    "WitnessUnreachableError",
+    "StaleEpochError",
     "state_fingerprint",
     "save_checkpoint",
     "load_checkpoint",

@@ -96,6 +96,13 @@ def capture_server_state(
         # server can keep enforcing quotas and reclaiming orphans.  The key
         # is optional: blobs from before session tracking restore fine.
         state["sessions"] = sessions.snapshot_state()
+    fencing = getattr(server, "fencing", None)
+    if fencing is not None:
+        # The leadership epoch travels with the state it protects: a
+        # standby seeded from this blob (or a server restored from a
+        # checkpoint file) must refuse op-log ships stamped with any
+        # older epoch.  Optional key; unfenced blobs restore fine.
+        state["leader_epoch"] = fencing.epoch
     # At-most-once survives the restore: without the reply cache, a client
     # whose call executed just before the drain/failure would retransmit
     # against the restored server and re-execute a non-idempotent call.
@@ -188,6 +195,12 @@ def restore_server_state(server: "CricketServer", state: dict) -> None:
     sessions = getattr(server, "sessions", None)
     if sessions is not None and "sessions" in state:
         sessions.restore_state(state["sessions"], server.clock.now_ns)
+    # Leadership epoch (absent in unfenced blobs).  Adopting is one-way
+    # monotonic: a fenced server restoring an *older* blob keeps its
+    # newer epoch, and a leader restoring a newer one fences itself.
+    fencing = getattr(server, "fencing", None)
+    if fencing is not None and "leader_epoch" in state:
+        fencing.observe_epoch(state["leader_epoch"])
     # Reply cache (absent in version-1 blobs).
     if "reply_cache" in state:
         from collections import OrderedDict

@@ -92,14 +92,23 @@ def encode_container(
     generation: int,
     base_generation: int,
     sections: list[tuple[str, bytes]],
+    *,
+    epoch: int = 0,
 ) -> bytes:
-    """Serialize a checkpoint container with per-section and file CRCs."""
+    """Serialize a checkpoint container with per-section and file CRCs.
+
+    ``epoch`` is the leadership epoch the state was captured under (0 for
+    unfenced servers).  It rides in the manifest so tooling -- and a
+    restore deciding between two stores -- can rank containers by
+    leadership recency without unpickling the state section.
+    """
     manifest = {
         "store_version": STORE_VERSION,
         "kind": kind,
         "generation": generation,
         "base_generation": base_generation,
         "state_version": FORMAT_VERSION,
+        "leader_epoch": epoch,
         "sections": {name: len(payload) for name, payload in sections},
     }
     framed = [("manifest", json.dumps(manifest, sort_keys=True).encode())]
@@ -313,6 +322,7 @@ class CheckpointStore:
             generation,
             0,
             [("state", pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))],
+            epoch=state.get("leader_epoch", 0),
         )
         self.storage.write_atomic(_generation_name(generation), blob)
         # Only a persisted full advances the dirty epoch: the next delta
@@ -352,6 +362,7 @@ class CheckpointStore:
                         pickle.dumps(fragments, protocol=pickle.HIGHEST_PROTOCOL),
                     ),
                 ],
+                epoch=meta.get("leader_epoch", 0),
             )
             self.storage.write_atomic(_generation_name(generation), blob)
         except BaseException:
@@ -448,6 +459,7 @@ class CheckpointStore:
             generation,
             0,
             [("state", pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))],
+            epoch=state.get("leader_epoch", 0),
         )
         self.storage.write_atomic(_generation_name(generation), blob)
         self.last_generation = generation

@@ -316,6 +316,29 @@ class CricketClient:
             return f"token:{token.hex()}"
         return "loopback"
 
+    @property
+    def leader_epoch(self) -> int:
+        """Newest leadership epoch this client has observed (0 = none).
+
+        Fenced HA servers stamp their epoch on every reply verifier; the
+        failover transport records the running maximum.  Clients of plain
+        (unfenced) servers report 0.
+        """
+        sink = self.stub.client._leader_sink()
+        return getattr(sink, "known_epoch", 0) if sink is not None else 0
+
+    @property
+    def active_endpoint_name(self) -> str:
+        """Name of the endpoint the failover transport currently targets.
+
+        Empty for non-failover transports.  After a fenced failover this
+        converges on the new leader's endpoint name -- the chaos harness
+        asserts exactly that.
+        """
+        sink = self.stub.client._leader_sink()
+        endpoint = getattr(sink, "active_endpoint", None)
+        return getattr(endpoint, "name", "") if endpoint is not None else ""
+
     def ping(self) -> None:
         """NULLPROC liveness check (and lease heartbeat, server-side).
 

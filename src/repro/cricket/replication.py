@@ -48,9 +48,16 @@ from typing import TYPE_CHECKING
 
 from repro.oncrpc import message as msg
 from repro.oncrpc.record import append_crc
+from repro.cricket.witness import StaleEpochError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cricket.server import CricketServer
+
+
+def _fence_epoch(server) -> int:
+    """A server's current leadership epoch (0 when unfenced)."""
+    fencing = getattr(server, "fencing", None)
+    return getattr(fencing, "epoch", 0) if fencing is not None else 0
 
 #: Procedures that change server-side state and must be shipped to the
 #: standby.  Everything else is a pure read (or touches only virtual
@@ -137,19 +144,38 @@ class ReplicationLink:
         standby: "CricketServer",
         *,
         max_lag: int = 0,
+        reachability=None,
     ) -> None:
         if max_lag < 0:
             raise ValueError("max_lag must be >= 0")
         if primary.on_executed is not None:
             raise RuntimeError("primary already has a replication observer")
+        # Epoch guard: a standby that has seen a *newer* epoch than this
+        # primary outranks it -- attaching would replicate from a stale
+        # leader.  A demoted primary rejoins as the standby of a fresh
+        # link instead (its __init__ full-syncs, adopting the new epoch).
+        if _fence_epoch(standby) > _fence_epoch(primary):
+            from repro.cricket.witness import StaleEpochError
+
+            raise StaleEpochError(
+                f"standby at epoch {_fence_epoch(standby)} outranks "
+                f"primary at epoch {_fence_epoch(primary)}; full sync "
+                "under the current epoch required"
+            )
         self.primary = primary
         self.standby = standby
         self.max_lag = max_lag
+        #: partition gate: ``reachability() -> bool`` for the
+        #: primary->standby direction (None = always reachable).  Checked
+        #: by the leadership fence *before* executing a mutation; an op
+        #: already executed ships unconditionally (it was "in flight"
+        #: when the cut landed).
+        self.reachability = reachability
         #: sequence number of the last op executed (and shipped) on the primary
         self.primary_seq = 0
         #: sequence number of the last op replayed on the standby
         self.applied_seq = 0
-        self._pending: deque[tuple[int, bytes]] = deque()
+        self._pending: deque[tuple[int, int, bytes]] = deque()
         self._mutating = mutating_proc_numbers(primary.interface)
         self._prog = primary.interface.prog_number
         self._lock = threading.RLock()
@@ -160,6 +186,10 @@ class ReplicationLink:
         self.full_sync()
         primary.on_executed = self._on_executed
         self.attached = True
+
+    def reachable(self) -> bool:
+        """Can the primary currently reach the standby?"""
+        return self.reachability is None or self.reachability()
 
     # -- state shipping ---------------------------------------------------
 
@@ -189,15 +219,40 @@ class ReplicationLink:
             return
         with self._lock:
             self.primary_seq += 1
-            self._pending.append((self.primary_seq, record))
+            self._pending.append((self.primary_seq, _fence_epoch(self.primary), record))
             self.primary.server_stats.replication_ops_shipped += 1
             if self.primary_seq - self.applied_seq > self.max_lag:
-                self._apply_pending()
+                try:
+                    self._apply_pending()
+                except StaleEpochError:
+                    # The standby outranks us: a newer leader exists.  The
+                    # op already executed locally, so the client's reply
+                    # (stamped with the now-stale epoch) goes out -- but
+                    # this server fences itself and the *next* mutation is
+                    # shed.  The failover transport marks it stale on the
+                    # spot, so clients migrate instead of retrying here.
+                    fencing = getattr(self.primary, "fencing", None)
+                    if fencing is not None:
+                        fencing.observe_epoch(_fence_epoch(self.standby))
             self._update_lag()
 
     def _apply_pending(self) -> None:
         while self._pending:
-            seq, record = self._pending.popleft()
+            seq, epoch, record = self._pending[0]
+            standby_epoch = _fence_epoch(self.standby)
+            if standby_epoch > epoch:
+                # A ship stamped with a superseded epoch: the standby was
+                # promoted (or adopted a newer epoch) since this op
+                # executed.  Refuse it and sever the link -- the demoted
+                # primary must full-sync under the current epoch before
+                # it can replicate anything again.
+                self.standby.server_stats.fencing_stale_epoch_rejections += 1
+                self.detach()
+                raise StaleEpochError(
+                    f"standby at epoch {standby_epoch} refuses op "
+                    f"{seq} shipped under epoch {epoch}"
+                )
+            self._pending.popleft()
             # on_executed observes the *verified* (CRC-stripped) record;
             # a checksumming standby expects the trailer back on.
             wire = append_crc(record) if self.standby.crc_records else record
@@ -205,6 +260,7 @@ class ReplicationLink:
                 wire,
                 client_id=self.REPLICATION_CLIENT_ID,
                 session=self._standby_session,
+                replica_apply=True,
             )
             self.applied_seq = seq
             self.primary.server_stats.replication_ops_applied += 1
@@ -249,26 +305,105 @@ def promote(link: ReplicationLink) -> "CricketServer":
     return link.standby
 
 
+def promote_with_witness(link: ReplicationLink, fence) -> "CricketServer":
+    """Witness-gated promotion hook: acquire the next epoch, then promote.
+
+    Unlike :func:`promote`, promotion is *conditional*: the standby first
+    has to win the leadership lease from the witness.  While the old
+    primary's lease is live (or the witness is unreachable from the
+    standby), acquisition fails and the standby stays a follower -- it
+    keeps shedding mutations with ``RPC_NOT_LEADER``, and the failing-
+    over client's backoff burns virtual time until the stale lease
+    lapses.  That wait *is* the split-brain protection: promotion can
+    only happen under an epoch the old primary provably no longer holds.
+    """
+    from repro.cricket.witness import LeadershipRefused, WitnessUnreachableError
+
+    if fence.is_leader:
+        return link.standby  # already promoted (idempotent, like promote)
+    try:
+        fence.lead()
+    except (LeadershipRefused, WitnessUnreachableError):
+        return link.standby  # stays a follower; mutations shed
+    return promote(link)
+
+
 def make_ha_pair(
     primary: "CricketServer",
     standby: "CricketServer",
     *,
     max_lag: int = 0,
+    witness=None,
+    lease_s: float = 0.25,
+    unfenced: bool = False,
+    reachability=None,
 ) -> tuple[ReplicationLink, list]:
     """Wire a primary/standby pair for transparent client failover.
 
     Returns ``(link, endpoints)`` where ``endpoints`` feeds
-    :meth:`CricketClient.failover`: primary first, then the standby with a
-    connect hook that promotes it (flushing any replication lag) the
-    moment a failing-over client arrives.
+    :meth:`CricketClient.failover`: primary first, then the standby with
+    a connect hook that promotes it the moment a failing-over client
+    arrives.
+
+    By default the pair is **fenced**: a :class:`~repro.cricket.witness.
+    Witness` (created on the primary's clock unless one is passed in)
+    grants the primary epoch 1, and the standby's connect hook promotes
+    through :func:`promote_with_witness` -- a partitioned-but-alive
+    primary can therefore never end up serving mutations concurrently
+    with a promoted standby.  The witness and both fences ride on the
+    returned link as ``link.witness`` / ``link.primary_fence`` /
+    ``link.standby_fence``.
+
+    ``unfenced=True`` is the legacy escape hatch: no witness, no epochs,
+    and the PR-4 promote-on-connect behavior (any client connecting to
+    the standby promotes it unconditionally).  Only crash-stop failover
+    is safe under it; partitions split-brain, which is exactly what the
+    default now prevents.
+
+    ``reachability`` is the primary->standby partition gate forwarded to
+    the :class:`ReplicationLink`.
     """
     from repro.resilience.failover import LoopbackEndpoint
 
-    link = ReplicationLink(primary, standby, max_lag=max_lag)
+    if unfenced:
+        link = ReplicationLink(
+            primary, standby, max_lag=max_lag, reachability=reachability
+        )
+        endpoints = [
+            LoopbackEndpoint(primary, name="primary"),
+            LoopbackEndpoint(
+                standby, name="standby", on_connect=lambda _ep: promote(link)
+            ),
+        ]
+        return link, endpoints
+
+    from repro.cricket.witness import LeadershipFence, Witness
+
+    if witness is None:
+        witness = Witness(primary.clock, lease_s=lease_s)
+    mutating = mutating_proc_numbers(primary.interface)
+    primary_fence = LeadershipFence(
+        primary, witness, name="primary", mutating_procs=mutating,
+        peer_hint="standby",
+    )
+    standby_fence = LeadershipFence(
+        standby, witness, name="standby", mutating_procs=mutating,
+        peer_hint="primary",
+    )
+    primary_fence.lead()  # epoch 1
+    link = ReplicationLink(
+        primary, standby, max_lag=max_lag, reachability=reachability
+    )
+    primary_fence.link = link
+    link.witness = witness
+    link.primary_fence = primary_fence
+    link.standby_fence = standby_fence
     endpoints = [
         LoopbackEndpoint(primary, name="primary"),
         LoopbackEndpoint(
-            standby, name="standby", on_connect=lambda _ep: promote(link)
+            standby,
+            name="standby",
+            on_connect=lambda _ep: promote_with_witness(link, standby_fence),
         ),
     ]
     return link, endpoints

@@ -185,6 +185,11 @@ class SessionManager:
         self.stats = stats if stats is not None else ServerStats()
         #: refuse new sessions while a graceful drain is in progress
         self.draining = False
+        #: freeze the lease state machine (set by a leadership fence): a
+        #: fenced ex-primary must not reclaim sessions -- and free their
+        #: device memory -- while its clients are busy migrating to the
+        #: new leader.  Heartbeats still renew; only reaping stops.
+        self.reaping_paused = False
         self._sessions: dict[str, Session] = {}
 
     # -- inspection --------------------------------------------------------
@@ -286,7 +291,7 @@ class SessionManager:
         *reclaimed*: ``release(ledger)`` frees every resource and reports
         how many device bytes came back.
         """
-        if self.lease_s is None:
+        if self.lease_s is None or self.reaping_paused:
             return 0
         reclaimed_bytes = 0
         for identity in list(self._sessions):

@@ -29,6 +29,13 @@ AUTH_CLIENT_TOKEN = 0x43524943
 #: client talking to a SimClock server); the server converts it to an
 #: absolute expiry in its own domain on arrival.
 AUTH_CALL_META = 0x43524944
+#: Private flavor ("CRIE") carried in *reply* verifiers by fenced HA
+#: servers: the server's current leadership epoch, whether it considers
+#: itself the leader, and (when it knows) the endpoint name of the actual
+#: leader.  The failover transport reads this to learn the newest epoch,
+#: refuse rotation back to a stale primary, and follow redirects from a
+#: demoted one.  Unfenced servers keep the historical ``NULL_AUTH`` verf.
+AUTH_LEADER_EPOCH = 0x43524945
 
 #: ``auth_stat`` values used in MSG_DENIED/AUTH_ERROR replies.
 AUTH_OK = 0
@@ -135,6 +142,44 @@ def call_meta_from(auth: OpaqueAuth) -> CallMeta | None:
     except XdrDecodeError:
         return None
     return CallMeta(remaining, priority)
+
+
+@dataclass(frozen=True)
+class LeaderVerf:
+    """Leadership state decoded from an ``AUTH_LEADER_EPOCH`` reply verifier."""
+
+    epoch: int = 0  # highest epoch the replying server knows about
+    leader: bool = False  # whether it currently holds the leadership lease
+    hint: str = ""  # endpoint name of the actual leader, if known
+
+
+def leader_epoch_auth(epoch: int, leader: bool, hint: str = "") -> OpaqueAuth:
+    """Encode leadership state as an ``AUTH_LEADER_EPOCH`` reply verifier."""
+    enc = XdrEncoder()
+    enc.pack_uhyper(max(0, int(epoch)))
+    enc.pack_bool(bool(leader))
+    enc.pack_string(hint, 64)
+    return OpaqueAuth(AUTH_LEADER_EPOCH, enc.getvalue())
+
+
+def leader_epoch_from(auth: OpaqueAuth) -> LeaderVerf | None:
+    """Decode an ``AUTH_LEADER_EPOCH`` verifier; ``None`` for other flavors.
+
+    Like :func:`call_meta_from`, a malformed body is treated as absent
+    rather than raised: epoch metadata is advisory routing state, and a
+    mangled verf must not turn a decodable reply into a client error.
+    """
+    if auth.flavor != AUTH_LEADER_EPOCH:
+        return None
+    try:
+        dec = XdrDecoder(auth.body)
+        epoch = dec.unpack_uhyper()
+        leader = dec.unpack_bool()
+        hint = dec.unpack_string(64)
+        dec.assert_done()
+    except XdrDecodeError:
+        return None
+    return LeaderVerf(epoch, leader, hint)
 
 
 @dataclass(frozen=True)

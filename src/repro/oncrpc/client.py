@@ -28,7 +28,13 @@ from typing import Any, Callable
 
 from repro.net.simclock import SimClock, WallClock
 from repro.oncrpc import message as msg
-from repro.oncrpc.auth import NULL_AUTH, OpaqueAuth, call_meta_auth, client_token_auth
+from repro.oncrpc.auth import (
+    NULL_AUTH,
+    OpaqueAuth,
+    call_meta_auth,
+    client_token_auth,
+    leader_epoch_from,
+)
 from repro.oncrpc.errors import (
     RpcBusyError,
     RpcCallExpired,
@@ -36,6 +42,7 @@ from repro.oncrpc.errors import (
     RpcDeadlineExceeded,
     RpcDenied,
     RpcGarbageArgs,
+    RpcNotLeaderError,
     RpcProcUnavailable,
     RpcProgMismatch,
     RpcProgUnavailable,
@@ -296,6 +303,22 @@ class RpcClient:
             replies.append(reply)
         return [self._unwrap_reply(reply) for reply in replies]
 
+    def _leader_sink(self):
+        """Find the leader-aware transport under any wrapper layers.
+
+        Walks the ``inner`` chain (checksum/fault wrappers) looking for a
+        transport that understands leadership observations -- the
+        :class:`~repro.resilience.failover.FailoverTransport` of a fenced
+        HA deployment.  Returns ``None`` for plain transports.
+        """
+        transport, seen = self.transport, set()
+        while transport is not None and id(transport) not in seen:
+            if hasattr(transport, "observe_leader"):
+                return transport
+            seen.add(id(transport))
+            transport = getattr(transport, "inner", None)
+        return None
+
     def _unwrap_reply(self, reply: msg.RpcMessage) -> bytes:
         if isinstance(reply.body, msg.RejectedReply):
             if reply.body.stat == msg.RPC_MISMATCH:
@@ -307,6 +330,14 @@ class RpcClient:
         if not isinstance(reply.body, msg.AcceptedReply):
             raise RpcProtocolError("reply carried a call body")
         body = reply.body
+        # Fenced HA servers ride their leadership epoch in the reply verf;
+        # feed it to the failover transport so it learns the newest epoch
+        # from every reply (and can refuse rotating back to a stale one).
+        leader_info = leader_epoch_from(body.verf)
+        if leader_info is not None:
+            sink = self._leader_sink()
+            if sink is not None:
+                sink.observe_leader(leader_info)
         if body.stat == msg.SUCCESS:
             return body.results
         if body.stat == msg.PROG_UNAVAIL:
@@ -326,6 +357,22 @@ class RpcClient:
             raise RpcCallExpired("deadline expired before the server executed it")
         if body.stat == msg.CALL_CANCELLED:
             raise RpcCancelled("call was cancelled")
+        if body.stat == msg.RPC_NOT_LEADER:
+            self.stats.not_leader_rejections += 1
+            # The connection is alive but pointed at a non-leader; tell the
+            # failover transport so the next reconnect rotates instead of
+            # no-opping on the still-open connection.
+            sink = self._leader_sink()
+            if sink is not None:
+                sink.note_not_leader(leader_info)
+            epoch = leader_info.epoch if leader_info is not None else 0
+            hint = leader_info.hint if leader_info is not None else ""
+            raise RpcNotLeaderError(
+                "server is fenced (not the leader)"
+                + (f"; leader is {hint!r}" if hint else ""),
+                epoch=epoch,
+                leader_hint=hint,
+            )
         raise RpcReplyError(f"unknown accept_stat {body.stat}")
 
     # -- typed interface ------------------------------------------------------

@@ -51,6 +51,31 @@ class RpcBusyError(RpcTransportError):
     """
 
 
+class RpcNotLeaderError(RpcTransportError):
+    """``RPC_NOT_LEADER``: a fenced (non-leader) server refused a mutation.
+
+    Subclasses :class:`RpcTransportError` so :func:`repro.resilience.retry.
+    is_retryable` classifies it as retryable -- the correct client response
+    is to rotate to another endpoint and retransmit.  The server never
+    executed the call, so retrying is safe even for non-idempotent
+    procedures.  Carries the refusing server's leadership view so the
+    failover transport can mark it stale and follow the redirect.
+    """
+
+    def __init__(
+        self,
+        message: str = "server is not the leader",
+        *,
+        epoch: int = 0,
+        leader_hint: str = "",
+    ) -> None:
+        super().__init__(message)
+        #: highest leadership epoch the refusing server knows about
+        self.epoch = epoch
+        #: endpoint name of the current leader, if the server knows it
+        self.leader_hint = leader_hint
+
+
 class RpcReplyError(RpcError):
     """The server replied, but with an RPC-level error status."""
 

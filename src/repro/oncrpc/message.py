@@ -39,6 +39,7 @@ SYSTEM_ERR = 5
 RPC_BUSY = 100  # shed before execution; safe (and expected) to retry
 CALL_EXPIRED = 101  # propagated deadline passed before execution; not retried
 CALL_CANCELLED = 102  # aborted via rpc_cancel; not retried
+RPC_NOT_LEADER = 103  # fenced server refused a mutation; retry elsewhere
 
 # reject_stat
 RPC_MISMATCH = 0
@@ -54,6 +55,7 @@ _ACCEPT_STAT_NAMES = {
     RPC_BUSY: "RPC_BUSY",
     CALL_EXPIRED: "CALL_EXPIRED",
     CALL_CANCELLED: "CALL_CANCELLED",
+    RPC_NOT_LEADER: "RPC_NOT_LEADER",
 }
 
 

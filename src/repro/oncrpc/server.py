@@ -182,6 +182,14 @@ class RpcServer:
         #: stop-and-copy window of a live migration.  Retransmits of calls
         #: executed before the pause still replay from the reply cache.
         self.serving_paused = False
+        #: leadership fence (duck-typed; see repro.cricket.witness).  When
+        #: set, its ``shed_stat(proc, now_ns)`` is consulted before
+        #: execution -- a non-leader sheds mutating procedures with
+        #: RPC_NOT_LEADER while reads drain -- and its ``reply_verf()``
+        #: stamps the leadership epoch on every reply.  Retransmits of
+        #: calls executed before a demotion still replay from the reply
+        #: cache (the cache lookup runs first), keeping at-most-once.
+        self.fencing: object | None = None
         #: executing calls' cancel tokens, keyed (identity, xid)
         self._inflight_calls: dict[tuple[str, int], CancelToken] = {}
 
@@ -209,7 +217,12 @@ class RpcServer:
     # -- dispatch ---------------------------------------------------------
 
     def dispatch_record(
-        self, record: bytes, *, client_id: str = "loopback", session: dict | None = None
+        self,
+        record: bytes,
+        *,
+        client_id: str = "loopback",
+        session: dict | None = None,
+        replica_apply: bool = False,
     ) -> bytes | None:
         """Process one request record and return the reply record payload.
 
@@ -219,6 +232,12 @@ class RpcServer:
         reply (which a server ignores) or -- with ``crc_records`` -- if
         the record failed its integrity check (dropped like a lost
         request; the client's retry loop retransmits).
+
+        ``replica_apply=True`` marks a record arriving over a replication
+        channel from the current leader: the leadership fence is skipped
+        (a follower *must* apply the leader's mutations -- the link's
+        epoch check guards against stale leaders), while at-most-once
+        and everything else behave exactly as for a client call.
         """
         if self._killed:
             raise RpcTransportError("server is dead (killed)")
@@ -275,6 +294,17 @@ class RpcServer:
             return self._finish_reply(
                 self._control_reply(request.xid, msg.RPC_BUSY)
             )
+        if self.fencing is not None and not exempt and not replica_apply:
+            fence_stat = self.fencing.shed_stat(call.proc, self.clock.now_ns)
+            if fence_stat is not None:
+                # A fenced (non-leader) server refuses mutations with
+                # RPC_NOT_LEADER; the reply verf carries the newest epoch
+                # and a redirect hint.  Never cached: a retransmission
+                # against a later leader must re-evaluate, and one against
+                # this server after a re-election must see the new state.
+                return self._finish_reply(
+                    self._control_reply(request.xid, fence_stat)
+                )
         if (
             not exempt
             and ctx.deadline_ns is not None
@@ -352,11 +382,22 @@ class RpcServer:
     def _control_reply(self, xid: int, stat: int) -> bytes:
         """Encode a void-body control reply (RPC_BUSY / CALL_EXPIRED)."""
         return msg.RpcMessage(
-            xid, msg.AcceptedReply(NULL_AUTH, stat), msg.MSG_ACCEPTED
+            xid, msg.AcceptedReply(self._reply_verf(), stat), msg.MSG_ACCEPTED
         ).encode()
 
     def _finish_reply(self, reply: bytes) -> bytes:
         return append_crc(reply) if self.crc_records else reply
+
+    def _reply_verf(self) -> OpaqueAuth:
+        """Verifier stamped on accepted replies.
+
+        ``NULL_AUTH`` historically; a leadership fence (when installed)
+        rides the current epoch here so failover clients learn it from
+        every reply.  Unfenced servers keep byte-identical replies.
+        """
+        if self.fencing is not None:
+            return self.fencing.reply_verf()
+        return NULL_AUTH
 
     def record_cancelled(self, identity: str, xid: int) -> bytes:
         """Build and *cache* a CALL_CANCELLED reply for ``(identity, xid)``.
@@ -419,32 +460,32 @@ class RpcServer:
             # answers any later retransmission of this xid.
             with self._stats_lock:
                 self.server_stats.cancelled_in_flight += 1
-            return msg.AcceptedReply(NULL_AUTH, msg.CALL_CANCELLED)
+            return msg.AcceptedReply(self._reply_verf(), msg.CALL_CANCELLED)
         table = self._programs.get((call.prog, call.vers))
         if table is None:
             versions = self.supported_versions(call.prog)
             if versions is None:
-                return msg.AcceptedReply(NULL_AUTH, msg.PROG_UNAVAIL)
+                return msg.AcceptedReply(self._reply_verf(), msg.PROG_UNAVAIL)
             low, high = versions
             return msg.AcceptedReply(
                 NULL_AUTH, msg.PROG_MISMATCH, mismatch_low=low, mismatch_high=high
             )
         handler = table.get(call.proc)
         if handler is None:
-            return msg.AcceptedReply(NULL_AUTH, msg.PROC_UNAVAIL)
+            return msg.AcceptedReply(self._reply_verf(), msg.PROC_UNAVAIL)
         try:
             results = handler(call.args, ctx)
         except CallCancelledError:
             with self._stats_lock:
                 self.server_stats.cancelled_in_flight += 1
-            return msg.AcceptedReply(NULL_AUTH, msg.CALL_CANCELLED)
+            return msg.AcceptedReply(self._reply_verf(), msg.CALL_CANCELLED)
         except (GarbageArgumentsError, XdrError):
-            return msg.AcceptedReply(NULL_AUTH, msg.GARBAGE_ARGS)
+            return msg.AcceptedReply(self._reply_verf(), msg.GARBAGE_ARGS)
         except Exception:
-            return msg.AcceptedReply(NULL_AUTH, msg.SYSTEM_ERR)
+            return msg.AcceptedReply(self._reply_verf(), msg.SYSTEM_ERR)
         with self._stats_lock:
             self.calls_served += 1
-        return msg.AcceptedReply(NULL_AUTH, msg.SUCCESS, results)
+        return msg.AcceptedReply(self._reply_verf(), msg.SUCCESS, results)
 
     # -- TCP serving -------------------------------------------------------
 

@@ -38,13 +38,22 @@ from repro.resilience.chaos import (
     OverloadChaosHarness,
     OverloadChaosPlan,
     OverloadChaosResult,
+    PartitionChaosHarness,
+    PartitionChaosPlan,
+    PartitionChaosResult,
 )
 from repro.resilience.failover import (
     FailoverTransport,
     LoopbackEndpoint,
     TcpEndpoint,
 )
-from repro.resilience.faults import FaultInjectingTransport, FaultPlan
+from repro.resilience.faults import (
+    FaultInjectingTransport,
+    FaultPlan,
+    PartitionPlan,
+    PartitionState,
+    PartitionWindow,
+)
 from repro.resilience.overload import (
     REJECT_LOWEST_PRIORITY,
     REJECT_NEWEST,
@@ -94,4 +103,10 @@ __all__ = [
     "OverloadChaosPlan",
     "OverloadChaosHarness",
     "OverloadChaosResult",
+    "PartitionWindow",
+    "PartitionPlan",
+    "PartitionState",
+    "PartitionChaosPlan",
+    "PartitionChaosHarness",
+    "PartitionChaosResult",
 ]

@@ -49,6 +49,8 @@ class LoopbackEndpoint:
         fragment_size: int = DEFAULT_FRAGMENT_SIZE,
         meter: TransportMeter | None = None,
         on_connect: Callable[["LoopbackEndpoint"], None] | None = None,
+        link=None,
+        client_name: str = "client",
     ) -> None:
         self.server = server
         self.name = name
@@ -58,6 +60,14 @@ class LoopbackEndpoint:
         #: hook: a standby promotes itself when a failing-over client
         #: arrives (see :func:`make_ha_pair`)
         self.on_connect = on_connect
+        #: connectivity oracle with ``allowed(src, dst)`` (a
+        #: :class:`~repro.resilience.faults.PartitionState`); ``None``
+        #: means always reachable.  Requests are checked in the
+        #: ``client_name -> name`` direction, replies in the reverse --
+        #: an asymmetric cut can therefore execute a call and lose only
+        #: the reply, the worst case for at-most-once.
+        self.link = link
+        self.client_name = client_name
         self._die_after_next_execute = False
         #: connections handed out (first connect vs failover is visible)
         self.connects = 0
@@ -79,15 +89,30 @@ class LoopbackEndpoint:
     def alive(self) -> bool:
         return not self.server.killed
 
+    def _request_reachable(self) -> bool:
+        return self.link is None or self.link.allowed(self.client_name, self.name)
+
+    def _reply_reachable(self) -> bool:
+        return self.link is None or self.link.allowed(self.name, self.client_name)
+
     def connect(self) -> Transport:
         if self.server.killed:
             raise RpcTransportError(f"endpoint {self.name!r} is down")
+        if not self._request_reachable():
+            raise RpcTransportError(
+                f"partition: {self.client_name!r} cannot reach {self.name!r}"
+            )
         self.connects += 1
         if self.on_connect is not None:
             self.on_connect(self)
         session: dict = {}
 
         def dispatch(record: bytes) -> bytes | None:
+            if not self._request_reachable():
+                raise RpcTransportError(
+                    f"partition: request from {self.client_name!r} lost "
+                    f"before {self.name!r}"
+                )
             if self._die_after_next_execute:
                 self._die_after_next_execute = False
                 self.server.dispatch_record(record, session=session)
@@ -95,7 +120,15 @@ class LoopbackEndpoint:
                 raise RpcTransportError(
                     f"endpoint {self.name!r} crashed before replying"
                 )
-            return self.server.dispatch_record(record, session=session)
+            reply = self.server.dispatch_record(record, session=session)
+            if not self._reply_reachable():
+                # The call *executed*; only the reply is lost.  The client
+                # must retransmit and rely on at-most-once to deduplicate.
+                raise RpcTransportError(
+                    f"partition: reply from {self.name!r} lost before "
+                    f"{self.client_name!r}"
+                )
+            return reply
 
         return LoopbackTransport(
             dispatch, fragment_size=self.fragment_size, meter=self.meter
@@ -140,6 +173,13 @@ class FailoverTransport(ReconnectingTransport):
     wins.  The probe runs *per endpoint inside the walk* (unlike the base
     class's post-factory probe) so a reachable-but-dead server rotates to
     the next endpoint instead of failing the whole reconnect.
+
+    The transport is additionally *epoch aware*: fenced HA servers stamp
+    every reply verf with their leadership epoch (``AUTH_LEADER_EPOCH``),
+    and an ``RPC_NOT_LEADER`` refusal marks the refusing endpoint stale.
+    Stale endpoints are skipped on rotation -- a healed old primary does
+    not get mutations routed back to it -- until they either prove they
+    lead at the newest known epoch or every other endpoint is down.
     """
 
     def __init__(
@@ -158,6 +198,13 @@ class FailoverTransport(ReconnectingTransport):
         self.endpoints = endpoints
         self._active = 0
         self._endpoint_probe = probe
+        #: newest leadership epoch seen in any ``AUTH_LEADER_EPOCH`` verf
+        self.known_epoch = 0
+        #: endpoint index -> epoch at which it refused us as a non-leader;
+        #: stale endpoints are skipped on rotation until they prove
+        #: leadership again (or every other endpoint is unreachable)
+        self._stale: dict[int, int] = {}
+        self._last_walk_exc: Exception | None = None
         super().__init__(
             self._connect_some_endpoint,
             breaker=breaker,
@@ -172,22 +219,79 @@ class FailoverTransport(ReconnectingTransport):
         """The endpoint the current (or next) connection targets."""
         return self.endpoints[self._active]
 
+    def observe_leader(self, info) -> None:
+        """Record leadership state carried in a reply verifier.
+
+        Fed by :class:`~repro.oncrpc.client.RpcClient` for every reply
+        whose verf decodes as ``AUTH_LEADER_EPOCH``.  The epoch is
+        monotonic; an endpoint that proves it leads at the newest known
+        epoch sheds any staleness mark it carried.
+        """
+        if info.epoch > self.known_epoch:
+            self.known_epoch = info.epoch
+        if info.leader and info.epoch >= self.known_epoch:
+            self._stale.pop(self._active, None)
+
+    def note_not_leader(self, info) -> None:
+        """React to ``RPC_NOT_LEADER``: mark stale, drop, rotate.
+
+        The refusing server answered, so it is alive -- the connection is
+        closed *without* charging the circuit breaker.  Dropping it
+        matters: the retry loop's ``reconnect()`` is a no-op while a
+        connection is held, and rotation only happens inside reconnect.
+        When the refusal names the actual leader, the next attempt goes
+        straight there instead of walking the ring.
+        """
+        if info is not None and info.epoch > self.known_epoch:
+            self.known_epoch = info.epoch
+        self._stale[self._active] = self.known_epoch
+        self.stats.leader_redirects += 1
+        if self._inner is not None:
+            try:
+                self._inner.close()
+            except Exception:
+                pass
+            self._inner = None
+        hint = info.hint if info is not None else ""
+        if hint:
+            for idx, endpoint in enumerate(self.endpoints):
+                if idx != self._active and getattr(endpoint, "name", "") == hint:
+                    self._active = idx
+                    return
+        self._active = (self._active + 1) % len(self.endpoints)
+
     def _connect_some_endpoint(self) -> Transport:
-        last_exc: Exception | None = None
+        transport = self._walk_endpoints(skip_stale=True)
+        if transport is None and self._stale:
+            # Every non-stale endpoint is unreachable.  Availability wins:
+            # retry the stale ones -- a formerly fenced server may have
+            # re-acquired leadership, and if it is still fenced its
+            # RPC_NOT_LEADER answer simply re-marks it.
+            transport = self._walk_endpoints(skip_stale=False)
+        if transport is None:
+            raise RpcTransportError(
+                f"all {len(self.endpoints)} endpoint(s) unreachable"
+            ) from self._last_walk_exc
+        return transport
+
+    def _walk_endpoints(self, *, skip_stale: bool) -> Transport | None:
+        self._last_walk_exc = None
         count = len(self.endpoints)
         for step in range(count):
             idx = (self._active + step) % count
+            if skip_stale and idx in self._stale:
+                continue
             endpoint = self.endpoints[idx]
             try:
                 transport = endpoint.connect()
             except Exception as exc:
-                last_exc = exc
+                self._last_walk_exc = exc
                 continue
             if self._endpoint_probe is not None:
                 try:
                     self._endpoint_probe(transport)
                 except Exception as exc:
-                    last_exc = exc
+                    self._last_walk_exc = exc
                     try:
                         transport.close()
                     except Exception:
@@ -197,6 +301,4 @@ class FailoverTransport(ReconnectingTransport):
                 self._active = idx
                 self.stats.failovers += 1
             return transport
-        raise RpcTransportError(
-            f"all {count} endpoint(s) unreachable"
-        ) from last_exc
+        return None

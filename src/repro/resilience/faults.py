@@ -454,3 +454,115 @@ class FaultyStorage:
 
     def listdir(self) -> list[str]:
         return self.inner.listdir()
+
+
+# -- network partitions ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One timed connectivity cut among named nodes.
+
+    During ``[start_s, end_s)`` of virtual time, nodes in different
+    ``groups`` cannot exchange messages; nodes not named in any group
+    form an implicit "rest" group that stays fully connected internally.
+    ``oneway`` adds asymmetric cuts on top: each ``(src, dst)`` pair
+    blocks that direction only -- the shape that executes a call but
+    loses its reply, the worst case for at-most-once.
+    """
+
+    start_s: float
+    end_s: float
+    #: tuple of node-name groups; traffic *between* groups is blocked
+    groups: tuple[tuple[str, ...], ...] = ()
+    #: additional one-directional cuts, each ``(src, dst)``
+    oneway: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s cannot be negative")
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must be after start_s")
+        named = [name for group in self.groups for name in group]
+        if len(named) != len(set(named)):
+            raise ValueError("a node may appear in at most one group")
+
+    def active(self, now_s: float) -> bool:
+        return self.start_s <= now_s < self.end_s
+
+    def blocks(self, src: str, dst: str) -> bool:
+        """Is ``src -> dst`` traffic cut while this window is active?"""
+        if (src, dst) in self.oneway:
+            return True
+        src_group = dst_group = None
+        for index, group in enumerate(self.groups):
+            if src in group:
+                src_group = index
+            if dst in group:
+                dst_group = index
+        # Unlisted nodes belong to the implicit rest group (index None ==
+        # None compares equal, so two unlisted nodes stay connected).
+        return src_group != dst_group
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A schedule of :class:`PartitionWindow` cuts over virtual time.
+
+    Purely scheduled -- no randomness.  Chaos harnesses that want random
+    partitions draw the window parameters from their own seeded RNG *up
+    front* and hand the finished plan here, keeping the connectivity
+    oracle itself trivially deterministic and replayable.
+    """
+
+    windows: tuple[PartitionWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "windows", tuple(self.windows))
+
+
+class PartitionState:
+    """Connectivity oracle: may ``src`` reach ``dst`` right now?
+
+    Binds a :class:`PartitionPlan` to a clock.  Every networked seam in
+    the HA topology consults one shared instance -- client/server
+    endpoints (:class:`~repro.resilience.failover.LoopbackEndpoint`'s
+    ``link``), the replication link's ``reachability``, and the witness's
+    ``link_filter`` -- so a single plan cuts all of them consistently.
+    """
+
+    def __init__(self, plan: PartitionPlan, clock: SimClock) -> None:
+        self.plan = plan
+        self.clock = clock
+        #: blocked (src, dst) lookups, for harness/debug visibility
+        self.blocked = 0
+
+    def allowed(self, src: str, dst: str) -> bool:
+        now_s = self.clock.now_ns / 1e9
+        for window in self.plan.windows:
+            if window.active(now_s) and window.blocks(src, dst):
+                self.blocked += 1
+                return False
+        return True
+
+    def link_filter(self, witness_name: str = "witness"):
+        """A ``Witness.link_filter`` viewing the witness as one node.
+
+        Witness calls are round trips, so a node can talk to the witness
+        only when *both* directions are currently allowed.
+        """
+
+        def reachable(holder: str) -> bool:
+            return self.allowed(holder, witness_name) and self.allowed(
+                witness_name, holder
+            )
+
+        return reachable
+
+    def reachability(self, src: str, dst: str):
+        """A zero-arg gate for ``ReplicationLink(reachability=...)``."""
+
+        def reachable() -> bool:
+            return self.allowed(src, dst)
+
+        return reachable

@@ -35,6 +35,10 @@ class ResilienceStats:
     crc_rejected: int = 0
     #: calls shed by the server with RPC_BUSY (each one triggers backoff)
     busy_rejections: int = 0
+    #: calls refused with RPC_NOT_LEADER by a fenced server
+    not_leader_rejections: int = 0
+    #: endpoint rotations triggered by a not-leader refusal or redirect
+    leader_redirects: int = 0
     #: faults injected by kind (filled by :class:`FaultInjectingTransport`)
     faults_injected: dict[str, int] = field(default_factory=dict)
 
@@ -60,6 +64,8 @@ class ResilienceStats:
             "failovers": self.failovers,
             "crc_rejected": self.crc_rejected,
             "busy_rejections": self.busy_rejections,
+            "not_leader_rejections": self.not_leader_rejections,
+            "leader_redirects": self.leader_redirects,
         }
         for kind, count in sorted(self.faults_injected.items()):
             out[f"fault.{kind}"] = count
@@ -77,6 +83,8 @@ class ResilienceStats:
         self.failovers = 0
         self.crc_rejected = 0
         self.busy_rejections = 0
+        self.not_leader_rejections = 0
+        self.leader_redirects = 0
         self.faults_injected.clear()
 
 
@@ -199,6 +207,20 @@ class ServerStats:
     ladder_device_failovers: int = 0
     #: ladder rung 5: culprit sessions reclaimed to salvage the device
     ladder_session_reclaims: int = 0
+    #: leadership leases acquired from the witness (epoch bumps)
+    fencing_leases_acquired: int = 0
+    #: leadership leases renewed before expiry (same epoch)
+    fencing_leases_renewed: int = 0
+    #: leases that expired without renewal (witness unreachable or refused)
+    fencing_leases_expired: int = 0
+    #: times this server fenced itself off from mutations
+    fencing_self_fences: int = 0
+    #: mutating calls refused with RPC_NOT_LEADER while fenced
+    fencing_not_leader_sheds: int = 0
+    #: op-log ships rejected because they carried a stale epoch
+    fencing_stale_epoch_rejections: int = 0
+    #: current leadership epoch known to this server (gauge)
+    fencing_epoch: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Flat counter mapping, ``server.``-prefixed for tracer merging."""
@@ -256,6 +278,15 @@ class ServerStats:
             "server.ladder_context_resets": self.ladder_context_resets,
             "server.ladder_device_failovers": self.ladder_device_failovers,
             "server.ladder_session_reclaims": self.ladder_session_reclaims,
+            "server.fencing_leases_acquired": self.fencing_leases_acquired,
+            "server.fencing_leases_renewed": self.fencing_leases_renewed,
+            "server.fencing_leases_expired": self.fencing_leases_expired,
+            "server.fencing_self_fences": self.fencing_self_fences,
+            "server.fencing_not_leader_sheds": self.fencing_not_leader_sheds,
+            "server.fencing_stale_epoch_rejections": (
+                self.fencing_stale_epoch_rejections
+            ),
+            "server.fencing_epoch": self.fencing_epoch,
         }
 
     def reset(self) -> None:
@@ -313,3 +344,10 @@ class ServerStats:
         self.ladder_context_resets = 0
         self.ladder_device_failovers = 0
         self.ladder_session_reclaims = 0
+        self.fencing_leases_acquired = 0
+        self.fencing_leases_renewed = 0
+        self.fencing_leases_expired = 0
+        self.fencing_self_fences = 0
+        self.fencing_not_leader_sheds = 0
+        self.fencing_stale_epoch_rejections = 0
+        self.fencing_epoch = 0

@@ -28,6 +28,7 @@ FAST_EXAMPLES = [
     "session_lifecycle_demo.py",
     "failover_demo.py",
     "sanitizer_demo.py",
+    "split_brain_demo.py",
 ]
 
 

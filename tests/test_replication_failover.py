@@ -377,7 +377,7 @@ class TestClientFailover:
 
     def test_immediate_crash_fails_over_transparently(self):
         primary, standby = ha_pair()
-        link, endpoints = make_ha_pair(primary, standby)
+        link, endpoints = make_ha_pair(primary, standby, unfenced=True)
         client = CricketClient.failover(
             endpoints, retry_policy=RetryPolicy(max_attempts=8)
         )
@@ -392,7 +392,7 @@ class TestClientFailover:
 
     def test_dangerous_window_no_double_execution(self):
         primary, standby = ha_pair()
-        link, endpoints = make_ha_pair(primary, standby)
+        link, endpoints = make_ha_pair(primary, standby, unfenced=True)
         client = CricketClient.failover(
             endpoints, retry_policy=RetryPolicy(max_attempts=8)
         )
@@ -407,7 +407,7 @@ class TestClientFailover:
 
     def test_failover_without_retry_policy_surfaces_error(self):
         primary, standby = ha_pair()
-        _link, endpoints = make_ha_pair(primary, standby)
+        _link, endpoints = make_ha_pair(primary, standby, unfenced=True)
         client = CricketClient.failover(endpoints)
         client.malloc(4096)
         primary.kill()
@@ -417,7 +417,7 @@ class TestClientFailover:
     def test_crc_failover_pair(self):
         primary = CricketServer(clock=SimClock(), crc_records=True)
         standby = CricketServer(clock=SimClock(), crc_records=True)
-        _link, endpoints = make_ha_pair(primary, standby)
+        _link, endpoints = make_ha_pair(primary, standby, unfenced=True)
         client = CricketClient.failover(
             endpoints, retry_policy=RetryPolicy(max_attempts=8)
         )

@@ -92,13 +92,39 @@ class Tracer:
             table[event.name] = (count + 1, total + event.duration_ns)
         return dict(sorted(table.items(), key=lambda kv: -kv[1][1]))
 
+    def percentiles(self) -> dict[str, dict[str, int]]:
+        """Per-procedure ``{"p50"|"p95"|"p99": duration_ns}``.
+
+        Built from the same fixed-bucket streaming histogram the
+        gray-failure detector uses (:class:`~repro.resilience.health.
+        LatencyHistogram`), so the profile's tail columns and the SLO
+        machinery agree on quantile semantics (bucket upper bounds).
+        """
+        from repro.resilience.health import LatencyHistogram
+
+        table: dict[str, LatencyHistogram] = {}
+        for event in self.events:
+            table.setdefault(event.name, LatencyHistogram()).record(
+                event.duration_ns
+            )
+        return {
+            name: {"p50": h.p50, "p95": h.p95, "p99": h.p99}
+            for name, h in table.items()
+        }
+
     def summary(self) -> str:
         """Human-readable profile, hottest procedures first."""
-        lines = [f"{'procedure':<32} {'calls':>7} {'total [ms]':>11} {'mean [us]':>10}"]
+        lines = [
+            f"{'procedure':<32} {'calls':>7} {'total [ms]':>11} {'mean [us]':>10}"
+            f" {'p50 [us]':>9} {'p95 [us]':>9} {'p99 [us]':>9}"
+        ]
         lines.append("-" * len(lines[0]))
+        quantiles = self.percentiles()
         for name, (count, total) in self.by_procedure().items():
+            q = quantiles[name]
             lines.append(
                 f"{name:<32} {count:>7} {total / 1e6:>11.3f} {total / count / 1e3:>10.2f}"
+                f" {q['p50'] / 1e3:>9.1f} {q['p95'] / 1e3:>9.1f} {q['p99'] / 1e3:>9.1f}"
             )
         lines.append(
             f"{'TOTAL':<32} {len(self.events):>7} {self.total_ns() / 1e6:>11.3f}"

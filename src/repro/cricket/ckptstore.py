@@ -46,6 +46,7 @@ from repro.cricket.checkpoint import (
 from repro.cricket.errors import CheckpointError, CheckpointFormatError
 from repro.oncrpc.errors import RpcIntegrityError
 from repro.oncrpc.record import append_crc, verify_crc
+from repro.resilience.health import HealthTracker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cricket.server import CricketServer
@@ -288,6 +289,7 @@ class CheckpointStore:
         storage: FileStorage | None = None,
         retain: int = 3,
         stats: "ServerStats | None" = None,
+        clock=None,
     ) -> None:
         if storage is None:
             if directory is None:
@@ -296,9 +298,26 @@ class CheckpointStore:
         self.storage = storage
         self.retain = max(1, retain)
         self.stats = stats
+        #: virtual clock for write-latency tracking (None = untracked).
+        #: Sits *above* any FaultyStorage wrapper, so injected slow-fsync
+        #: time is visible to the tracker -- feed ``write_latency`` to
+        #: ``CricketServer.attach_checkpoint_health`` and a limping disk
+        #: becomes a brownout signal instead of silent checkpoint drift.
+        self.clock = clock
+        #: per-save container write latency (fsync + rename), virtual ns
+        self.write_latency = HealthTracker("checkpoint-write")
         #: generation of the last *successful* save; deltas chain to the
         #: generation that last advanced the dirty-page epoch.
         self.last_generation = max(self.generations(), default=0)
+
+    def _timed_write(self, name: str, blob: bytes) -> None:
+        """``write_atomic`` with the container write timed on the clock."""
+        if self.clock is None:
+            self.storage.write_atomic(name, blob)
+            return
+        started_ns = self.clock.now_ns
+        self.storage.write_atomic(name, blob)
+        self.write_latency.record(self.clock.now_ns - started_ns)
 
     # -- enumeration ---------------------------------------------------------
 
@@ -324,7 +343,7 @@ class CheckpointStore:
             [("state", pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))],
             epoch=state.get("leader_epoch", 0),
         )
-        self.storage.write_atomic(_generation_name(generation), blob)
+        self._timed_write(_generation_name(generation), blob)
         # Only a persisted full advances the dirty epoch: the next delta
         # ships changes relative to *this* baseline.
         server.device.allocator.clear_dirty()
@@ -364,7 +383,7 @@ class CheckpointStore:
                 ],
                 epoch=meta.get("leader_epoch", 0),
             )
-            self.storage.write_atomic(_generation_name(generation), blob)
+            self._timed_write(_generation_name(generation), blob)
         except BaseException:
             allocator._dirty.update(pages)
             raise
@@ -461,7 +480,7 @@ class CheckpointStore:
             [("state", pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))],
             epoch=state.get("leader_epoch", 0),
         )
-        self.storage.write_atomic(_generation_name(generation), blob)
+        self._timed_write(_generation_name(generation), blob)
         self.last_generation = generation
         if self.stats is not None:
             self.stats.checkpoint_generations_written += 1

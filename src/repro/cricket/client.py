@@ -193,6 +193,8 @@ class CricketClient:
         clock: SimClock | WallClock | None = None,
         retry_policy: RetryPolicy | None = None,
         crc: bool | None = None,
+        ejector=None,
+        priority: int = 0,
     ) -> "CricketClient":
         """High-availability client over an ordered endpoint list.
 
@@ -206,6 +208,13 @@ class CricketClient:
         a ``retry_policy`` (otherwise the first transport error surfaces
         instead of failing over).  ``crc`` defaults to whatever the first
         endpoint's server negotiates, like :meth:`loopback`.
+
+        ``ejector`` arms gray-failure outlier ejection (an
+        :class:`~repro.resilience.health.OutlierEjector`); drive it with
+        hedged probe rounds via ``client.failover_transport
+        .probe_endpoints()`` and a limping-but-alive endpoint is removed
+        from rotation statistically, something the liveness probe alone
+        can never see.
         """
         from repro.resilience.failover import FailoverTransport
 
@@ -227,12 +236,23 @@ class CricketClient:
             # probe below the checksum layer needs its own trailer
             base_probe = probe
             probe = lambda t: base_probe(ChecksummedTransport(t))  # noqa: E731
-        transport: Transport = FailoverTransport(
-            endpoints, clock=clock, stats=stats, probe=probe
+        failover_transport = FailoverTransport(
+            endpoints, clock=clock, stats=stats, probe=probe, ejector=ejector
         )
+        transport: Transport = failover_transport
         if crc:
             transport = ChecksummedTransport(transport, stats=stats)
-        return cls(transport, clock=clock, retry_policy=retry_policy, stats=stats)
+        client = cls(
+            transport,
+            clock=clock,
+            retry_policy=retry_policy,
+            stats=stats,
+            priority=priority,
+        )
+        #: the FailoverTransport itself (below any CRC layer) -- hedged
+        #: probe rounds and endpoint health live here
+        client.failover_transport = failover_transport
+        return client
 
     @classmethod
     def connect_tcp(

@@ -7,6 +7,12 @@ poisons a context or the kernel watchdog flags a hang, the server climbs a
 ladder of progressively more expensive (and more collateral-heavy)
 remedies instead of crashing or staying wedged:
 
+0. **Preemptive device failover** -- a device whose *soft* telemetry has
+   degraded past thresholds (thermal throttle multiplier, correctable-ECC
+   event count) is still healthy by every binary check, but it is both a
+   tail-latency destroyer and the classic precursor of the uncorrectable
+   fault.  With a clean same-model spare available, its memory image
+   migrates off *before* the hard failure -- no tenant ever sees an error.
 1. **Cooperative cancel** -- a hung-but-responsive kernel (``"spin"`` /
    ``"budget"`` verdicts) is cancelled in place; only the hung stream's
    queued work is lost.
@@ -56,19 +62,36 @@ AUTO_HEAL_ORIGINS = frozenset({"sanitizer", "watchdog"})
 
 
 class RecoveryLadder:
-    """Climbs the escalation ladder for one Cricket server's devices."""
+    """Climbs the escalation ladder for one Cricket server's devices.
 
-    def __init__(self, server: "CricketServer") -> None:
+    ``preempt_throttle`` / ``preempt_ecc_events`` set the soft-telemetry
+    thresholds for the preemptive rung: a device throttled beyond the
+    multiplier, or with that many accrued correctable ECC events, is
+    failed over to a spare before it hard-fails.  Either threshold can
+    be disabled by setting it to ``None``.
+    """
+
+    def __init__(
+        self,
+        server: "CricketServer",
+        *,
+        preempt_throttle: float | None = 2.0,
+        preempt_ecc_events: int | None = 32,
+    ) -> None:
         self._server = server
+        self.preempt_throttle = preempt_throttle
+        self.preempt_ecc_events = preempt_ecc_events
 
     # -- entry points --------------------------------------------------------
 
     def needs_heal(self) -> bool:
         """Cheap check: is there anything for the ladder to do?"""
-        for device in self._server.devices:
+        for ordinal, device in enumerate(self._server.devices):
             if device.fault is not None and device.fault.origin in AUTO_HEAL_ORIGINS:
                 return True
             if device.streams.hung_streams():
+                return True
+            if self._should_preempt(ordinal, device):
                 return True
         return False
 
@@ -79,6 +102,44 @@ class RecoveryLadder:
             fault = device.fault
             if fault is not None and fault.origin in AUTO_HEAL_ORIGINS:
                 self._heal_fault(ordinal, device, fault)
+            elif fault is None and self._should_preempt(ordinal, device):
+                self._preempt(ordinal)
+
+    # -- rung 0: preemptive failover off degraded silicon --------------------
+
+    def _degraded_past_threshold(self, device: GpuDevice) -> bool:
+        if (
+            self.preempt_throttle is not None
+            and device.throttle_multiplier >= self.preempt_throttle
+        ):
+            return True
+        if (
+            self.preempt_ecc_events is not None
+            and device.correctable_ecc_events >= self.preempt_ecc_events
+        ):
+            return True
+        return False
+
+    def _should_preempt(self, ordinal: int, device: GpuDevice) -> bool:
+        """Degraded past thresholds *and* somewhere clean to go?
+
+        Without a spare there is nothing for the ladder to do -- the
+        brownout controller absorbs the slowness instead -- so a
+        spare-less degraded device must not keep ``needs_heal`` true.
+        """
+        if device.fault is not None or not self._degraded_past_threshold(device):
+            return False
+        return self._server._find_spare(ordinal) is not None
+
+    def _preempt(self, ordinal: int) -> None:
+        server = self._server
+        spare = server._find_spare(ordinal)
+        if spare is None:
+            return  # the spare vanished between check and heal
+        # Rung 0: same mechanics as rung 4, but *before* the hard fault --
+        # every tenant's pointers and handles survive, nobody saw an error.
+        server._failover_device_locked(ordinal, spare)
+        server.server_stats.ladder_preemptive_failovers += 1
 
     # -- rungs 1-2: stream-level recovery ------------------------------------
 

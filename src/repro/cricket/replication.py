@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING
 from repro.oncrpc import message as msg
 from repro.oncrpc.record import append_crc
 from repro.cricket.witness import StaleEpochError
+from repro.resilience.health import HealthTracker, LatencySLO
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cricket.server import CricketServer
@@ -145,9 +146,16 @@ class ReplicationLink:
         *,
         max_lag: int = 0,
         reachability=None,
+        ship_delay_s: float = 0.0,
+        ship_slo: "LatencySLO | None" = None,
+        demoted_max_lag: int = 64,
     ) -> None:
         if max_lag < 0:
             raise ValueError("max_lag must be >= 0")
+        if ship_delay_s < 0:
+            raise ValueError("ship_delay_s must be >= 0")
+        if demoted_max_lag <= max_lag:
+            demoted_max_lag = max(max_lag + 1, demoted_max_lag)
         if primary.on_executed is not None:
             raise RuntimeError("primary already has a replication observer")
         # Epoch guard: a standby that has seen a *newer* epoch than this
@@ -165,6 +173,20 @@ class ReplicationLink:
         self.primary = primary
         self.standby = standby
         self.max_lag = max_lag
+        #: per-batch ship round-trip charged to the *primary's* clock (the
+        #: synchronous link blocks the dispatching call for this long);
+        #: chaos harnesses raise it mid-run to simulate a limping standby
+        self.ship_delay_s = ship_delay_s
+        #: round-trip latency tracker, one sample per shipped batch
+        self.ship_health = HealthTracker("replication-ship")
+        #: SLO on the ship round-trip; breach demotes the link to async
+        self.ship_slo = ship_slo
+        #: lag bound adopted on demotion -- one round trip then amortises
+        #: the limp across this many mutations instead of stalling each one
+        self.demoted_max_lag = demoted_max_lag
+        #: True once the gray-failure demotion fired (one-way; a repaired
+        #: standby rejoins sync via a fresh link / full_sync)
+        self.demoted = False
         #: partition gate: ``reachability() -> bool`` for the
         #: primary->standby direction (None = always reachable).  Checked
         #: by the leadership fence *before* executing a mutation; an op
@@ -235,8 +257,36 @@ class ReplicationLink:
                     if fencing is not None:
                         fencing.observe_epoch(_fence_epoch(self.standby))
             self._update_lag()
+            self._maybe_demote()
+
+    def _maybe_demote(self) -> None:
+        """Demote a limping sync link to async-lagged (gray-failure path).
+
+        A standby that still acknowledges every op -- but slowly -- never
+        trips a liveness check, yet a synchronous link makes every primary
+        mutation pay the standby's limp.  When the per-batch ship RTT
+        breaches ``ship_slo``, the link drops to ``demoted_max_lag``:
+        availability (the primary's latency) is bought with bounded
+        staleness (ops a failover could lose), which is exactly the sync
+        -> async trade, made deliberately and visibly (counted in
+        ``replication_demotions``).
+        """
+        if self.demoted or self.ship_slo is None:
+            return
+        if not self.ship_slo.breached(self.ship_health):
+            return
+        self.max_lag = self.demoted_max_lag
+        self.demoted = True
+        self.primary.server_stats.replication_demotions += 1
 
     def _apply_pending(self) -> None:
+        if not self._pending:
+            return
+        started_ns = self.primary.clock.now_ns
+        if self.ship_delay_s:
+            # One round trip ships the whole batch: sync links (batch of
+            # one) pay this per mutation; a demoted link amortises it.
+            self.primary.clock.advance_s(self.ship_delay_s)
         while self._pending:
             seq, epoch, record = self._pending[0]
             standby_epoch = _fence_epoch(self.standby)
@@ -264,6 +314,7 @@ class ReplicationLink:
             )
             self.applied_seq = seq
             self.primary.server_stats.replication_ops_applied += 1
+        self.ship_health.record(self.primary.clock.now_ns - started_ns)
 
     def _update_lag(self) -> None:
         self.primary.server_stats.replication_lag = self.lag
@@ -337,6 +388,8 @@ def make_ha_pair(
     lease_s: float = 0.25,
     unfenced: bool = False,
     reachability=None,
+    ship_delay_s: float = 0.0,
+    ship_slo: "LatencySLO | None" = None,
 ) -> tuple[ReplicationLink, list]:
     """Wire a primary/standby pair for transparent client failover.
 
@@ -367,7 +420,8 @@ def make_ha_pair(
 
     if unfenced:
         link = ReplicationLink(
-            primary, standby, max_lag=max_lag, reachability=reachability
+            primary, standby, max_lag=max_lag, reachability=reachability,
+            ship_delay_s=ship_delay_s, ship_slo=ship_slo,
         )
         endpoints = [
             LoopbackEndpoint(primary, name="primary"),
@@ -392,7 +446,8 @@ def make_ha_pair(
     )
     primary_fence.lead()  # epoch 1
     link = ReplicationLink(
-        primary, standby, max_lag=max_lag, reachability=reachability
+        primary, standby, max_lag=max_lag, reachability=reachability,
+        ship_delay_s=ship_delay_s, ship_slo=ship_slo,
     )
     primary_fence.link = link
     link.witness = witness

@@ -50,6 +50,7 @@ from repro.gpu.stream import StreamTable
 from repro.gpu.watchdog import KernelWatchdog
 from repro.net.simclock import SimClock
 from repro.oncrpc.server import RpcServer
+from repro.resilience.health import BrownoutConfig, BrownoutController, LatencySLO
 from repro.resilience.overload import CallCancelledError, OverloadConfig
 from repro.rpcl.stubgen import ProgramInterface
 from repro.unikernel.presets import CRICKET_SERVER_DISPATCH_S
@@ -120,6 +121,7 @@ class CricketImplementation:
         if ctx is not None and ctx.identity:
             session, deny = self.sessions.open(ctx.identity, now)
         self.sessions.reap(now, self._server.release_ledger)
+        self._server._update_brownout()
         self._server._maybe_sweep()
         if self._server.auto_recover and self._server.recovery.needs_heal():
             self._server.recovery.heal()
@@ -617,6 +619,9 @@ class CricketServer(RpcServer):
         watchdog: KernelWatchdog | bool | None = None,
         auto_recover: bool | None = None,
         sanitizer_sweep_every: int = 64,
+        brownout: BrownoutConfig | bool | None = None,
+        dispatch_slo: LatencySLO | None = None,
+        checkpoint_slo: LatencySLO | None = None,
     ) -> None:
         clock = clock if clock is not None else SimClock()
         if (
@@ -702,6 +707,33 @@ class CricketServer(RpcServer):
         #: checkpoint blob captured by a drain-mode shutdown (if any
         #: sessions were still alive when the drain completed)
         self.drain_checkpoint: bytes | None = None
+        #: brownout (staged degraded mode); None = disabled, the default
+        self.brownout_config = (
+            BrownoutConfig() if brownout is True else (brownout or None)
+        )
+        #: SLO on the per-call dispatch latency tracker (optional signal)
+        self.dispatch_slo = dispatch_slo
+        #: SLO on checkpoint write latency; needs a tracker attached via
+        #: :meth:`attach_checkpoint_health`
+        self.checkpoint_slo = checkpoint_slo
+        #: checkpoint write-latency tracker (from a CheckpointStore), or None
+        self.ckpt_health = None
+        if self.brownout_config is not None:
+            controller = BrownoutController(
+                clock=self.clock,
+                config=self.brownout_config,
+                server_stats=self.server_stats,
+            )
+            # Worst-ratio-wins signals.  Throttle and queue depth are
+            # always available; latency SLOs join when configured.
+            controller.add_signal("device_throttle", self._throttle_ratio)
+            if self.overload is not None:
+                controller.add_signal("queue_depth", self._queue_depth_ratio)
+            if dispatch_slo is not None:
+                controller.add_signal("dispatch_latency", self._dispatch_ratio)
+            if checkpoint_slo is not None:
+                controller.add_signal("checkpoint_fsync", self._ckpt_ratio)
+            self.brownout = controller
         self.interface = ProgramInterface.from_source(
             CRICKET_SPEC, CRICKET_PROG_NAME, CRICKET_VERS
         )
@@ -780,6 +812,11 @@ class CricketServer(RpcServer):
         if self._dispatches_since_sweep < self.sanitizer_sweep_every:
             return
         self._dispatches_since_sweep = 0
+        if self.brownout is not None and self.brownout.active:
+            # Canary sweeps are deferrable hygiene: under brownout the
+            # cycles go to tenant traffic; the sweep fires after exit.
+            self.server_stats.sweeps_suspended += 1
+            return
         for device in self.devices:
             if device.allocator.sanitizer is None or not device.healthy:
                 continue
@@ -798,6 +835,64 @@ class CricketServer(RpcServer):
         """Run the recovery ladder immediately (tests/operators)."""
         with self.implementation._lock:
             self.recovery.heal()
+
+    # -- brownout (staged degraded mode) -------------------------------------
+
+    #: throttle multiplier treated as "ratio 1.0" by the brownout signal --
+    #: matches the recovery ladder's default preemption threshold, so a
+    #: spare-less throttled device trips the brownout exactly when a spare
+    #: *would* have triggered preemptive failover.
+    BROWNOUT_THROTTLE_SLO = 2.0
+
+    def _throttle_ratio(self) -> float:
+        """Worst thermal-throttle multiplier, normalised to the objective."""
+        worst = max(d.throttle_multiplier for d in self.devices)
+        return worst / self.BROWNOUT_THROTTLE_SLO
+
+    def _queue_depth_ratio(self) -> float:
+        """Admission-queue occupancy as a fraction of the configured bound."""
+        if self.overload is None:
+            return 0.0
+        cfg = self.overload.queue.config
+        if cfg.max_queue_depth <= 0:
+            return 0.0
+        return len(self.overload.queue) / cfg.max_queue_depth
+
+    def _dispatch_ratio(self) -> float:
+        """Per-call dispatch latency p99 against the configured SLO."""
+        if self.dispatch_slo is None:
+            return 0.0
+        return self.dispatch_slo.ratio(self.call_health)
+
+    def _ckpt_ratio(self) -> float:
+        """Checkpoint write (fsync) p99 against the configured SLO."""
+        if self.checkpoint_slo is None or self.ckpt_health is None:
+            return 0.0
+        return self.checkpoint_slo.ratio(self.ckpt_health)
+
+    def attach_checkpoint_health(self, tracker) -> None:
+        """Feed a CheckpointStore's write-latency tracker into the brownout."""
+        self.ckpt_health = tracker
+
+    @property
+    def checkpoint_interval_factor(self) -> int:
+        """Multiply the checkpoint cadence by this while browned out."""
+        if self.brownout is None:
+            return 1
+        return self.brownout.checkpoint_interval_factor
+
+    def _update_brownout(self) -> None:
+        """Re-evaluate the brownout signals; apply/clear the queue clamp."""
+        controller = self.brownout
+        if controller is None:
+            return
+        before = controller.stage
+        stage = controller.update()
+        if stage != before and self.overload is not None:
+            base = self.overload.queue.config.max_queue_depth
+            self.overload.set_depth_override(
+                controller.queue_depth_override(base)
+            )
 
     # -- session lifecycle --------------------------------------------------
 
@@ -928,10 +1023,15 @@ class CricketServer(RpcServer):
         return {i: d.healthy for i, d in enumerate(self.devices)}
 
     def _find_spare(self, ordinal: int) -> int | None:
-        """A healthy, idle, same-model device to absorb ``ordinal``'s state."""
+        """A healthy, idle, same-model device to absorb ``ordinal``'s state.
+
+        Degraded silicon (throttled, accruing correctable ECC) is skipped:
+        migrating onto a limping spare would trade a gray failure for the
+        same gray failure plus a migration.
+        """
         faulted = self.devices[ordinal]
         for i, d in enumerate(self.devices):
-            if i == ordinal or not d.healthy:
+            if i == ordinal or not d.healthy or d.degraded:
                 continue
             if d.spec.name != faulted.spec.name:
                 continue

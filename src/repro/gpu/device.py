@@ -52,6 +52,17 @@ FAULT_KINDS = {
     "context": 700,
 }
 
+#: soft (gray) degradation kinds and their default severity.  Unlike
+#: :data:`FAULT_KINDS` these never raise: a throttled or ECC-limping
+#: device keeps answering every call correctly -- just slowly, or with a
+#: rising correctable-error count that NVML-style telemetry exposes.
+SOFT_FAULT_KINDS = {
+    #: kernel durations multiplied by this (thermal/power throttling)
+    "throttle": 4.0,
+    #: correctable ECC events accrued per launch (rate, may be fractional)
+    "ecc_correctable": 1.0,
+}
+
 
 class GpuDevice:
     """One simulated GPU."""
@@ -86,6 +97,15 @@ class GpuDevice:
         self.launch_count = 0
         #: sticky hardware fault, or None when healthy (see :meth:`inject_fault`)
         self.fault: DeviceFaultError | None = None
+        #: kernel-duration multiplier; > 1.0 models thermal/power throttling
+        self.throttle_multiplier = 1.0
+        #: correctable ECC events accrued per launch (soft degradation)
+        self.correctable_ecc_rate = 0.0
+        #: lifetime correctable ECC events (the telemetry a health check reads)
+        self.correctable_ecc_events = 0
+        #: fractional ECC accrual carried between launches (determinism,
+        #: no RNG: rate 0.25 yields exactly one event every 4 launches)
+        self._ecc_accumulator = 0.0
 
     def _new_allocator(self, capacity: int) -> DeviceAllocator:
         """A fresh allocator carrying this device's sanitizer wiring."""
@@ -131,6 +151,63 @@ class GpuDevice:
             )
         if self.on_violation is not None:
             self.on_violation(err)
+
+    def inject_soft_fault(self, kind: str, severity: float | None = None) -> None:
+        """Degrade the device without breaking it (gray failure).
+
+        ``kind`` is one of :data:`SOFT_FAULT_KINDS`:
+
+        ``"throttle"``
+            Multiplies every subsequent kernel duration by ``severity``
+            (default 4.0) -- a thermally or power-throttled part.  Results
+            stay bit-identical; only virtual time suffers.
+        ``"ecc_correctable"``
+            Accrues ``severity`` correctable ECC events per launch
+            (default 1.0; fractional rates accumulate deterministically).
+            Correctable errors are *corrected* -- no call fails -- but a
+            climbing counter is the classic leading indicator of the
+            uncorrectable fault :meth:`inject_fault` models.
+
+        Every binary health check (:attr:`healthy`, ``null_probe``, the
+        watchdog) still passes; only :meth:`health_report` tells.  Cleared
+        by :meth:`clear_soft_faults` or a full :meth:`reset`.
+        """
+        if kind not in SOFT_FAULT_KINDS:
+            raise ValueError(
+                f"unknown soft fault kind {kind!r} "
+                f"(want one of {sorted(SOFT_FAULT_KINDS)})"
+            )
+        value = SOFT_FAULT_KINDS[kind] if severity is None else float(severity)
+        if kind == "throttle":
+            if value < 1.0:
+                raise ValueError(f"throttle multiplier must be >= 1.0, got {value}")
+            self.throttle_multiplier = value
+        else:
+            if value < 0.0:
+                raise ValueError(f"ecc_correctable rate must be >= 0, got {value}")
+            self.correctable_ecc_rate = value
+
+    def clear_soft_faults(self) -> None:
+        """Undo soft degradation (cooling-off / page-retirement complete)."""
+        self.throttle_multiplier = 1.0
+        self.correctable_ecc_rate = 0.0
+        self._ecc_accumulator = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True while a soft fault is active (still :attr:`healthy`!)."""
+        return self.throttle_multiplier > 1.0 or self.correctable_ecc_rate > 0.0
+
+    def health_report(self) -> dict[str, float | int | bool]:
+        """NVML-style telemetry: what a management plane would poll."""
+        return {
+            "healthy": self.healthy,
+            "degraded": self.degraded,
+            "throttle_multiplier": self.throttle_multiplier,
+            "correctable_ecc_rate": self.correctable_ecc_rate,
+            "correctable_ecc_events": self.correctable_ecc_events,
+            "launch_count": self.launch_count,
+        }
 
     def inject_hang(self, stream: int = DEFAULT_STREAM, kind: str = "spin") -> None:
         """Mark a stream's work hung (chaos hook for the watchdog).
@@ -221,8 +298,18 @@ class GpuDevice:
             raise GpuError(f"degenerate launch geometry {grid}x{block}")
         if self.execute:
             kernel.body(ctx)
-        duration_s = self.timing.kernel_time_s(kernel.cost(ctx), fp64=fp64)
+        # Soft degradation: a throttled part runs the same kernel to the
+        # same answer, just slower -- the gray failure no binary check sees.
+        duration_s = self.timing.kernel_time_s(
+            kernel.cost(ctx), fp64=fp64, throttle=self.throttle_multiplier
+        )
         duration_ns = int(round(duration_s * 1e9))
+        if self.correctable_ecc_rate > 0.0:
+            self._ecc_accumulator += self.correctable_ecc_rate
+            events = int(self._ecc_accumulator)
+            if events:
+                self._ecc_accumulator -= events
+                self.correctable_ecc_events += events
         stream_obj = self.streams.stream(stream)
         done_ns = stream_obj.submit(submit_ns, duration_ns)
         self.launch_count += 1
@@ -242,11 +329,14 @@ class GpuDevice:
         """Drop all allocations, streams and events (cudaDeviceReset).
 
         Also clears any sticky fault -- a device reset is the documented
-        CUDA remedy for ECC / corrupted-context errors.
+        CUDA remedy for ECC / corrupted-context errors -- and any soft
+        degradation (the part gets a clean bill until re-injected).
         """
         self.allocator = self._new_allocator(self.allocator.capacity)
         self.streams = StreamTable()
         self.fault = None
+        self.clear_soft_faults()
+        self.correctable_ecc_events = 0
 
     # -- checkpoint / restart ---------------------------------------------------
 

@@ -32,14 +32,23 @@ class GpuTimingModel:
     #: fixed per-copy setup cost on the host runtime, seconds
     memcpy_overhead_s: float = 8.0e-6
 
-    def kernel_time_s(self, cost: KernelCost, *, fp64: bool = False) -> float:
-        """Execution time of one launch with the given cost."""
+    def kernel_time_s(
+        self, cost: KernelCost, *, fp64: bool = False, throttle: float = 1.0
+    ) -> float:
+        """Execution time of one launch with the given cost.
+
+        ``throttle`` scales the roofline term (not the launch overhead):
+        a thermally or power-capped part clocks its SMs and memory down,
+        but the host-side submission cost is unchanged.  1.0 = full speed.
+        """
+        if throttle < 1.0:
+            raise ValueError(f"throttle must be >= 1.0, got {throttle}")
         peak = self.spec.fp64_flops if fp64 else self.spec.fp32_flops
         compute_s = cost.flops / (peak * self.compute_efficiency)
         memory_s = cost.bytes_moved / (
             self.spec.mem_bandwidth_Bps * self.memory_efficiency
         )
-        return self.spec.launch_overhead_s + max(compute_s, memory_s)
+        return self.spec.launch_overhead_s + max(compute_s, memory_s) * throttle
 
     def memcpy_time_s(self, nbytes: int) -> float:
         """Host<->device copy time over PCIe (server-local direction)."""

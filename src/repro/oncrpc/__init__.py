@@ -29,6 +29,7 @@ from repro.oncrpc.auth import (
 )
 from repro.oncrpc.client import RpcClient
 from repro.oncrpc.errors import (
+    RpcBusyError,
     RpcCircuitOpenError,
     RpcDeadlineExceeded,
     RpcDenied,
@@ -108,6 +109,7 @@ __all__ = [
     "RpcTimeoutError",
     "RpcDeadlineExceeded",
     "RpcRetryExhausted",
+    "RpcBusyError",
     "RpcCircuitOpenError",
     "RpcProtocolError",
     "RpcReplyError",

@@ -51,6 +51,7 @@ from repro.oncrpc.record import (
     encode_record,
     verify_crc,
 )
+from repro.resilience.health import HealthTracker
 from repro.resilience.overload import (
     CallCancelledError,
     CancelToken,
@@ -190,6 +191,15 @@ class RpcServer:
         #: calls executed before a demotion still replay from the reply
         #: cache (the cache lookup runs first), keeping at-most-once.
         self.fencing: object | None = None
+        #: degraded-mode controller (duck-typed; see
+        #: repro.resilience.health.BrownoutController).  When set, its
+        #: ``shed_stat(priority)`` is consulted before admission -- a
+        #: browned-out server sheds low-priority work with RPC_BUSY before
+        #: it ever reaches the overload queue.
+        self.brownout: object | None = None
+        #: per-call execution latency (request decoded -> reply encoded),
+        #: the dispatch-path SLO signal for gray-failure detection
+        self.call_health = HealthTracker("dispatch")
         #: executing calls' cancel tokens, keyed (identity, xid)
         self._inflight_calls: dict[tuple[str, int], CancelToken] = {}
 
@@ -305,6 +315,15 @@ class RpcServer:
                 return self._finish_reply(
                     self._control_reply(request.xid, fence_stat)
                 )
+        if self.brownout is not None and not exempt and not replica_apply:
+            shed = self.brownout.shed_stat(ctx.priority)
+            if shed is not None:
+                # Degraded mode: shed low-priority work with RPC_BUSY while
+                # the server digs itself out.  Never cached -- the same xid
+                # retransmitted after recovery must execute.
+                with self._stats_lock:
+                    self.server_stats.brownout_sheds += 1
+                return self._finish_reply(self._control_reply(request.xid, shed))
         if (
             not exempt
             and ctx.deadline_ns is not None
@@ -350,6 +369,7 @@ class RpcServer:
         # order but enter the op-log in the other, the standby's replay
         # would hand out different handles than the primary did.
         guard = self._oplog_lock if self.on_executed is not None else _NULL_GUARD
+        started_ns = self.clock.now_ns
         try:
             with guard:
                 reply_body = self._execute(call, ctx)
@@ -360,6 +380,9 @@ class RpcServer:
                 if self.on_executed is not None:
                     self.on_executed(record, call, reply)
         finally:
+            # Executed calls (only -- sheds and cache hits would dilute
+            # the signal) feed the dispatch-latency SLO tracker.
+            self.call_health.record(self.clock.now_ns - started_ns)
             with self._stats_lock:
                 self._inflight_calls.pop(cache_key, None)
             if admitted:

@@ -29,12 +29,16 @@ the cache instead of being executed twice.
 """
 
 from repro.resilience.chaos import (
+    GRAY_TOPOLOGIES,
     ChaosHarness,
     ChaosPlan,
     ChaosResult,
     FailoverChaosHarness,
     FailoverChaosPlan,
     FailoverChaosResult,
+    GrayFailureChaosHarness,
+    GrayFailureChaosPlan,
+    GrayFailureChaosResult,
     OverloadChaosHarness,
     OverloadChaosPlan,
     OverloadChaosResult,
@@ -50,9 +54,23 @@ from repro.resilience.failover import (
 from repro.resilience.faults import (
     FaultInjectingTransport,
     FaultPlan,
+    FaultyStorage,
     PartitionPlan,
     PartitionState,
     PartitionWindow,
+    SlowEndpoint,
+    SlowFaultPlan,
+    SlowTransport,
+    StorageFaultPlan,
+)
+from repro.resilience.health import (
+    BrownoutConfig,
+    BrownoutController,
+    EjectionDecision,
+    HealthTracker,
+    LatencyHistogram,
+    LatencySLO,
+    OutlierEjector,
 )
 from repro.resilience.overload import (
     REJECT_LOWEST_PRIORITY,
@@ -109,4 +127,20 @@ __all__ = [
     "PartitionChaosPlan",
     "PartitionChaosHarness",
     "PartitionChaosResult",
+    "SlowFaultPlan",
+    "SlowTransport",
+    "SlowEndpoint",
+    "StorageFaultPlan",
+    "FaultyStorage",
+    "LatencyHistogram",
+    "HealthTracker",
+    "LatencySLO",
+    "EjectionDecision",
+    "OutlierEjector",
+    "BrownoutConfig",
+    "BrownoutController",
+    "GRAY_TOPOLOGIES",
+    "GrayFailureChaosPlan",
+    "GrayFailureChaosHarness",
+    "GrayFailureChaosResult",
 ]

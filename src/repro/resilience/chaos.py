@@ -1827,3 +1827,478 @@ class PartitionChaosHarness:
             links_blocked=state.blocked,
             counters=final.server_stats.as_dict(),
         )
+
+
+# -- gray-failure (limplock) chaos -------------------------------------------
+
+
+#: the four limplock topologies the gray-failure harness exercises
+GRAY_TOPOLOGIES = (
+    "slow_endpoint",
+    "throttled_gpu",
+    "slow_fsync",
+    "limping_standby",
+)
+
+
+@dataclass
+class GrayFailureChaosPlan:
+    """Seeded description of one gray-failure chaos run.
+
+    Every topology follows the same three-phase script over virtual
+    time: a healthy **baseline** phase establishes the latency
+    distribution, a **faulted** phase injects a limplock (nothing ever
+    *fails* -- everything just gets slow) and waits for the matching
+    detector to react, and a **recovery** phase measures the tail after
+    the reaction.  Acceptance is uniform: the limplock is detected
+    within the virtual-time budget, nothing healthy is ejected, the
+    brownout never flaps, and the recovery-phase p99 sits within 2x the
+    healthy baseline.
+
+    ``topology`` picks the limplock and the detector:
+
+    * ``slow_endpoint`` -- one of three Cricket servers limps behind a
+      :class:`~repro.resilience.faults.SlowEndpoint`; hedged probe
+      rounds feed the :class:`~repro.resilience.health.OutlierEjector`
+      until the limper leaves rotation.
+    * ``throttled_gpu`` -- a thermally throttled device (soft fault,
+      still "healthy") is preemptively failed over to the clean spare
+      by the recovery ladder's rung 0.
+    * ``slow_fsync`` -- the checkpoint disk stalls on fsync; the
+      checkpoint-latency SLO drives the server into brownout (shedding
+      low-priority work, stretching checkpoint cadence) and back out
+      after repair.
+    * ``limping_standby`` -- the replication standby acknowledges
+      slowly; the ship-RTT SLO demotes the synchronous link to
+      async-lagged so the primary's latency recovers.
+    """
+
+    topology: str = "slow_endpoint"
+    #: RNG seed (victim choice, jitter stream)
+    seed: int = 0
+    #: operations in the healthy warm-up phase
+    baseline_ops: int = 24
+    #: operation rounds while the limplock is active
+    faulted_ops: int = 24
+    #: operations after detection/repair
+    recovery_ops: int = 24
+    #: injected stall per limping operation (virtual seconds)
+    limp_s: float = 0.02
+    #: throttle multiplier for the throttled-GPU topology
+    throttle: float = 4.0
+    #: virtual seconds from injection within which detection must land
+    detect_budget_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.topology not in GRAY_TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; pick one of {GRAY_TOPOLOGIES}"
+            )
+        if self.limp_s <= 0:
+            raise ValueError("limp_s must be positive")
+        if self.throttle <= 1.0:
+            raise ValueError("throttle must exceed 1.0")
+
+
+@dataclass
+class GrayFailureChaosResult:
+    """Outcome of a gray-failure chaos run, ready for assertions."""
+
+    topology: str
+    #: the limplock was detected (ejected / preempted / browned-out /
+    #: demoted) while the fault was active
+    detected: bool
+    #: virtual ns from injection to detection (-1 when undetected)
+    detection_latency_ns: int
+    #: healthy components ejected by mistake (must be empty)
+    false_ejections: tuple[str, ...] = ()
+    #: p99 of the measured operation during the healthy baseline
+    baseline_p99_ns: int = 0
+    #: p99 of the same operation after detection/repair
+    recovery_p99_ns: int = 0
+    #: brownout entries over the whole run (hysteresis: at most one)
+    brownout_entries: int = 0
+    #: brownout exits over the whole run (at most one)
+    brownout_exits: int = 0
+    #: low-priority calls shed with RPC_BUSY while browned out
+    sheds: int = 0
+    #: rung-0 preemptive device failovers taken
+    preemptive_failovers: int = 0
+    #: sync -> async replication demotions taken
+    demotions: int = 0
+    #: endpoint ejections / readmissions over the run
+    ejections: int = 0
+    readmissions: int = 0
+    #: limping_standby only: primary/standby state diverged after the
+    #: final flush (must stay False -- demotion trades latency for lag,
+    #: never for correctness)
+    state_divergence: bool = False
+    #: final ``ServerStats.as_dict()`` of the server under test
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when the limplock was caught without collateral damage."""
+        return (
+            self.detected
+            and self.detection_latency_ns >= 0
+            and not self.false_ejections
+            and self.recovery_p99_ns <= 2 * max(self.baseline_p99_ns, 1)
+            and self.brownout_entries <= 1
+            and self.brownout_exits <= 1
+            and not self.state_divergence
+        )
+
+
+class GrayFailureChaosHarness:
+    """Run a :class:`GrayFailureChaosPlan` against the matching topology."""
+
+    def __init__(self, plan: GrayFailureChaosPlan | None = None) -> None:
+        self.plan = plan if plan is not None else GrayFailureChaosPlan()
+        #: the server (or primary) of the most recent run
+        self.server: Any = None
+
+    def run(self) -> GrayFailureChaosResult:
+        """Execute the plan; returns the detection/containment accounting."""
+        runner = getattr(self, f"_run_{self.plan.topology}")
+        return runner()
+
+    # -- topology: one limping endpoint among three ---------------------------
+
+    def _run_slow_endpoint(self) -> GrayFailureChaosResult:
+        import random
+
+        from repro.cricket.client import CricketClient
+        from repro.cricket.server import CricketServer
+        from repro.net.simclock import SimClock
+        from repro.resilience.failover import LoopbackEndpoint
+        from repro.resilience.faults import SlowEndpoint, SlowFaultPlan
+        from repro.resilience.health import LatencyHistogram, OutlierEjector
+        from repro.resilience.retry import RetryPolicy
+
+        plan = self.plan
+        rng = random.Random(plan.seed)
+        clock = SimClock()
+        servers = [CricketServer(clock=clock) for _ in range(3)]
+        self.server = servers[0]
+        limper = rng.randrange(len(servers))
+        limper_name = f"server{limper}"
+        endpoints: list[Any] = [
+            LoopbackEndpoint(s, name=f"server{i}") for i, s in enumerate(servers)
+        ]
+        slow = SlowEndpoint(
+            endpoints[limper],
+            SlowFaultPlan(
+                base_delay_s=plan.limp_s,
+                jitter_s=plan.limp_s / 4,
+                seed=plan.seed,
+            ),
+            clock=clock,
+            active=False,
+        )
+        endpoints[limper] = slow
+        ejector = OutlierEjector(clock=clock, probation_s=5.0)
+        client = CricketClient.failover(
+            endpoints, retry_policy=RetryPolicy(max_attempts=8), ejector=ejector
+        )
+        transport = client.failover_transport
+
+        def measured_op(hist: LatencyHistogram) -> None:
+            started = clock.now_ns
+            client.get_device_count()
+            hist.record(clock.now_ns - started)
+
+        all_ejected: set[str] = set()
+
+        def note_round(decision) -> None:
+            if decision is not None:
+                all_ejected.update(decision.ejected)
+
+        baseline = LatencyHistogram()
+        for i in range(plan.baseline_ops):
+            measured_op(baseline)
+            # sparse baseline probing: enough samples to qualify every
+            # endpoint without drowning the post-injection signal
+            if i % 4 == 0:
+                note_round(transport.probe_endpoints())
+
+        slow.set_active(True)
+        injected_ns = clock.now_ns
+        detected_ns = -1
+        for _ in range(plan.faulted_ops):
+            measured_op(LatencyHistogram())  # faulted-phase latency, unscored
+            note_round(transport.probe_endpoints())
+            if detected_ns < 0 and ejector.is_ejected(limper_name):
+                detected_ns = clock.now_ns
+                break
+
+        # repair the limper; it stays ejected until probation expires,
+        # so recovery traffic runs on the healthy majority
+        slow.set_active(False)
+        # unscored settling ops: the first call after ejection pays the
+        # one-time reconnect away from the ejected endpoint, which is not
+        # part of the steady-state tail the acceptance criterion bounds
+        for _ in range(2):
+            measured_op(LatencyHistogram())
+        recovery = LatencyHistogram()
+        for _ in range(plan.recovery_ops):
+            measured_op(recovery)
+
+        detection_latency = detected_ns - injected_ns if detected_ns >= 0 else -1
+        budget_ns = int(plan.detect_budget_s * 1e9)
+        return GrayFailureChaosResult(
+            topology=plan.topology,
+            detected=0 <= detection_latency <= budget_ns,
+            detection_latency_ns=detection_latency,
+            false_ejections=tuple(sorted(all_ejected - {limper_name})),
+            baseline_p99_ns=baseline.p99,
+            recovery_p99_ns=recovery.p99,
+            ejections=ejector.ejections,
+            readmissions=ejector.readmissions,
+            counters=servers[0].server_stats.as_dict(),
+        )
+
+    # -- topology: thermally throttled GPU, clean spare available -------------
+
+    def _run_throttled_gpu(self) -> GrayFailureChaosResult:
+        from repro.cricket.client import CricketClient
+        from repro.cricket.server import CricketServer
+        from repro.cubin import build_cubin_for_registry
+        from repro.cubin.metadata import KernelMeta
+        from repro.gpu.catalog import A100
+        from repro.gpu.device import GpuDevice
+        from repro.net.simclock import SimClock
+        from repro.resilience.health import LatencyHistogram
+
+        plan = self.plan
+        clock = SimClock()
+        # device 1 is the clean same-model spare rung 0 preempts onto
+        server = CricketServer(
+            [GpuDevice(A100), GpuDevice(A100)], clock=clock, auto_recover=True
+        )
+        self.server = server
+        client = CricketClient.loopback(server)
+        cubin = build_cubin_for_registry(server.device.registry, ["vectorAdd"])
+        module = client.module_load(cubin)
+        meta = KernelMeta.from_kinds("vectorAdd", ("ptr", "ptr", "ptr", "i32"))
+        fn = client.get_function(module, "vectorAdd", meta)
+        n = 1 << 16
+        a, b, c = (client.malloc(4 * n) for _ in range(3))
+
+        def measured_op(hist: LatencyHistogram) -> None:
+            started = clock.now_ns
+            client.launch_kernel(fn, (n // 256, 1, 1), (256, 1, 1), (a, b, c, n))
+            client.device_synchronize()
+            hist.record(clock.now_ns - started)
+
+        baseline = LatencyHistogram()
+        for _ in range(plan.baseline_ops):
+            measured_op(baseline)
+        # a preemption before any fault exists would be a false positive
+        baseline_preempts = server.server_stats.ladder_preemptive_failovers
+
+        server.devices[0].inject_soft_fault("throttle", plan.throttle)
+        injected_ns = clock.now_ns
+        detected_ns = -1
+        faulted = LatencyHistogram()
+        for _ in range(plan.faulted_ops):
+            measured_op(faulted)
+            if (
+                detected_ns < 0
+                and server.server_stats.ladder_preemptive_failovers > 0
+            ):
+                detected_ns = clock.now_ns
+                break
+
+        recovery = LatencyHistogram()
+        for _ in range(plan.recovery_ops):
+            measured_op(recovery)
+
+        # the serving slot must hold clean silicon again
+        slot_degraded = server.devices[0].degraded or not server.devices[0].healthy
+        detection_latency = detected_ns - injected_ns if detected_ns >= 0 else -1
+        budget_ns = int(plan.detect_budget_s * 1e9)
+        return GrayFailureChaosResult(
+            topology=plan.topology,
+            detected=(0 <= detection_latency <= budget_ns) and not slot_degraded,
+            detection_latency_ns=detection_latency,
+            false_ejections=("device0",) if baseline_preempts else (),
+            baseline_p99_ns=baseline.p99,
+            recovery_p99_ns=recovery.p99,
+            preemptive_failovers=server.server_stats.ladder_preemptive_failovers,
+            counters=server.server_stats.as_dict(),
+        )
+
+    # -- topology: checkpoint disk stalls on fsync -> brownout ----------------
+
+    def _run_slow_fsync(self) -> GrayFailureChaosResult:
+        import tempfile
+
+        from repro.cricket.ckptstore import CheckpointStore, FileStorage
+        from repro.cricket.client import CricketClient
+        from repro.cricket.server import CricketServer
+        from repro.net.simclock import SimClock
+        from repro.oncrpc.errors import RpcBusyError
+        from repro.resilience.faults import FaultyStorage, StorageFaultPlan
+        from repro.resilience.health import LatencyHistogram, LatencySLO
+
+        plan = self.plan
+        clock = SimClock()
+        # fsync SLO at 3/4 of the injected stall: the stall breaches it
+        # (one histogram bucket up still lands below the stage-2 ratio)
+        slo = LatencySLO(
+            target_p99_ns=int(plan.limp_s * 0.75 * 1e9), min_samples=4
+        )
+        server = CricketServer(clock=clock, brownout=True, checkpoint_slo=slo)
+        self.server = server
+        high = CricketClient.loopback(server, priority=3)
+        low = CricketClient.loopback(server, priority=0)
+
+        def measured_op(hist: LatencyHistogram) -> None:
+            started = clock.now_ns
+            high.get_device_count()
+            hist.record(clock.now_ns - started)
+
+        sheds = 0
+
+        def low_op() -> None:
+            nonlocal sheds
+            try:
+                low.get_device_count()
+            except RpcBusyError:
+                sheds += 1
+
+        with tempfile.TemporaryDirectory() as tmpdir:
+            clean_storage = FileStorage(f"{tmpdir}/ckpt")
+            faulty = FaultyStorage(
+                clean_storage,
+                StorageFaultPlan(
+                    slow_fsync_rate=1.0,
+                    slow_fsync_s=plan.limp_s,
+                    seed=plan.seed,
+                ),
+                clock=clock,
+            )
+            store = CheckpointStore(
+                storage=clean_storage, clock=clock, stats=server.server_stats
+            )
+            server.attach_checkpoint_health(store.write_latency)
+
+            high.malloc(1 << 16)  # some state worth checkpointing
+            baseline = LatencyHistogram()
+            for i in range(plan.baseline_ops):
+                measured_op(baseline)
+                low_op()
+                if i % 4 == 0:
+                    store.save(server)
+
+            store.storage = faulty  # the disk starts limping
+            injected_ns = clock.now_ns
+            detected_ns = -1
+            stretched = False
+            for _ in range(plan.faulted_ops):
+                store.save(server)
+                measured_op(LatencyHistogram())
+                low_op()
+                if detected_ns < 0 and server.brownout.active:
+                    detected_ns = clock.now_ns
+                if server.brownout.active:
+                    stretched = (
+                        stretched or server.checkpoint_interval_factor > 1
+                    )
+
+            # repair: swap the disk back and clear the tracker's history
+            # (fresh hardware is judged on fresh samples, exactly like an
+            # ejected endpoint readmitted from probation)
+            store.storage = clean_storage
+            store.write_latency.reset()
+            recovery = LatencyHistogram()
+            for i in range(plan.recovery_ops):
+                clock.advance_s(0.05)  # let the calm dwell accumulate
+                measured_op(recovery)
+                low_op()
+                if i % 4 == 0:
+                    store.save(server)
+
+        detection_latency = detected_ns - injected_ns if detected_ns >= 0 else -1
+        budget_ns = int(plan.detect_budget_s * 1e9)
+        stats = server.server_stats
+        return GrayFailureChaosResult(
+            topology=plan.topology,
+            detected=(0 <= detection_latency <= budget_ns) and stretched,
+            detection_latency_ns=detection_latency,
+            baseline_p99_ns=baseline.p99,
+            recovery_p99_ns=recovery.p99,
+            brownout_entries=stats.brownout_entries,
+            brownout_exits=stats.brownout_exits,
+            sheds=sheds,
+            counters=stats.as_dict(),
+        )
+
+    # -- topology: standby acknowledges slowly -> sync link demoted -----------
+
+    def _run_limping_standby(self) -> GrayFailureChaosResult:
+        from repro.cricket.client import CricketClient
+        from repro.cricket.replication import ReplicationLink, state_fingerprint
+        from repro.cricket.server import CricketServer
+        from repro.net.simclock import SimClock
+        from repro.resilience.health import LatencyHistogram, LatencySLO
+
+        plan = self.plan
+        primary = CricketServer(clock=SimClock())
+        standby = CricketServer(clock=SimClock())
+        self.server = primary
+        link = ReplicationLink(
+            primary,
+            standby,
+            max_lag=0,
+            ship_slo=LatencySLO(
+                target_p99_ns=int(plan.limp_s * 0.25 * 1e9), min_samples=4
+            ),
+        )
+        client = CricketClient.loopback(primary)
+        clock = primary.clock
+        pattern = 0
+
+        def measured_op(hist: LatencyHistogram) -> None:
+            nonlocal pattern
+            pattern = (pattern + 1) % 255
+            started = clock.now_ns
+            ptr = client.malloc(1 << 12)
+            client.memcpy_h2d(ptr, bytes([pattern + 1]) * 64)
+            hist.record(clock.now_ns - started)
+
+        baseline = LatencyHistogram()
+        for _ in range(plan.baseline_ops):
+            measured_op(baseline)
+
+        link.ship_delay_s = plan.limp_s  # the standby starts limping
+        injected_ns = clock.now_ns
+        detected_ns = -1
+        for _ in range(plan.faulted_ops):
+            measured_op(LatencyHistogram())
+            if detected_ns < 0 and link.demoted:
+                detected_ns = clock.now_ns
+                break
+
+        # post-demotion: the standby still limps, but the primary no
+        # longer waits for it on every mutation
+        recovery = LatencyHistogram()
+        for _ in range(plan.recovery_ops):
+            measured_op(recovery)
+
+        link.flush()  # drain the (bounded) lag, then compare state
+        diverged = state_fingerprint(primary) != state_fingerprint(standby)
+        detection_latency = detected_ns - injected_ns if detected_ns >= 0 else -1
+        budget_ns = int(plan.detect_budget_s * 1e9)
+        return GrayFailureChaosResult(
+            topology=plan.topology,
+            detected=(0 <= detection_latency <= budget_ns)
+            and link.lag <= link.demoted_max_lag,
+            detection_latency_ns=detection_latency,
+            baseline_p99_ns=baseline.p99,
+            recovery_p99_ns=recovery.p99,
+            demotions=primary.server_stats.replication_demotions,
+            state_divergence=diverged,
+            counters=primary.server_stats.as_dict(),
+        )

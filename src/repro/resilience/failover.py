@@ -34,6 +34,7 @@ from repro.oncrpc.transport import (
     Transport,
     TransportMeter,
 )
+from repro.resilience.health import EjectionDecision, HealthTracker, OutlierEjector
 from repro.resilience.reconnect import CircuitBreaker, ReconnectingTransport
 from repro.resilience.stats import ResilienceStats
 
@@ -180,6 +181,14 @@ class FailoverTransport(ReconnectingTransport):
     Stale endpoints are skipped on rotation -- a healed old primary does
     not get mutations routed back to it -- until they either prove they
     lead at the newest known epoch or every other endpoint is down.
+
+    With an :class:`~repro.resilience.health.OutlierEjector` attached,
+    the transport also detects *gray* failures: :meth:`probe_endpoints`
+    races the liveness probe against every endpoint, records each RTT in
+    a per-endpoint :class:`~repro.resilience.health.HealthTracker`, and
+    ejects statistical latency outliers from rotation the same way stale
+    leaders are skipped -- with the same availability fallback when
+    nothing else is reachable.
     """
 
     def __init__(
@@ -191,6 +200,7 @@ class FailoverTransport(ReconnectingTransport):
         stats: ResilienceStats | None = None,
         connect_now: bool = True,
         probe: Callable[[Transport], None] | None = None,
+        ejector: OutlierEjector | None = None,
     ) -> None:
         endpoints = list(endpoints)
         if not endpoints:
@@ -204,6 +214,10 @@ class FailoverTransport(ReconnectingTransport):
         #: stale endpoints are skipped on rotation until they prove
         #: leadership again (or every other endpoint is unreachable)
         self._stale: dict[int, int] = {}
+        #: endpoint name -> latency tracker, fed by :meth:`probe_endpoints`
+        self.health: dict[str, HealthTracker] = {}
+        #: statistical outlier ejection over :attr:`health`; None disables
+        self.ejector = ejector
         self._last_walk_exc: Exception | None = None
         super().__init__(
             self._connect_some_endpoint,
@@ -260,26 +274,100 @@ class FailoverTransport(ReconnectingTransport):
                     return
         self._active = (self._active + 1) % len(self.endpoints)
 
+    def _endpoint_key(self, idx: int) -> str:
+        name = getattr(self.endpoints[idx], "name", None)
+        return name if name else f"endpoint{idx}"
+
+    def endpoint_health(self, idx: int) -> HealthTracker:
+        """The latency tracker for endpoint ``idx`` (created on demand)."""
+        key = self._endpoint_key(idx)
+        tracker = self.health.get(key)
+        if tracker is None:
+            tracker = HealthTracker(key)
+            self.health[key] = tracker
+        return tracker
+
+    def _is_ejected(self, idx: int) -> bool:
+        return self.ejector is not None and self.ejector.is_ejected(
+            self._endpoint_key(idx)
+        )
+
+    def probe_endpoints(self) -> EjectionDecision | None:
+        """Race the liveness probe against every endpoint and score them.
+
+        The hedged probe round: each endpoint gets a fresh connection and
+        one probe, its round-trip charged to the shared clock and recorded
+        in its tracker.  (Sequential probing over virtual time is the
+        deterministic equivalent of racing: each RTT is measured from its
+        own start.)  Endpoints that fail hard are simply skipped -- the
+        breaker/rotation path already handles dead servers; this path
+        exists for the alive-but-limping ones.  With an ejector attached,
+        one evaluation round then ejects statistical outliers from
+        rotation and re-admits any whose probation expired.
+        """
+        self.stats.hedged_probes += 1
+        clock = self.breaker.clock
+        for idx, endpoint in enumerate(self.endpoints):
+            tracker = self.endpoint_health(idx)
+            started_ns = clock.now_ns
+            try:
+                transport = endpoint.connect()
+            except Exception:
+                continue
+            try:
+                if self._endpoint_probe is not None:
+                    self._endpoint_probe(transport)
+            except Exception:
+                continue
+            finally:
+                try:
+                    transport.close()
+                except Exception:
+                    pass
+            tracker.record(clock.now_ns - started_ns)
+        if self.ejector is None:
+            return None
+        decision = self.ejector.evaluate(self.health)
+        self.stats.endpoints_ejected += len(decision.ejected)
+        self.stats.endpoints_readmitted += len(decision.readmitted)
+        if decision.ejected and self._is_ejected(self._active):
+            # Connected to a limper: drop the connection so the retry
+            # loop's next reconnect() walks past the ejected endpoint.
+            if self._inner is not None:
+                try:
+                    self._inner.close()
+                except Exception:
+                    pass
+                self._inner = None
+        return decision
+
     def _connect_some_endpoint(self) -> Transport:
-        transport = self._walk_endpoints(skip_stale=True)
-        if transport is None and self._stale:
-            # Every non-stale endpoint is unreachable.  Availability wins:
-            # retry the stale ones -- a formerly fenced server may have
-            # re-acquired leadership, and if it is still fenced its
-            # RPC_NOT_LEADER answer simply re-marks it.
-            transport = self._walk_endpoints(skip_stale=False)
+        transport = self._walk_endpoints(skip_stale=True, skip_ejected=True)
+        if transport is None and (
+            self._stale
+            or (self.ejector is not None and self.ejector.ejected_names)
+        ):
+            # Every non-stale, non-ejected endpoint is unreachable.
+            # Availability wins: a limping server beats no server, and a
+            # formerly fenced one may have re-acquired leadership (if it
+            # is still fenced its RPC_NOT_LEADER answer re-marks it).
+            transport = self._walk_endpoints(skip_stale=False, skip_ejected=False)
         if transport is None:
             raise RpcTransportError(
                 f"all {len(self.endpoints)} endpoint(s) unreachable"
             ) from self._last_walk_exc
         return transport
 
-    def _walk_endpoints(self, *, skip_stale: bool) -> Transport | None:
+    def _walk_endpoints(
+        self, *, skip_stale: bool, skip_ejected: bool = False
+    ) -> Transport | None:
         self._last_walk_exc = None
         count = len(self.endpoints)
         for step in range(count):
             idx = (self._active + step) % count
             if skip_stale and idx in self._stale:
+                continue
+            if skip_ejected and self._is_ejected(idx):
                 continue
             endpoint = self.endpoints[idx]
             try:

@@ -264,6 +264,179 @@ class FaultInjectingTransport:
         self.inner.close()
 
 
+# -- limplock (gray-failure) faults ------------------------------------------
+
+
+@dataclass(frozen=True)
+class SlowFaultPlan:
+    """A latency distribution for a limping-but-alive component.
+
+    Unlike :class:`FaultPlan`, nothing here drops, corrupts or breaks
+    anything: every operation *succeeds*, just slowly.  That is the gray
+    failure the binary fault model cannot express -- the component passes
+    every liveness probe while destroying tail latency.
+
+    ``base_delay_s``
+        Charged on every operation (both directions).
+    ``jitter_s``
+        Uniform extra delay in ``[0, jitter_s)`` drawn per operation from
+        the seeded stream.
+    ``spike_rate`` / ``spike_s``
+        With probability ``spike_rate`` an operation additionally stalls
+        for ``spike_s`` -- the occasional multi-hundred-ms hiccup that
+        dominates p99 long before it moves p50.
+    ``throughput_Bps``
+        Models a degraded link: each operation is additionally charged
+        ``len(record) / throughput_Bps`` seconds.  None = unmetered.
+    """
+
+    base_delay_s: float = 0.0
+    jitter_s: float = 0.0
+    spike_rate: float = 0.0
+    spike_s: float = 0.0
+    throughput_Bps: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("base_delay_s", "jitter_s", "spike_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if not 0.0 <= self.spike_rate <= 1.0:
+            raise ValueError(f"spike_rate must be in [0, 1], got {self.spike_rate}")
+        if self.throughput_Bps is not None and self.throughput_Bps <= 0:
+            raise ValueError(
+                f"throughput_Bps must be positive, got {self.throughput_Bps}"
+            )
+
+    def delay_s(self, rng: random.Random, nbytes: int) -> float:
+        """Draw this operation's total delay (fixed draw order)."""
+        delay = self.base_delay_s
+        jitter_draw = rng.random()
+        spike_draw = rng.random()
+        if self.jitter_s > 0.0:
+            delay += jitter_draw * self.jitter_s
+        if self.spike_rate > 0.0 and spike_draw < self.spike_rate:
+            delay += self.spike_s
+        if self.throughput_Bps is not None and nbytes > 0:
+            delay += nbytes / self.throughput_Bps
+        return delay
+
+
+class SlowTransport:
+    """Wraps any transport, charging a :class:`SlowFaultPlan`'s latency.
+
+    Like :class:`FaultInjectingTransport` this is itself a valid
+    transport; unlike it, every record is delivered intact.  ``active``
+    can be flipped at runtime so a chaos harness can turn a healthy
+    endpoint into a limping one mid-run without reconnecting.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        plan: SlowFaultPlan,
+        *,
+        clock: SimClock | None = None,
+        stats: ResilienceStats | None = None,
+        active: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock
+        self.stats = stats if stats is not None else ResilienceStats()
+        self.active = active
+        self._rng = random.Random(plan.seed)
+        #: total virtual seconds of limplock charged so far
+        self.charged_s = 0.0
+
+    def _charge(self, nbytes: int) -> None:
+        # Always draw, so toggling ``active`` mid-run does not shift the
+        # delay schedule of later operations.
+        delay = self.plan.delay_s(self._rng, nbytes)
+        if not self.active or delay <= 0.0:
+            return
+        self.stats.note_fault("slow")
+        self.charged_s += delay
+        if self.clock is not None:
+            self.clock.advance_s(delay)
+
+    def send_record(self, record: bytes) -> None:
+        self._charge(len(record))
+        self.inner.send_record(record)
+
+    def recv_record(self) -> bytes:
+        record = self.inner.recv_record()
+        self._charge(len(record))
+        return record
+
+    def reconnect(self, *, force: bool = False) -> None:
+        inner_reconnect = getattr(self.inner, "reconnect", None)
+        if inner_reconnect is not None:
+            try:
+                inner_reconnect(force=force)
+            except TypeError:
+                inner_reconnect()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class SlowEndpoint:
+    """Wraps a failover endpoint so every connection it hands out limps.
+
+    Delegates everything (``name``, ``kill``, partition links, ...) to
+    the wrapped endpoint; only ``connect`` is intercepted to wrap the
+    returned transport in a :class:`SlowTransport`.  All transports from
+    one ``SlowEndpoint`` share the ``active`` flag via the endpoint, so
+    a harness flips one switch to start (or heal) the limplock.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: SlowFaultPlan,
+        *,
+        clock: SimClock | None = None,
+        stats: ResilienceStats | None = None,
+        active: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock
+        self.stats = stats
+        self.active = active
+        self._transports: list[SlowTransport] = []
+        self._next_seed = plan.seed
+
+    def connect(self) -> SlowTransport:
+        transport = self.inner.connect()
+        # Each connection gets its own decision stream, deterministically
+        # derived from the plan seed and the connection ordinal.
+        plan = SlowFaultPlan(
+            base_delay_s=self.plan.base_delay_s,
+            jitter_s=self.plan.jitter_s,
+            spike_rate=self.plan.spike_rate,
+            spike_s=self.plan.spike_s,
+            throughput_Bps=self.plan.throughput_Bps,
+            seed=self._next_seed,
+        )
+        self._next_seed += 1
+        slow = SlowTransport(
+            transport, plan, clock=self.clock, stats=self.stats, active=self.active
+        )
+        self._transports.append(slow)
+        return slow
+
+    def set_active(self, active: bool) -> None:
+        """Start or heal the limplock on this endpoint and all its pipes."""
+        self.active = active
+        for transport in self._transports:
+            transport.active = active
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+
 # -- storage faults ----------------------------------------------------------
 
 
@@ -301,6 +474,11 @@ class StorageFaultPlan:
         written or a truncated sector.
     ``enospc``
         The write fails cleanly with ``ENOSPC``; nothing changes on disk.
+    ``slow_fsync``
+        The write *succeeds* but stalls for ``slow_fsync_s`` of virtual
+        time first -- a limping disk (firmware GC pause, dying sector
+        remaps).  The data is fine; the latency is the fault.  Requires
+        the wrapper to be given a clock.
     """
 
     torn_write_rate: float = 0.0
@@ -308,6 +486,9 @@ class StorageFaultPlan:
     bit_flip_rate: float = 0.0
     partial_read_rate: float = 0.0
     enospc_rate: float = 0.0
+    slow_fsync_rate: float = 0.0
+    #: virtual seconds each slow fsync stalls the writer
+    slow_fsync_s: float = 0.05
     #: deterministically tear the next N atomic writes
     torn_write_next: int = 0
     #: deterministically crash-before-rename the next N atomic writes
@@ -318,20 +499,24 @@ class StorageFaultPlan:
     partial_read_next: int = 0
     #: deterministically ENOSPC the next N writes
     enospc_next: int = 0
+    #: deterministically slow-fsync the next N writes
+    slow_fsync_next: int = 0
     #: seed for the storage fault decision stream
     seed: int = 0
 
     def __post_init__(self) -> None:
         for name in (
             "torn_write_rate", "crash_before_rename_rate", "bit_flip_rate",
-            "partial_read_rate", "enospc_rate",
+            "partial_read_rate", "enospc_rate", "slow_fsync_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.slow_fsync_s < 0:
+            raise ValueError(f"slow_fsync_s must be >= 0, got {self.slow_fsync_s}")
         for name in (
             "torn_write_next", "crash_before_rename_next", "bit_flip_next",
-            "partial_read_next", "enospc_next",
+            "partial_read_next", "enospc_next", "slow_fsync_next",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
@@ -352,17 +537,24 @@ class FaultyStorage:
         plan: StorageFaultPlan,
         *,
         stats: ResilienceStats | None = None,
+        clock: SimClock | None = None,
     ) -> None:
         self.inner = inner
         self.plan = plan
         self.stats = stats if stats is not None else ResilienceStats()
+        self.clock = clock
         self._rng = random.Random(plan.seed)
         self._flip_rng = random.Random(plan.seed ^ 0xD15C)
+        # Slow-fsync decisions come from their own stream: adding the
+        # limplock fault must not shift the draws of plans written
+        # before it existed (same rule as the corrupt stream above).
+        self._slow_rng = random.Random(plan.seed ^ 0x51055105)
         self._torn_left = plan.torn_write_next
         self._crash_left = plan.crash_before_rename_next
         self._flip_left = plan.bit_flip_next
         self._short_left = plan.partial_read_next
         self._enospc_left = plan.enospc_next
+        self._slow_left = plan.slow_fsync_next
 
     def _hit(self, rate: float) -> bool:
         return self._rng.random() < rate
@@ -377,6 +569,18 @@ class FaultyStorage:
         bit = 1 << self._flip_rng.randrange(8)
         return data[:idx] + bytes([data[idx] ^ bit]) + data[idx + 1 :]
 
+    def _slow_hit(self) -> bool:
+        """Draw one slow-fsync decision from the dedicated stream."""
+        return self._slow_rng.random() < self.plan.slow_fsync_rate
+
+    def _charge_slow_fsync(self, slow_hit: bool) -> None:
+        """Stall the writer if this write drew the limplock fault."""
+        if self._slow_left > 0 or slow_hit:
+            self._slow_left = max(0, self._slow_left - 1)
+            self._fault("slow_fsync")
+            if self.clock is not None:
+                self.clock.advance_s(self.plan.slow_fsync_s)
+
     # -- storage interface ---------------------------------------------------
 
     def write_atomic(self, name: str, data: bytes) -> None:
@@ -386,6 +590,7 @@ class FaultyStorage:
         crash_hit = self._hit(plan.crash_before_rename_rate)
         enospc_hit = self._hit(plan.enospc_rate)
         flip_hit = self._hit(plan.bit_flip_rate)
+        slow_hit = self._slow_hit()
         if self._enospc_left > 0 or enospc_hit:
             self._enospc_left = max(0, self._enospc_left - 1)
             self._fault("enospc")
@@ -409,6 +614,7 @@ class FaultyStorage:
             self._flip_left = max(0, self._flip_left - 1)
             self._fault("bit_flip")
             data = self._flip_bit(data)
+        self._charge_slow_fsync(slow_hit)
         self.inner.write_atomic(name, data)
 
     def append(self, name: str, data: bytes) -> None:
@@ -416,6 +622,7 @@ class FaultyStorage:
         plan = self.plan
         torn_hit = self._hit(plan.torn_write_rate)
         enospc_hit = self._hit(plan.enospc_rate)
+        slow_hit = self._slow_hit()
         if self._enospc_left > 0 or enospc_hit:
             self._enospc_left = max(0, self._enospc_left - 1)
             self._fault("enospc")
@@ -428,6 +635,7 @@ class FaultyStorage:
             cut = self._rng.randrange(1, max(2, len(data)))
             self.inner.append(name, data[:cut])
             raise StorageCrashError(f"simulated crash mid-append to {name}")
+        self._charge_slow_fsync(slow_hit)
         self.inner.append(name, data)
 
     def read(self, name: str) -> bytes:

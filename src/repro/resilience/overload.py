@@ -195,6 +195,9 @@ class OverloadQueue:
     def __init__(self, config: OverloadConfig, stats: ServerStats | None = None) -> None:
         self.config = config
         self.stats = stats if stats is not None else ServerStats()
+        #: temporary queue bound tighter than ``config.max_queue_depth``;
+        #: set by the brownout controller while degraded, None when healthy
+        self.depth_override: int | None = None
         self._queue: list[Ticket] = []
         self._seq = itertools.count()
         self._evicted: list[Ticket] = []
@@ -266,8 +269,13 @@ class OverloadQueue:
             self.stats.overload_shed += 1
             return Refusal("busy", f"per-client queue bound for {identity}")
 
+        depth_limit = (
+            min(self.depth_override, cfg.max_queue_depth)
+            if self.depth_override is not None
+            else cfg.max_queue_depth
+        )
         ticket = self._make_ticket(identity, xid, priority, expires_at_ns)
-        if len(self._queue) >= cfg.max_queue_depth:
+        if len(self._queue) >= depth_limit:
             shed = self._shed(ticket)
             if shed is ticket:
                 self.stats.overload_shed += 1
@@ -402,6 +410,19 @@ class OverloadController:
         """Calls currently executing under a concurrency slot."""
         with self._cond:
             return self._active
+
+    def set_depth_override(self, depth: int | None) -> None:
+        """Tighten (or restore) the queue bound -- the brownout lever.
+
+        A browned-out server stops *accumulating* backlog it cannot digest:
+        a smaller bound sheds earlier, keeping queue age (and therefore
+        every admitted call's latency) proportional to what the degraded
+        server can actually sustain.  ``None`` restores the configured
+        bound.  Already-queued tickets are not evicted; the bound applies
+        to new offers.
+        """
+        with self._cond:
+            self.queue.depth_override = depth
 
     def acquire(
         self,

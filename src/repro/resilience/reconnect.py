@@ -68,16 +68,25 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout_s: float = 0.05,
         clock: SimClock | WallClock | None = None,
+        slow_after_s: float | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         self.failure_threshold = failure_threshold
         self.reset_timeout_s = reset_timeout_s
         self.clock = clock if clock is not None else SimClock()
+        #: probe RTT above this marks the target *suspect* even though
+        #: the probe succeeded (gray failure: slow is the new down);
+        #: None disables the check
+        self.slow_after_s = slow_after_s
         self._consecutive_failures = 0
         self._open_until_ns: int | None = None
         #: lifetime count of transitions to the open state
         self.times_opened = 0
+        #: round-trip time of the most recent successful probe, in ns
+        self.last_probe_rtt_ns: int | None = None
+        #: probe successes that exceeded ``slow_after_s``
+        self.slow_probes = 0
 
     @property
     def state(self) -> str:
@@ -103,6 +112,24 @@ class CircuitBreaker:
         """Note a success; closes the circuit."""
         self._consecutive_failures = 0
         self._open_until_ns = None
+
+    def note_probe_rtt(self, rtt_ns: int) -> None:
+        """Record the measured RTT of a successful probe.
+
+        A breaker that closed on a 10-second probe success is not the
+        same as a healthy one; the RTT lets callers (and the failover
+        layer's health scoring) tell them apart.
+        """
+        self.last_probe_rtt_ns = rtt_ns
+        if self.slow_after_s is not None and rtt_ns > int(self.slow_after_s * 1e9):
+            self.slow_probes += 1
+
+    @property
+    def suspect(self) -> bool:
+        """Closed, but the last probe was suspiciously slow."""
+        if self.slow_after_s is None or self.last_probe_rtt_ns is None:
+            return False
+        return self.last_probe_rtt_ns > int(self.slow_after_s * 1e9)
 
 
 class ReconnectingTransport:
@@ -200,6 +227,7 @@ class ReconnectingTransport:
             self.breaker.record_failure()
             raise
         if self._probe is not None:
+            started_ns = self.breaker.clock.now_ns
             try:
                 self._probe(inner)
             except Exception as exc:
@@ -212,6 +240,14 @@ class ReconnectingTransport:
                 except Exception:
                     pass
                 raise RpcTransportError(f"reconnect probe failed: {exc}") from exc
+            # A successful probe still carries information: its RTT.
+            # Feed it to the breaker and stats so a breaker that closed
+            # on a crawling probe is distinguishable from a healthy one.
+            rtt_ns = self.breaker.clock.now_ns - started_ns
+            self.breaker.note_probe_rtt(rtt_ns)
+            self.stats.probe_rtt_last_ns = rtt_ns
+            if self.breaker.suspect:
+                self.stats.slow_probes += 1
         self._inner = inner
         self.breaker.record_success()
         self.stats.reconnects += 1

@@ -39,6 +39,16 @@ class ResilienceStats:
     not_leader_rejections: int = 0
     #: endpoint rotations triggered by a not-leader refusal or redirect
     leader_redirects: int = 0
+    #: round-trip time of the most recent reconnect probe (gauge, ns)
+    probe_rtt_last_ns: int = 0
+    #: probe successes whose RTT exceeded the breaker's slow threshold
+    slow_probes: int = 0
+    #: hedged health-probe rounds raced across all endpoints
+    hedged_probes: int = 0
+    #: endpoints ejected from rotation as statistical latency outliers
+    endpoints_ejected: int = 0
+    #: ejected endpoints re-admitted on probation after the hold expired
+    endpoints_readmitted: int = 0
     #: faults injected by kind (filled by :class:`FaultInjectingTransport`)
     faults_injected: dict[str, int] = field(default_factory=dict)
 
@@ -66,6 +76,11 @@ class ResilienceStats:
             "busy_rejections": self.busy_rejections,
             "not_leader_rejections": self.not_leader_rejections,
             "leader_redirects": self.leader_redirects,
+            "probe_rtt_last_ns": self.probe_rtt_last_ns,
+            "slow_probes": self.slow_probes,
+            "hedged_probes": self.hedged_probes,
+            "endpoints_ejected": self.endpoints_ejected,
+            "endpoints_readmitted": self.endpoints_readmitted,
         }
         for kind, count in sorted(self.faults_injected.items()):
             out[f"fault.{kind}"] = count
@@ -85,6 +100,11 @@ class ResilienceStats:
         self.busy_rejections = 0
         self.not_leader_rejections = 0
         self.leader_redirects = 0
+        self.probe_rtt_last_ns = 0
+        self.slow_probes = 0
+        self.hedged_probes = 0
+        self.endpoints_ejected = 0
+        self.endpoints_readmitted = 0
         self.faults_injected.clear()
 
 
@@ -221,6 +241,18 @@ class ServerStats:
     fencing_stale_epoch_rejections: int = 0
     #: current leadership epoch known to this server (gauge)
     fencing_epoch: int = 0
+    #: times the server entered brownout (stage 0 -> degraded)
+    brownout_entries: int = 0
+    #: times the server fully exited brownout (stage -> 0)
+    brownout_exits: int = 0
+    #: calls shed with RPC_BUSY specifically by brownout staging
+    brownout_sheds: int = 0
+    #: sanitizer sweeps skipped because the server was in brownout
+    sweeps_suspended: int = 0
+    #: sync replication links demoted to async-lagged for limping
+    replication_demotions: int = 0
+    #: ladder rung 0: degraded devices preemptively failed over to a spare
+    ladder_preemptive_failovers: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Flat counter mapping, ``server.``-prefixed for tracer merging."""
@@ -287,6 +319,12 @@ class ServerStats:
                 self.fencing_stale_epoch_rejections
             ),
             "server.fencing_epoch": self.fencing_epoch,
+            "server.brownout_entries": self.brownout_entries,
+            "server.brownout_exits": self.brownout_exits,
+            "server.brownout_sheds": self.brownout_sheds,
+            "server.sweeps_suspended": self.sweeps_suspended,
+            "server.replication_demotions": self.replication_demotions,
+            "server.ladder_preemptive_failovers": self.ladder_preemptive_failovers,
         }
 
     def reset(self) -> None:
@@ -351,3 +389,9 @@ class ServerStats:
         self.fencing_not_leader_sheds = 0
         self.fencing_stale_epoch_rejections = 0
         self.fencing_epoch = 0
+        self.brownout_entries = 0
+        self.brownout_exits = 0
+        self.brownout_sheds = 0
+        self.sweeps_suspended = 0
+        self.replication_demotions = 0
+        self.ladder_preemptive_failovers = 0

@@ -29,6 +29,7 @@ FAST_EXAMPLES = [
     "failover_demo.py",
     "sanitizer_demo.py",
     "split_brain_demo.py",
+    "gray_failure_demo.py",
 ]
 
 

@@ -42,6 +42,34 @@ class TestTracer:
         assert list(table) == ["hot", "cheap"]
         assert table["hot"] == (2, 1990)
 
+    def test_percentiles_share_histogram_semantics(self):
+        from repro.resilience.health import LatencyHistogram
+
+        tracer = Tracer(SimClock())
+        now = 0
+        for duration in [2_000] * 95 + [2_000_000] * 5:
+            tracer.record("launch", now, now + duration, 0, 0)
+            now += duration
+        reference = LatencyHistogram()
+        for duration in [2_000] * 95 + [2_000_000] * 5:
+            reference.record(duration)
+        q = tracer.percentiles()["launch"]
+        assert q["p50"] == reference.p50
+        assert q["p95"] == reference.p95
+        assert q["p99"] == reference.p99
+        assert q["p50"] < q["p99"]  # the tail is visible, the median not
+
+    def test_summary_has_percentile_columns(self):
+        tracer = Tracer(SimClock())
+        tracer.record("memcpy", 0, 5_000, 16, 0)
+        lines = tracer.summary().splitlines()
+        assert "p50 [us]" in lines[0]
+        assert "p95 [us]" in lines[0]
+        assert "p99 [us]" in lines[0]
+        assert lines[1] == "-" * len(lines[0])
+        # 5 us falls in the (3.16, 5.62] bucket: upper bound 5623 ns
+        assert "5.6" in lines[2]
+
 
 class TestSessionTracing:
     def test_traces_named_procedures(self, session):

@@ -22,8 +22,6 @@ Run:  python examples/failover_demo.py
 (CHAOS_SEED=<n> varies the schedule -- the CI soak loops over seeds.)
 """
 
-import os
-
 from repro.cricket import CricketServer
 from repro.cricket.client import CricketClient
 from repro.cricket.replication import make_ha_pair, state_fingerprint
@@ -31,7 +29,7 @@ from repro.cuda.errors import CudaError
 from repro.gpu.catalog import A100
 from repro.gpu.device import GpuDevice
 from repro.net.simclock import SimClock
-from repro.resilience import FailoverChaosHarness, FailoverChaosPlan
+from repro.resilience import FailoverChaosHarness, FailoverChaosPlan, chaos_seeds
 from repro.resilience.retry import RetryPolicy
 
 MiB = 1 << 20
@@ -93,7 +91,7 @@ def sticky_device_fault() -> None:
 
 def chaos_soak() -> None:
     """Seeded primary-kill + GPU-poison schedule; nothing lost, nothing twice."""
-    seed = int(os.environ.get("CHAOS_SEED", "2"))
+    seed = chaos_seeds(default=(2,))[0]
     plan = FailoverChaosPlan(clients=3, rounds=4, seed=seed)
     result = FailoverChaosHarness(plan).run()
     assert result.clean, (

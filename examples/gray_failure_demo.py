@@ -30,7 +30,6 @@ Run:  python examples/gray_failure_demo.py
 (CHAOS_SEED=<n> varies the schedule -- the CI soak loops over seeds.)
 """
 
-import os
 import tempfile
 
 from repro.cricket import CricketClient, CricketServer, state_fingerprint
@@ -43,6 +42,7 @@ from repro.gpu.device import GpuDevice
 from repro.net.simclock import SimClock
 from repro.oncrpc.errors import RpcBusyError
 from repro.resilience import (
+    chaos_seeds,
     GRAY_TOPOLOGIES,
     FaultyStorage,
     GrayFailureChaosHarness,
@@ -201,7 +201,7 @@ def standby_demotion() -> None:
 
 def chaos_soak() -> None:
     """Seeded limplocks across every topology; all detected, zero collateral."""
-    seed = int(os.environ.get("CHAOS_SEED", "2"))
+    seed = chaos_seeds(default=(2,))[0]
     for topology in GRAY_TOPOLOGIES:
         result = GrayFailureChaosHarness(
             GrayFailureChaosPlan(topology=topology, seed=seed)

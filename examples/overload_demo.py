@@ -24,9 +24,7 @@ Run:  python examples/overload_demo.py
 (CHAOS_SEED=<n> varies the schedule -- the CI soak loops over seeds.)
 """
 
-import os
-
-from repro.resilience import OverloadChaosHarness, OverloadChaosPlan
+from repro.resilience import OverloadChaosHarness, OverloadChaosPlan, chaos_seeds
 
 
 def show(tag: str, result) -> None:
@@ -55,7 +53,7 @@ def show(tag: str, result) -> None:
 
 
 def main() -> None:
-    seed = int(os.environ.get("CHAOS_SEED", "7"))
+    seed = chaos_seeds(default=(7,))[0]
 
     hot = OverloadChaosPlan(load_factor=5.0, hot_tenant_factor=3.0, seed=seed)
     result = OverloadChaosHarness(hot).run()

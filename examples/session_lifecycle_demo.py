@@ -20,19 +20,17 @@ Run:  python examples/session_lifecycle_demo.py
 (CHAOS_SEED=<n> varies the kill schedule -- the CI soak loops over seeds.)
 """
 
-import os
-
 from repro.cricket import CricketServer
 from repro.cricket.client import CricketClient
 from repro.cuda.errors import CudaError
-from repro.resilience import ChaosHarness, ChaosPlan
+from repro.resilience import ChaosHarness, ChaosPlan, chaos_seeds
 
 MiB = 1 << 20
 
 
 def chaos_round() -> None:
     """Kill clients mid-malloc loop; the reaper must reclaim every byte."""
-    seed = int(os.environ.get("CHAOS_SEED", "7"))
+    seed = chaos_seeds(default=(7,))[0]
     plan = ChaosPlan(clients=5, rounds=3, kills=3, allocs_per_round=4, seed=seed)
     harness = ChaosHarness(plan)
     result = harness.run()

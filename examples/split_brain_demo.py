@@ -29,14 +29,13 @@ Run:  python examples/split_brain_demo.py
 (CHAOS_SEED=<n> varies the schedule -- the CI soak loops over seeds.)
 """
 
-import os
-
 from repro.cricket import CricketServer
 from repro.cricket.client import CricketClient
 from repro.cricket.replication import make_ha_pair, promote_with_witness
 from repro.net.simclock import SimClock
 from repro.oncrpc.errors import RpcNotLeaderError
 from repro.resilience import (
+    chaos_seeds,
     PartitionChaosHarness,
     PartitionChaosPlan,
     PartitionPlan,
@@ -146,7 +145,7 @@ def stale_epoch_ship_rejected() -> None:
 
 def chaos_soak() -> None:
     """Seeded partitions across every topology; split-brain never happens."""
-    seed = int(os.environ.get("CHAOS_SEED", "2"))
+    seed = chaos_seeds(default=(2,))[0]
     for topology in PARTITION_TOPOLOGIES:
         result = PartitionChaosHarness(
             PartitionChaosPlan(topology=topology, seed=seed)

@@ -336,6 +336,25 @@ class ReplicationLink:
             self.primary.on_executed = None
             self.attached = False
 
+    def attach(self) -> None:
+        """Re-attach a detached link: full sync, then resume shipping.
+
+        The operator's post-heal move.  A link detached while the standby
+        was unreachable (the witness-blessed go-solo path) has an
+        arbitrary gap in its op-log, so re-attachment re-seeds the
+        standby from the current primary state before shipping resumes.
+        A promoted link stays severed -- the demoted ex-primary must be
+        rebuilt as a standby of the new leader, not the other way round.
+        """
+        with self._lock:
+            if self.attached:
+                return
+            if self.promoted:
+                raise ValueError("cannot re-attach a promoted link")
+            self.full_sync()
+            self.primary.on_executed = self._on_executed
+            self.attached = True
+
 
 def promote(link: ReplicationLink) -> "CricketServer":
     """Promote the standby: flush the op-log, detach, return the standby.

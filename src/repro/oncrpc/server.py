@@ -162,12 +162,32 @@ class RpcServer:
         #: the encoded (un-checksummed) reply.  The replication link uses
         #: this to ship the op-log.
         self.on_executed: Callable[[bytes, msg.CallBody, bytes], None] | None = None
+        #: composable observers called once per *handler execution* (reply-
+        #: cache hits and sheds never fire) with ``(identity, xid, proc,
+        #: accept_stat, replica_apply)``.  Unlike :attr:`on_executed` --
+        #: a single slot owned by the replication link -- any number of
+        #: taps may be installed; the simulation history recorder uses
+        #: them as its server-edge evidence stream for at-most-once
+        #: checking, so a deliberately doubled execution fires twice.
+        self.execution_taps: list[Callable[[str, int, int, int, bool], None]] = []
+        # Test-only fault: while > 0, each fresh (non-replica) execution
+        # of a non-exempt procedure runs the handler a second time and
+        # discards the second reply -- the classic retransmit-reexecutes
+        # bug the reply cache exists to prevent.  Armed via
+        # :meth:`arm_double_execution` by the simulation nemesis so the
+        # checker/shrinker acceptance path has a real bug to catch.
+        self._double_execute_left = 0
         # Serializes execute+hook when an observer is installed so the
         # op-log order matches execution order; without an observer,
         # dispatches stay concurrent.
         self._oplog_lock = threading.Lock()
         # a killed server models a crashed process: every dispatch fails
         self._killed = False
+        #: called once when :meth:`kill` transitions the server to dead;
+        #: the simulation history recorder marks the crash here, so the
+        #: checker knows which acknowledged-but-unreplicated effects may
+        #: legitimately be lost
+        self.on_kill: Callable[[], None] | None = None
         #: overload admission (None = unbounded, the historical behaviour)
         self.overload = (
             OverloadController(
@@ -373,6 +393,24 @@ class RpcServer:
         try:
             with guard:
                 reply_body = self._execute(call, ctx)
+                self._fire_execution_taps(
+                    identity, request.xid, call.proc, reply_body.stat, replica_apply
+                )
+                if (
+                    self._double_execute_left > 0
+                    and not replica_apply
+                    and not exempt
+                ):
+                    # Injected bug: run the handler again and throw the
+                    # second reply away.  The duplicated side effects (a
+                    # second allocation, a second write) are exactly what
+                    # the history checker's at-most-once property exists
+                    # to catch.
+                    self._double_execute_left -= 1
+                    doubled = self._execute(call, ctx)
+                    self._fire_execution_taps(
+                        identity, request.xid, call.proc, doubled.stat, replica_apply
+                    )
                 reply = msg.RpcMessage(
                     request.xid, reply_body, msg.MSG_ACCEPTED
                 ).encode()
@@ -401,6 +439,21 @@ class RpcServer:
             with self._stats_lock:
                 self.server_stats.deadline_expired_in_execution += 1
         return append_crc(reply) if self.crc_records else reply
+
+    def _fire_execution_taps(
+        self, identity: str, xid: int, proc: int, stat: int, replica_apply: bool
+    ) -> None:
+        for tap in self.execution_taps:
+            tap(identity, xid, proc, stat, replica_apply)
+
+    def arm_double_execution(self, count: int = 1) -> None:
+        """Test-only: make the next ``count`` fresh executions run twice.
+
+        Models a broken at-most-once layer (side effects duplicated, the
+        duplicate reply discarded).  Only meaningful to the simulation
+        checker -- never arm this outside a test.
+        """
+        self._double_execute_left = max(int(count), 0)
 
     def _control_reply(self, xid: int, stat: int) -> bytes:
         """Encode a void-body control reply (RPC_BUSY / CALL_EXPIRED)."""
@@ -603,7 +656,11 @@ class RpcServer:
         TCP client would see a connection reset.  The chaos harness uses
         this to kill primaries mid-workload.
         """
+        if self._killed:
+            return
         self._killed = True
+        if self.on_kill is not None:
+            self.on_kill()
 
     @property
     def killed(self) -> bool:

@@ -30,6 +30,7 @@ the cache instead of being executed twice.
 
 from repro.resilience.chaos import (
     GRAY_TOPOLOGIES,
+    SANITIZER_BUG_KINDS,
     ChaosHarness,
     ChaosPlan,
     ChaosResult,
@@ -39,12 +40,18 @@ from repro.resilience.chaos import (
     GrayFailureChaosHarness,
     GrayFailureChaosPlan,
     GrayFailureChaosResult,
+    MigrationChaosHarness,
+    MigrationChaosPlan,
+    MigrationChaosResult,
     OverloadChaosHarness,
     OverloadChaosPlan,
     OverloadChaosResult,
     PartitionChaosHarness,
     PartitionChaosPlan,
     PartitionChaosResult,
+    SanitizerChaosHarness,
+    SanitizerChaosPlan,
+    SanitizerChaosResult,
 )
 from repro.resilience.failover import (
     FailoverTransport,
@@ -54,6 +61,7 @@ from repro.resilience.failover import (
 from repro.resilience.faults import (
     FaultInjectingTransport,
     FaultPlan,
+    FaultyEndpoint,
     FaultyStorage,
     PartitionPlan,
     PartitionState,
@@ -86,6 +94,36 @@ from repro.resilience.overload import (
 )
 from repro.resilience.reconnect import CircuitBreaker, ReconnectingTransport, null_probe
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, is_retryable
+from repro.resilience.scaffold import (
+    PayloadPattern,
+    advance_past_grace,
+    aligned,
+    detection_window,
+    draw_free_candidate,
+    spread,
+)
+from repro.resilience.seeds import (
+    CHAOS_SEED_ENV,
+    CHAOS_SEEDS_ENV,
+    chaos_seeds,
+    parse_chaos_seeds,
+)
+from repro.resilience.simulation import (
+    HistoryChecker,
+    HistoryEvent,
+    HistoryRecorder,
+    NemesisEvent,
+    SimulationPlan,
+    SimulationResult,
+    Violation,
+    classify_outcome,
+    generate_schedule,
+    load_trace,
+    replay_trace,
+    run_simulation,
+    save_trace,
+    shrink_schedule,
+)
 from repro.resilience.stats import ResilienceStats, ServerStats
 
 __all__ = [
@@ -143,4 +181,39 @@ __all__ = [
     "GrayFailureChaosPlan",
     "GrayFailureChaosHarness",
     "GrayFailureChaosResult",
+    "MigrationChaosPlan",
+    "MigrationChaosHarness",
+    "MigrationChaosResult",
+    "SANITIZER_BUG_KINDS",
+    "SanitizerChaosPlan",
+    "SanitizerChaosHarness",
+    "SanitizerChaosResult",
+    "FaultyEndpoint",
+    # shared harness scaffolding
+    "PayloadPattern",
+    "aligned",
+    "spread",
+    "draw_free_candidate",
+    "advance_past_grace",
+    "detection_window",
+    # seed parsing
+    "CHAOS_SEEDS_ENV",
+    "CHAOS_SEED_ENV",
+    "chaos_seeds",
+    "parse_chaos_seeds",
+    # deterministic simulation
+    "NemesisEvent",
+    "generate_schedule",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "classify_outcome",
+    "HistoryChecker",
+    "Violation",
+    "SimulationPlan",
+    "SimulationResult",
+    "run_simulation",
+    "shrink_schedule",
+    "save_trace",
+    "load_trace",
+    "replay_trace",
 ]

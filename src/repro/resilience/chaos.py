@@ -26,6 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.resilience.scaffold import (
+    PayloadPattern,
+    advance_past_grace,
+    aligned as _aligned,
+    detection_window,
+    draw_free_candidate,
+    spread as _spread,
+)
+
 
 @dataclass
 class ChaosPlan:
@@ -133,14 +142,12 @@ class ChaosHarness:
 
         # Let the victims' leases and grace periods lapse.  Survivors
         # heartbeat every half-lease so only the dead expire.
-        total_s = plan.lease_s + plan.grace_s
-        step_s = plan.lease_s / 2
-        elapsed = 0.0
-        while elapsed <= total_s:
-            server.clock.advance_s(step_s)
-            elapsed += step_s
-            for client in clients.values():
-                client.renew_lease()
+        advance_past_grace(
+            server.clock,
+            plan.lease_s,
+            plan.grace_s,
+            on_tick=lambda: [c.renew_lease() for c in clients.values()],
+        )
         server.reap_sessions()
 
         survivors = [c.session_identity for c in clients.values()]
@@ -153,14 +160,6 @@ class ChaosHarness:
             allocator_used_bytes=sum(d.allocator.used_bytes for d in server.devices),
             counters=server.server_stats.as_dict(),
         )
-
-
-def _spread(total: int, buckets: int, rng) -> list[int]:
-    """Distribute ``total`` kills over ``buckets`` rounds, seeded."""
-    counts = [0] * buckets
-    for _ in range(total):
-        counts[rng.randrange(buckets)] += 1
-    return counts
 
 
 # -- failover chaos: kill the *server*, poison the *GPU* ------------------
@@ -304,7 +303,7 @@ class FailoverChaosHarness:
         expected: dict[int, bytes] = {}
         sticky_errors = 0
         killed_in: int | None = None
-        pattern = 0
+        pattern = PayloadPattern()
 
         for rnd in range(plan.rounds):
             if rnd == kill_round:
@@ -326,15 +325,14 @@ class FailoverChaosHarness:
                 server.failover_device(0)
             for idx, client in enumerate(clients):
                 for _ in range(plan.allocs_per_round):
-                    pattern = (pattern + 1) % 255
-                    payload = bytes([pattern + 1]) * min(plan.alloc_bytes, 256)
+                    payload = pattern.next_payload(plan.alloc_bytes)
                     ptr = client.malloc(plan.alloc_bytes)
                     client.memcpy_h2d(ptr, payload)
                     expected[ptr] = payload
                 # a seeded free keeps the allocator moving (and proves
                 # frees replicate too)
-                if expected and rng.random() < 0.3:
-                    dead_ptr = rng.choice(sorted(expected))
+                dead_ptr = draw_free_candidate(rng, expected, 0.3)
+                if dead_ptr is not None:
                     client.free(dead_ptr)
                     del expected[dead_ptr]
 
@@ -363,10 +361,6 @@ class FailoverChaosHarness:
             bytes_unaccounted=used - accounted,
             counters=final.server_stats.as_dict(),
         )
-
-
-def _aligned(size: int, alignment: int = 256) -> int:
-    return (size + alignment - 1) // alignment * alignment
 
 
 # -- overload chaos: more offered load than the server can execute ---------
@@ -743,13 +737,21 @@ class OverloadChaosHarness:
             args=(1 << 12).to_bytes(8, "big"),
         )
         used_before = sum(d.allocator.used_bytes for d in server.devices)
-        reply = server.dispatch_record(msg.RpcMessage(xid, call).encode())
+        # direct no-execution evidence: the handler tap must stay silent
+        executions: list[int] = []
+        tap = lambda _i, _x, _p, _s, _r: executions.append(_x)  # noqa: E731
+        server.execution_taps.append(tap)
+        try:
+            reply = server.dispatch_record(msg.RpcMessage(xid, call).encode())
+        finally:
+            server.execution_taps.remove(tap)
         used_after = sum(d.allocator.used_bytes for d in server.devices)
         return (
             reply == cached
             and msg.RpcMessage.decode(reply).body.stat == msg.CALL_CANCELLED
             and server.server_stats.reply_cache_hits == hits_before + 1
             and used_after == used_before
+            and not executions
         )
 
     def _probe_slow_readers(self, server: Any) -> int:
@@ -962,18 +964,17 @@ class MigrationChaosHarness:
 
         # -- seeded workload: expected contents of every live allocation --
         expected: dict[int, bytes] = {}
-        pattern = 0
+        pattern = PayloadPattern()
         for _ in range(plan.rounds):
             for _ in range(plan.allocs_per_round):
-                pattern = (pattern + 1) % 255
-                payload = bytes([pattern + 1]) * min(plan.alloc_bytes, 256)
+                payload = pattern.next_payload(plan.alloc_bytes)
                 ptr = client.malloc(plan.alloc_bytes)
                 client.memcpy_h2d(ptr, payload)
                 expected[ptr] = payload
             # a seeded free keeps the allocator moving (freed memory must
             # not resurrect on the target)
-            if len(expected) > 1 and rng.random() < 0.4:
-                dead_ptr = rng.choice(sorted(expected))
+            dead_ptr = draw_free_candidate(rng, expected, 0.4, min_live=2)
+            if dead_ptr is not None:
                 client.free(dead_ptr)
                 del expected[dead_ptr]
 
@@ -996,8 +997,7 @@ class MigrationChaosHarness:
                 good_gen = store.save_full(source)
                 fp_at_save = state_fingerprint(source)
                 # mutate past the good generation, then tear the next save
-                pattern = (pattern + 1) % 255
-                payload = bytes([pattern + 1]) * min(plan.alloc_bytes, 256)
+                payload = pattern.next_payload(plan.alloc_bytes)
                 ptr = client.malloc(plan.alloc_bytes)
                 client.memcpy_h2d(ptr, payload)
                 expected[ptr] = payload
@@ -1207,12 +1207,20 @@ class MigrationChaosHarness:
         """Retransmit the probe; the migrated cache must answer it."""
         hits_before = server.server_stats.reply_cache_hits
         used_before = sum(d.allocator.used_bytes for d in server.devices)
-        reply = server.dispatch_record(record)
+        # direct no-execution evidence: the handler tap must stay silent
+        executions: list[int] = []
+        tap = lambda _i, _x, _p, _s, _r: executions.append(_x)  # noqa: E731
+        server.execution_taps.append(tap)
+        try:
+            reply = server.dispatch_record(record)
+        finally:
+            server.execution_taps.remove(tap)
         used_after = sum(d.allocator.used_bytes for d in server.devices)
         return (
             reply == original_reply
             and server.server_stats.reply_cache_hits == hits_before + 1
             and used_after == used_before
+            and not executions
         )
 
 
@@ -1353,7 +1361,7 @@ class SanitizerChaosHarness:
         # expected contents of every healthy allocation: ptr -> bytes
         expected: dict[int, bytes] = {}
         leaked_ptrs: list[int] = []
-        pattern = 0
+        pattern = PayloadPattern()
 
         def violation_kinds() -> set:
             return {kind for kind, _owner, _site, _addr in server.violations}
@@ -1408,15 +1416,12 @@ class SanitizerChaosHarness:
             for client in healthy:
                 try:
                     for _ in range(plan.allocs_per_round):
-                        pattern = (pattern + 1) % 255
-                        payload = bytes([pattern + 1]) * min(
-                            plan.alloc_bytes, 256
-                        )
+                        payload = pattern.next_payload(plan.alloc_bytes)
                         ptr = client.malloc(plan.alloc_bytes)
                         client.memcpy_h2d(ptr, payload)
                         expected[ptr] = payload
-                    if expected and rng.random() < 0.3:
-                        dead = rng.choice(sorted(expected))
+                    dead = draw_free_candidate(rng, expected, 0.3)
+                    if dead is not None:
                         client.free(dead)
                         del expected[dead]
                 except CudaError:
@@ -1430,14 +1435,12 @@ class SanitizerChaosHarness:
         # The buggy tenant "crashes": stops heartbeating, its lease and
         # grace lapse, and the reaper's ledger release files the leak
         # report for everything it never freed.
-        total_s = plan.lease_s + plan.grace_s
-        step_s = plan.lease_s / 2
-        elapsed = 0.0
-        while elapsed <= total_s:
-            server.clock.advance_s(step_s)
-            elapsed += step_s
-            for client in healthy:
-                client.renew_lease()
+        advance_past_grace(
+            server.clock,
+            plan.lease_s,
+            plan.grace_s,
+            on_tick=lambda: [c.renew_lease() for c in healthy],
+        )
         server.reap_sessions()
         leaks = sum(1 for r in server.leak_reports if r["owner"] == buggy_id)
         if "leak" in plan.bugs and leaks >= len(leaked_ptrs) > 0:
@@ -1695,13 +1698,12 @@ class PartitionChaosHarness:
         acked_allocs: set[int] = set()
         refused = 0
         reused_live_ptrs = 0
-        pattern = 0
+        pattern = PayloadPattern()
         window = None
 
         def mutate(client) -> None:
-            nonlocal pattern, refused, reused_live_ptrs
-            pattern = (pattern + 1) % 255
-            payload = bytes([pattern + 1]) * min(plan.alloc_bytes, 256)
+            nonlocal refused, reused_live_ptrs
+            payload = pattern.next_payload(plan.alloc_bytes)
             try:
                 ptr = client.malloc(plan.alloc_bytes)
             except RpcError:
@@ -1746,8 +1748,8 @@ class PartitionChaosHarness:
                     mutate(client)
                 # a seeded free keeps the allocator moving (and proves
                 # frees stay epoch-consistent too)
-                if expected and rng.random() < 0.25:
-                    dead = rng.choice(sorted(expected))
+                dead = draw_free_candidate(rng, expected, 0.25)
+                if dead is not None:
                     try:
                         client.free(dead)
                     except RpcError:
@@ -2044,11 +2046,12 @@ class GrayFailureChaosHarness:
         for _ in range(plan.recovery_ops):
             measured_op(recovery)
 
-        detection_latency = detected_ns - injected_ns if detected_ns >= 0 else -1
-        budget_ns = int(plan.detect_budget_s * 1e9)
+        detection_latency, within_budget = detection_window(
+            injected_ns, detected_ns, plan.detect_budget_s
+        )
         return GrayFailureChaosResult(
             topology=plan.topology,
-            detected=0 <= detection_latency <= budget_ns,
+            detected=within_budget,
             detection_latency_ns=detection_latency,
             false_ejections=tuple(sorted(all_ejected - {limper_name})),
             baseline_p99_ns=baseline.p99,
@@ -2116,11 +2119,12 @@ class GrayFailureChaosHarness:
 
         # the serving slot must hold clean silicon again
         slot_degraded = server.devices[0].degraded or not server.devices[0].healthy
-        detection_latency = detected_ns - injected_ns if detected_ns >= 0 else -1
-        budget_ns = int(plan.detect_budget_s * 1e9)
+        detection_latency, within_budget = detection_window(
+            injected_ns, detected_ns, plan.detect_budget_s
+        )
         return GrayFailureChaosResult(
             topology=plan.topology,
-            detected=(0 <= detection_latency <= budget_ns) and not slot_degraded,
+            detected=within_budget and not slot_degraded,
             detection_latency_ns=detection_latency,
             false_ejections=("device0",) if baseline_preempts else (),
             baseline_p99_ns=baseline.p99,
@@ -2220,12 +2224,13 @@ class GrayFailureChaosHarness:
                 if i % 4 == 0:
                     store.save(server)
 
-        detection_latency = detected_ns - injected_ns if detected_ns >= 0 else -1
-        budget_ns = int(plan.detect_budget_s * 1e9)
+        detection_latency, within_budget = detection_window(
+            injected_ns, detected_ns, plan.detect_budget_s
+        )
         stats = server.server_stats
         return GrayFailureChaosResult(
             topology=plan.topology,
-            detected=(0 <= detection_latency <= budget_ns) and stretched,
+            detected=within_budget and stretched,
             detection_latency_ns=detection_latency,
             baseline_p99_ns=baseline.p99,
             recovery_p99_ns=recovery.p99,
@@ -2258,14 +2263,12 @@ class GrayFailureChaosHarness:
         )
         client = CricketClient.loopback(primary)
         clock = primary.clock
-        pattern = 0
+        pattern = PayloadPattern()
 
         def measured_op(hist: LatencyHistogram) -> None:
-            nonlocal pattern
-            pattern = (pattern + 1) % 255
             started = clock.now_ns
             ptr = client.malloc(1 << 12)
-            client.memcpy_h2d(ptr, bytes([pattern + 1]) * 64)
+            client.memcpy_h2d(ptr, pattern.next_payload(64))
             hist.record(clock.now_ns - started)
 
         baseline = LatencyHistogram()
@@ -2289,12 +2292,12 @@ class GrayFailureChaosHarness:
 
         link.flush()  # drain the (bounded) lag, then compare state
         diverged = state_fingerprint(primary) != state_fingerprint(standby)
-        detection_latency = detected_ns - injected_ns if detected_ns >= 0 else -1
-        budget_ns = int(plan.detect_budget_s * 1e9)
+        detection_latency, within_budget = detection_window(
+            injected_ns, detected_ns, plan.detect_budget_s
+        )
         return GrayFailureChaosResult(
             topology=plan.topology,
-            detected=(0 <= detection_latency <= budget_ns)
-            and link.lag <= link.demoted_max_lag,
+            detected=within_budget and link.lag <= link.demoted_max_lag,
             detection_latency_ns=detection_latency,
             baseline_p99_ns=baseline.p99,
             recovery_p99_ns=recovery.p99,

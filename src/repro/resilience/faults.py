@@ -42,7 +42,7 @@ Fault taxonomy (the names used in counters and docs):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.net.simclock import SimClock
 from repro.oncrpc.transport import Transport
@@ -128,11 +128,17 @@ class FaultInjectingTransport:
         *,
         clock: SimClock | None = None,
         stats: ResilienceStats | None = None,
+        active: bool = True,
     ) -> None:
         self.inner = inner
         self.plan = plan
         self.clock = clock
         self.stats = stats if stats is not None else ResilienceStats()
+        #: when False the wrapper passes records through untouched but
+        #: still draws every decision, so (like :class:`SlowTransport`)
+        #: a nemesis can open and close a fault window mid-run without
+        #: shifting the decision stream of later operations
+        self.active = active
         self._rng = random.Random(plan.seed)
         # Corruption decisions come from their own stream: adding the
         # corrupt fault must not shift the draws (and therefore the fault
@@ -192,27 +198,28 @@ class FaultInjectingTransport:
         disconnect_hit = self._hit(plan.disconnect_rate)
         drop_hit = self._hit(plan.drop_request_rate)
         corrupt_hit = self._corrupt_hit()
-        if delay_hit:
-            self._charge_delay()
-        if disconnect_hit:
-            self._fault("disconnect")
-            self._broken = True
-            raise RpcTransportError("injected disconnect during send")
-        if self._byte_trip_armed and (
-            self._bytes_sent + len(record) > plan.disconnect_after_bytes
-        ):
-            self._byte_trip_armed = False
-            self._fault("disconnect_after_bytes")
-            self._broken = True
-            raise RpcTransportError(
-                f"injected disconnect after {self._bytes_sent} bytes sent"
-            )
-        if self._requests_seen <= plan.drop_request_first or drop_hit:
-            self._fault("drop_request")
-            return  # the wire ate it; the server never sees this call
-        if self._requests_seen <= plan.corrupt_request_first or corrupt_hit:
-            self._fault("corrupt")
-            record = self._flip_byte(record)
+        if self.active:
+            if delay_hit:
+                self._charge_delay()
+            if disconnect_hit:
+                self._fault("disconnect")
+                self._broken = True
+                raise RpcTransportError("injected disconnect during send")
+            if self._byte_trip_armed and (
+                self._bytes_sent + len(record) > plan.disconnect_after_bytes
+            ):
+                self._byte_trip_armed = False
+                self._fault("disconnect_after_bytes")
+                self._broken = True
+                raise RpcTransportError(
+                    f"injected disconnect after {self._bytes_sent} bytes sent"
+                )
+            if self._requests_seen <= plan.drop_request_first or drop_hit:
+                self._fault("drop_request")
+                return  # the wire ate it; the server never sees this call
+            if self._requests_seen <= plan.corrupt_request_first or corrupt_hit:
+                self._fault("corrupt")
+                record = self._flip_byte(record)
         self._bytes_sent += len(record)
         self.inner.send_record(record)
 
@@ -233,19 +240,20 @@ class FaultInjectingTransport:
         truncate_hit = self._hit(plan.truncate_rate)
         duplicate_hit = self._hit(plan.duplicate_rate)
         corrupt_hit = self._corrupt_hit()
-        if self._replies_seen <= plan.drop_reply_first or drop_hit:
-            self._fault("drop_reply")
-            # The reply is gone; behave like a loss the caller can retry.
-            raise RpcTransportError("injected reply loss")
-        if truncate_hit and len(record) > 4:
-            self._fault("truncate")
-            return record[: len(record) // 2]
-        if self._replies_seen <= plan.corrupt_reply_first or corrupt_hit:
-            self._fault("corrupt")
-            record = self._flip_byte(record)
-        if duplicate_hit:
-            self._fault("duplicate")
-            self._stash.append(record)
+        if self.active:
+            if self._replies_seen <= plan.drop_reply_first or drop_hit:
+                self._fault("drop_reply")
+                # The reply is gone; behave like a loss the caller can retry.
+                raise RpcTransportError("injected reply loss")
+            if truncate_hit and len(record) > 4:
+                self._fault("truncate")
+                return record[: len(record) // 2]
+            if self._replies_seen <= plan.corrupt_reply_first or corrupt_hit:
+                self._fault("corrupt")
+                record = self._flip_byte(record)
+            if duplicate_hit:
+                self._fault("duplicate")
+                self._stash.append(record)
         return record
 
     def reconnect(self, *, force: bool = False) -> None:
@@ -432,6 +440,59 @@ class SlowEndpoint:
         self.active = active
         for transport in self._transports:
             transport.active = active
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+
+class FaultyEndpoint:
+    """Wraps a failover endpoint so its connections inject transport faults.
+
+    The :class:`SlowEndpoint` pattern applied to :class:`FaultPlan`:
+    ``connect`` wraps the returned transport in a
+    :class:`FaultInjectingTransport` with a per-connection derived seed,
+    and one ``set_active`` switch opens or heals the fault window on the
+    endpoint and every transport it has handed out.  This is how the
+    simulation nemesis turns ``FaultPlan``-family faults (drops, dup
+    replies, disconnects) on and off over virtual time.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        *,
+        clock: SimClock | None = None,
+        stats: ResilienceStats | None = None,
+        active: bool = False,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock
+        self.stats = stats
+        self.active = active
+        self._transports: list[FaultInjectingTransport] = []
+        self._next_seed = plan.seed
+
+    def connect(self) -> FaultInjectingTransport:
+        transport = self.inner.connect()
+        plan = replace(self.plan, seed=self._next_seed)
+        self._next_seed += 1
+        faulty = FaultInjectingTransport(
+            transport, plan, clock=self.clock, stats=self.stats, active=self.active
+        )
+        self._transports.append(faulty)
+        return faulty
+
+    def set_active(self, active: bool) -> None:
+        """Open (True) or heal (False) the fault window on every pipe."""
+        self.active = active
+        for transport in self._transports:
+            transport.active = active
+            if not active:
+                # Healing also mends any injected disconnect so the next
+                # retry gets through without a reconnect round-trip.
+                transport._broken = False
 
     def __getattr__(self, name: str):
         return getattr(self.inner, name)

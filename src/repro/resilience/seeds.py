@@ -1,0 +1,65 @@
+"""One place to parse chaos-seed lists.
+
+Every soak surface in this repo -- the CI chaos steps, the demo
+scripts' ``CHAOS_SEED`` knob, the nightly nemesis matrix -- wants the
+same thing: "run these seeds", configured as a whitespace- or
+comma-separated string in an environment variable.  Before this module
+each surface re-implemented the split-and-int dance (and each handled
+garbage slightly differently); now they all call
+:func:`parse_chaos_seeds` / :func:`chaos_seeds` and malformed input
+fails the same way everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+#: environment variable holding the seed list ("0 1 2" or "0,1,2")
+CHAOS_SEEDS_ENV = "REPRO_CHAOS_SEEDS"
+#: single-seed override used by the demo scripts (takes precedence)
+CHAOS_SEED_ENV = "CHAOS_SEED"
+
+
+def parse_chaos_seeds(
+    text: str | None, default: Sequence[int] = (0,)
+) -> tuple[int, ...]:
+    """Parse a seed list like ``"0 1 2"`` or ``"3,7,12"``.
+
+    ``None``, empty, or whitespace-only input yields ``default``
+    (soaks always have a historical seed list to fall back on).  A
+    token that is not an integer raises :class:`ValueError` naming the
+    offending token -- a half-typed override should fail loudly, not
+    silently soak the wrong seeds.
+    """
+    if text is None:
+        return tuple(int(s) for s in default)
+    tokens = text.replace(",", " ").split()
+    if not tokens:
+        return tuple(int(s) for s in default)
+    seeds = []
+    for token in tokens:
+        try:
+            seeds.append(int(token, 0))
+        except ValueError:
+            raise ValueError(
+                f"malformed chaos seed {token!r} in {text!r}: "
+                "expected whitespace- or comma-separated integers"
+            ) from None
+    return tuple(seeds)
+
+
+def chaos_seeds(
+    default: Sequence[int] = (0,), env: dict[str, str] | None = None
+) -> tuple[int, ...]:
+    """Resolve the seed list from the environment.
+
+    ``CHAOS_SEED`` (single seed, the demo-script convention) wins over
+    ``REPRO_CHAOS_SEEDS`` (seed list, the CI convention); with neither
+    set, ``default`` is returned.
+    """
+    mapping = os.environ if env is None else env
+    single = mapping.get(CHAOS_SEED_ENV)
+    if single is not None and single.strip():
+        return (int(single, 0),)
+    return parse_chaos_seeds(mapping.get(CHAOS_SEEDS_ENV), default)

@@ -1,0 +1,182 @@
+"""Fault-schedule shrinking: delta-debug a failing nemesis schedule.
+
+When a seeded simulation run ends with checker violations, the full
+nemesis schedule is rarely the story -- most of its events are noise.
+:func:`shrink_schedule` applies ddmin (Zeller's delta debugging) over
+the event *subsequence* lattice: re-running the simulation with a
+candidate subset is cheap and exact, because the workload stream derives
+from the seed independently of the schedule, so dropping nemesis events
+never shifts a single workload draw.
+
+The result is a 1-minimal subsequence: removing any one chunk at the
+final granularity no longer reproduces the violation.  The trace helpers
+persist ``(plan, shrunk schedule, expected verdicts, fingerprint)`` as
+JSON; :func:`replay_trace` re-runs it and verifies the violation
+reappears -- byte-for-byte, via the history fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable
+
+from repro.resilience.simulation.events import (
+    NemesisEvent,
+    events_from_jsonable,
+    events_to_jsonable,
+)
+from repro.resilience.simulation.harness import (
+    SimulationPlan,
+    SimulationResult,
+    run_simulation,
+)
+
+#: trace file format version
+TRACE_VERSION = 1
+
+
+def _reproduces(
+    plan: SimulationPlan,
+    candidate: list[NemesisEvent],
+    kinds: set[str] | None,
+) -> SimulationResult | None:
+    """Run the candidate schedule; return the result if it still fails."""
+    result = run_simulation(plan, schedule=candidate)
+    if not result.violations:
+        return None
+    if kinds is not None and not (set(result.violation_kinds()) & kinds):
+        return None
+    return result
+
+
+def shrink_schedule(
+    plan: SimulationPlan,
+    schedule: list[NemesisEvent],
+    *,
+    kinds: Iterable[str] | None = None,
+    max_runs: int = 200,
+    on_progress: Callable[[int, int], None] | None = None,
+) -> tuple[list[NemesisEvent], SimulationResult]:
+    """ddmin the schedule to a 1-minimal violating subsequence.
+
+    ``kinds`` restricts what counts as "still failing" to those violation
+    kinds (default: any violation).  ``max_runs`` bounds the number of
+    simulation re-runs; the best subsequence found so far is returned if
+    the budget runs out.  Returns ``(minimal schedule, its result)``.
+
+    Raises ``ValueError`` if the full schedule does not reproduce any
+    qualifying violation -- shrinking needs a failing input to start.
+    """
+    kind_set = set(kinds) if kinds is not None else None
+    runs = 0
+
+    def test(candidate: list[NemesisEvent]) -> SimulationResult | None:
+        nonlocal runs
+        runs += 1
+        if on_progress is not None:
+            on_progress(runs, len(candidate))
+        return _reproduces(plan, candidate, kind_set)
+
+    best_result = test(list(schedule))
+    if best_result is None:
+        raise ValueError(
+            "full schedule does not reproduce a qualifying violation; "
+            "nothing to shrink"
+        )
+    current = list(schedule)
+
+    # Classic ddmin over subsequences: try removing chunks, doubling the
+    # granularity when no chunk can be removed, until granularity
+    # exceeds the sequence length.
+    granularity = 2
+    while len(current) >= 2 and runs < max_runs:
+        chunk = max(1, len(current) // granularity)
+        removed_any = False
+        start = 0
+        while start < len(current) and runs < max_runs:
+            candidate = current[:start] + current[start + chunk:]
+            if candidate:
+                result = test(candidate)
+                if result is not None:
+                    current = candidate
+                    best_result = result
+                    granularity = max(granularity - 1, 2)
+                    removed_any = True
+                    # re-scan from the front at the same granularity
+                    start = 0
+                    continue
+            start += chunk
+        if not removed_any:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current, best_result
+
+
+# -- replayable traces --------------------------------------------------------
+
+
+def trace_jsonable(
+    plan: SimulationPlan,
+    schedule: list[NemesisEvent],
+    result: SimulationResult,
+) -> dict[str, Any]:
+    """The JSON body persisted for one shrunk repro trace."""
+    return {
+        "version": TRACE_VERSION,
+        "plan": plan.to_jsonable(),
+        "schedule": events_to_jsonable(schedule),
+        "violations": [v.to_jsonable() for v in result.violations],
+        "violation_kinds": list(result.violation_kinds()),
+        "fingerprint": result.fingerprint,
+        "applied": list(result.applied),
+        "outcomes": dict(result.outcomes),
+    }
+
+
+def save_trace(
+    path: str,
+    plan: SimulationPlan,
+    schedule: list[NemesisEvent],
+    result: SimulationResult,
+) -> None:
+    """Persist a shrunk failing schedule as a replayable JSON trace."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_jsonable(plan, schedule, result), fh, indent=2)
+        fh.write("\n")
+
+
+def load_trace(path: str) -> tuple[SimulationPlan, list[NemesisEvent], dict[str, Any]]:
+    """Load a trace: ``(plan, schedule, raw trace dict)``."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("version") != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {data.get('version')!r}")
+    plan = SimulationPlan.from_jsonable(data["plan"])
+    schedule = events_from_jsonable(data["schedule"])
+    return plan, schedule, data
+
+
+def replay_trace(path: str) -> SimulationResult:
+    """Re-run a saved trace and verify it reproduces, byte-for-byte.
+
+    Raises ``AssertionError`` if the replay's violations or history
+    fingerprint deviate from what the trace recorded -- either means the
+    run is no longer deterministic or the system under test changed.
+    """
+    plan, schedule, data = load_trace(path)
+    result = run_simulation(plan, schedule=schedule)
+    want_kinds = tuple(sorted(data["violation_kinds"]))
+    got_kinds = result.violation_kinds()
+    if got_kinds != want_kinds:
+        raise AssertionError(
+            f"trace replay diverged: expected violations {want_kinds}, "
+            f"got {got_kinds}"
+        )
+    if result.fingerprint != data["fingerprint"]:
+        raise AssertionError(
+            "trace replay diverged: history fingerprint "
+            f"{result.fingerprint[:16]}... != recorded "
+            f"{data['fingerprint'][:16]}..."
+        )
+    return result

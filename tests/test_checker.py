@@ -1,0 +1,264 @@
+"""History checker against hand-crafted histories.
+
+The simulation's end-to-end runs exercise the checker on real
+histories; these tests pin its semantics on *constructed* ones, where
+every event is explicit: valid histories (including the ambiguous
+"maybe" worlds) must pass, and each seeded bug class must produce
+exactly its violation kind.
+"""
+
+import pytest
+
+from repro.cuda.errors import CudaError
+from repro.oncrpc.errors import (
+    RpcBusyError,
+    RpcCallExpired,
+    RpcCancelled,
+    RpcNotLeaderError,
+    RpcTransportError,
+)
+from repro.resilience.simulation import (
+    BYTES_UNACCOUNTED,
+    DOUBLE_EXECUTION,
+    EPOCH_REGRESSION,
+    LOST_ACKED_WRITE,
+    OUTCOME_AMBIGUOUS,
+    OUTCOME_BUSY,
+    OUTCOME_CANCELLED,
+    OUTCOME_CUDA_ERROR,
+    OUTCOME_EXPIRED,
+    OUTCOME_NOT_LEADER,
+    OUTCOME_OK,
+    POINTER_REUSE,
+    USE_AFTER_FREE,
+    HistoryChecker,
+    HistoryEvent,
+    classify_outcome,
+)
+
+PTR = 0x7000
+
+
+class _History:
+    """Tiny builder so each test reads as the story it checks."""
+
+    def __init__(self):
+        self.events = []
+        self._op = 0
+
+    def _append(self, **fields):
+        self.events.append(
+            HistoryEvent(index=len(self.events), t_ns=len(self.events), **fields)
+        )
+
+    def call(self, op, *, node="c0", outcome=OUTCOME_OK, value=None,
+             ambiguous=False, epoch=None, **args):
+        """An invoke/return pair for one client operation."""
+        op_id = self._op
+        self._op += 1
+        self._append(kind="invoke", node=node, op=op, op_id=op_id, args=args)
+        self._append(
+            kind="return", node=node, op=op, op_id=op_id, outcome=outcome,
+            value=value, ambiguous=ambiguous, epoch=epoch,
+        )
+        return self
+
+    def execute(self, *, node="server", identity="c0", xid=1, replica=False):
+        self._append(
+            kind="execute", node=node, identity=identity, xid=xid,
+            proc=6, stat=0, replica=replica,
+        )
+        return self
+
+    def audit(self, used_bytes, *, node="server", alignment=256):
+        self._append(
+            kind="audit", node=node,
+            args={"used_bytes": used_bytes, "alignment": alignment},
+        )
+        return self
+
+    def check(self):
+        return HistoryChecker().check(self.events)
+
+    def kinds(self):
+        return sorted({v.kind for v in self.check()})
+
+
+class TestValidHistories:
+    def test_empty_history(self):
+        assert _History().check() == []
+
+    def test_full_lifecycle_is_clean(self):
+        h = (_History()
+             .call("malloc", size=4096, value=PTR)
+             .call("h2d", ptr=PTR, data="aa" * 64)
+             .call("d2h", ptr=PTR, size=128, value="aa" * 64)
+             .call("free", ptr=PTR)
+             .audit(0))
+        assert h.check() == []
+
+    def test_distinct_executions_are_clean(self):
+        h = (_History()
+             .execute(xid=1).execute(xid=2)
+             .execute(xid=1, identity="c1")
+             .execute(xid=1, node="standby"))
+        assert h.check() == []
+
+    def test_replica_applies_are_exempt(self):
+        h = _History().execute(xid=1).execute(xid=1, node="standby", replica=True)
+        assert h.check() == []
+        h.execute(xid=1, node="standby", replica=True)
+        assert h.check() == []
+
+    def test_ambiguous_write_widens_readback_set(self):
+        # The torn world: the second write may or may not have landed, so
+        # a readback of either payload is acceptable.
+        old, new = "aa" * 64, "bb" * 64
+        for readback in (old, new):
+            h = (_History()
+                 .call("malloc", size=4096, value=PTR)
+                 .call("h2d", ptr=PTR, data=old)
+                 .call("h2d", ptr=PTR, data=new,
+                       outcome=OUTCOME_AMBIGUOUS, ambiguous=True)
+                 .call("d2h", ptr=PTR, size=128, value=readback))
+            assert h.check() == []
+
+    def test_ambiguous_free_allows_both_worlds(self):
+        # Freed-or-not limbo: neither a later successful write (proves
+        # un-freed) nor a later successful free (proves the free landed
+        # now) is a violation, and the audit accepts either byte count.
+        write_after = (_History()
+                       .call("malloc", size=4096, value=PTR)
+                       .call("free", ptr=PTR,
+                             outcome=OUTCOME_AMBIGUOUS, ambiguous=True)
+                       .call("h2d", ptr=PTR, data="cc" * 16)
+                       .audit(4096))
+        assert write_after.check() == []
+        free_after = (_History()
+                      .call("malloc", size=4096, value=PTR)
+                      .call("free", ptr=PTR,
+                            outcome=OUTCOME_AMBIGUOUS, ambiguous=True)
+                      .call("free", ptr=PTR)
+                      .audit(0))
+        assert free_after.check() == []
+
+    def test_failed_ops_against_freed_pointer_are_clean(self):
+        # A *refused* use-after-free is the system working.
+        h = (_History()
+             .call("malloc", size=4096, value=PTR)
+             .call("free", ptr=PTR)
+             .call("free", ptr=PTR, outcome=OUTCOME_CUDA_ERROR)
+             .call("d2h", ptr=PTR, size=64, outcome=OUTCOME_CUDA_ERROR))
+        assert h.check() == []
+
+    def test_audit_accepts_ambiguous_alloc_slack(self):
+        h = (_History()
+             .call("malloc", size=4096, value=PTR)
+             .call("malloc", size=4096, outcome=OUTCOME_AMBIGUOUS,
+                   ambiguous=True)
+             .audit(8192))
+        assert h.check() == []
+        assert _History().call(
+            "malloc", size=4096, outcome=OUTCOME_AMBIGUOUS, ambiguous=True
+        ).audit(0).check() == []
+
+
+class TestInvalidHistories:
+    def test_double_execution(self):
+        h = _History().execute(xid=7).execute(xid=7)
+        violations = h.check()
+        assert [v.kind for v in violations] == [DOUBLE_EXECUTION]
+        assert "xid 7" in violations[0].detail
+        assert violations[0].node == "server"
+
+    def test_lost_acked_write(self):
+        h = (_History()
+             .call("malloc", size=4096, value=PTR)
+             .call("h2d", ptr=PTR, data="aa" * 64)
+             .call("d2h", ptr=PTR, size=128, value="bb" * 64))
+        assert h.kinds() == [LOST_ACKED_WRITE]
+
+    def test_read_your_writes_across_reads(self):
+        # A read is a linearization point: two successful reads with no
+        # intervening write must agree.
+        h = (_History()
+             .call("malloc", size=4096, value=PTR)
+             .call("d2h", ptr=PTR, size=64, value="11" * 16)
+             .call("d2h", ptr=PTR, size=64, value="22" * 16))
+        assert h.kinds() == [LOST_ACKED_WRITE]
+
+    def test_use_after_free_read(self):
+        h = (_History()
+             .call("malloc", size=4096, value=PTR)
+             .call("free", ptr=PTR)
+             .call("d2h", ptr=PTR, size=64, value="aa"))
+        assert h.kinds() == [USE_AFTER_FREE]
+
+    def test_use_after_free_write_and_double_free(self):
+        write = (_History()
+                 .call("malloc", size=4096, value=PTR)
+                 .call("free", ptr=PTR)
+                 .call("h2d", ptr=PTR, data="aa"))
+        assert write.kinds() == [USE_AFTER_FREE]
+        double = (_History()
+                  .call("malloc", size=4096, value=PTR)
+                  .call("free", ptr=PTR)
+                  .call("free", ptr=PTR))
+        assert double.kinds() == [USE_AFTER_FREE]
+
+    def test_pointer_reuse(self):
+        h = (_History()
+             .call("malloc", size=4096, value=PTR)
+             .call("malloc", size=4096, value=PTR))
+        assert h.kinds() == [POINTER_REUSE]
+
+    def test_epoch_regression(self):
+        h = (_History()
+             .call("ping", epoch=2)
+             .call("ping", epoch=1))
+        violations = h.check()
+        assert [v.kind for v in violations] == [EPOCH_REGRESSION]
+        assert violations[0].node == "c0"
+
+    def test_epoch_only_checked_on_ok(self):
+        # A stale NOT_LEADER reply naming an old epoch is not regression.
+        h = (_History()
+             .call("ping", epoch=2)
+             .call("ping", epoch=1, outcome=OUTCOME_NOT_LEADER))
+        assert h.check() == []
+
+    def test_bytes_unaccounted_above_and_below(self):
+        leak = _History().call("malloc", size=4096, value=PTR).audit(8192)
+        assert leak.kinds() == [BYTES_UNACCOUNTED]
+        vanished = _History().call("malloc", size=4096, value=PTR).audit(0)
+        assert vanished.kinds() == [BYTES_UNACCOUNTED]
+
+    def test_violation_is_jsonable_and_anchored(self):
+        violation = _History().execute(xid=3).execute(xid=3).check()[0]
+        record = violation.to_jsonable()
+        assert record["kind"] == DOUBLE_EXECUTION
+        assert record["index"] == violation.index == 1
+
+
+class TestClassifyOutcome:
+    @pytest.mark.parametrize("exc,outcome", [
+        (None, OUTCOME_OK),
+        (RpcBusyError("shed"), OUTCOME_BUSY),
+        (RpcNotLeaderError("fenced"), OUTCOME_NOT_LEADER),
+        (RpcCallExpired("late"), OUTCOME_EXPIRED),
+        (RpcCancelled("aborted"), OUTCOME_CANCELLED),
+        (CudaError(2), OUTCOME_CUDA_ERROR),
+    ])
+    def test_unambiguous_outcomes(self, exc, outcome):
+        got, ambiguous = classify_outcome(exc)
+        assert got == outcome
+        assert ambiguous is False
+
+    @pytest.mark.parametrize("exc", [
+        RpcTransportError("reset"),
+        RuntimeError("anything else"),
+    ])
+    def test_transport_loss_is_ambiguous(self, exc):
+        got, ambiguous = classify_outcome(exc)
+        assert got == OUTCOME_AMBIGUOUS
+        assert ambiguous is True

@@ -1,0 +1,74 @@
+"""Chaos-seed parsing: the one shared helper every soak surface uses."""
+
+import pytest
+
+from repro.resilience import (
+    CHAOS_SEED_ENV,
+    CHAOS_SEEDS_ENV,
+    chaos_seeds,
+    parse_chaos_seeds,
+)
+
+
+class TestParseChaosSeeds:
+    def test_none_yields_default(self):
+        assert parse_chaos_seeds(None) == (0,)
+        assert parse_chaos_seeds(None, default=(3, 7)) == (3, 7)
+
+    def test_empty_and_whitespace_yield_default(self):
+        assert parse_chaos_seeds("", default=(5,)) == (5,)
+        assert parse_chaos_seeds("   \t ", default=(5,)) == (5,)
+
+    def test_whitespace_separated(self):
+        assert parse_chaos_seeds("0 1 2 3") == (0, 1, 2, 3)
+
+    def test_comma_separated_and_mixed(self):
+        assert parse_chaos_seeds("3,7,12") == (3, 7, 12)
+        assert parse_chaos_seeds("0, 1,\t2  3") == (0, 1, 2, 3)
+
+    def test_single_seed(self):
+        assert parse_chaos_seeds("42") == (42,)
+
+    def test_base_prefixes_and_negatives(self):
+        # int(token, 0): hex/octal/binary prefixes and signs all work.
+        assert parse_chaos_seeds("0x10 -1 0b101") == (16, -1, 5)
+
+    def test_malformed_token_raises_naming_it(self):
+        with pytest.raises(ValueError, match="'banana'"):
+            parse_chaos_seeds("0 banana 2")
+
+    def test_malformed_float_raises(self):
+        with pytest.raises(ValueError, match="3.5"):
+            parse_chaos_seeds("3.5")
+
+    def test_default_is_normalized_to_ints(self):
+        assert parse_chaos_seeds(None, default=["7", "9"]) == (7, 9)
+
+
+class TestChaosSeeds:
+    def test_neither_set_returns_default(self):
+        assert chaos_seeds(default=(2,), env={}) == (2,)
+
+    def test_seed_list_env(self):
+        env = {CHAOS_SEEDS_ENV: "0 1 2"}
+        assert chaos_seeds(default=(9,), env=env) == (0, 1, 2)
+
+    def test_single_seed_env_wins_over_list(self):
+        env = {CHAOS_SEED_ENV: "5", CHAOS_SEEDS_ENV: "0 1 2"}
+        assert chaos_seeds(default=(9,), env=env) == (5,)
+
+    def test_blank_single_seed_falls_through_to_list(self):
+        env = {CHAOS_SEED_ENV: "  ", CHAOS_SEEDS_ENV: "4 6"}
+        assert chaos_seeds(default=(9,), env=env) == (4, 6)
+
+    def test_malformed_list_raises(self):
+        env = {CHAOS_SEEDS_ENV: "1 oops"}
+        with pytest.raises(ValueError, match="'oops'"):
+            chaos_seeds(env=env)
+
+    def test_reads_process_environment_by_default(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_SEED_ENV, "11")
+        assert chaos_seeds(default=(0,)) == (11,)
+        monkeypatch.delenv(CHAOS_SEED_ENV)
+        monkeypatch.setenv(CHAOS_SEEDS_ENV, "1, 2")
+        assert chaos_seeds(default=(0,)) == (1, 2)

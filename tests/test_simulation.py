@@ -1,0 +1,241 @@
+"""Deterministic cluster simulation: nemesis, harness, shrinker, traces.
+
+The acceptance path for the whole subsystem lives here: seeded runs
+are bit-reproducible (identical history fingerprints), benign seeds
+come out clean under the full composed nemesis, an injected
+double-execution bug is caught by the checker and shrunk to a minimal
+replayable trace, and the trace replays byte-for-byte.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.resilience.simulation import (
+    BUG_DOUBLE_EXECUTE,
+    DOUBLE_EXECUTION,
+    HA_PAIR_KINDS,
+    SINGLE_KINDS,
+    TOPOLOGIES,
+    NemesisEvent,
+    SimulationPlan,
+    events_from_jsonable,
+    events_to_jsonable,
+    generate_schedule,
+    load_trace,
+    replay_trace,
+    run_simulation,
+    save_trace,
+    shrink_schedule,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+
+
+# -- plan ---------------------------------------------------------------------
+
+
+class TestSimulationPlan:
+    def test_jsonable_round_trip(self):
+        plan = SimulationPlan(topology="single", seed=9, clients=3, steps=40)
+        clone = SimulationPlan.from_jsonable(
+            json.loads(json.dumps(plan.to_jsonable()))
+        )
+        assert clone == plan
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            SimulationPlan(topology="mesh")
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            SimulationPlan(clients=0)
+        with pytest.raises(ValueError):
+            SimulationPlan(steps=0)
+        with pytest.raises(ValueError):
+            SimulationPlan(horizon_s=0.0)
+
+
+# -- nemesis schedule generation ---------------------------------------------
+
+
+class TestNemesisSchedule:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(topology="ha_pair", events=12, clients=2, horizon_s=12.0)
+        first = generate_schedule(random.Random(5), **kwargs)
+        second = generate_schedule(random.Random(5), **kwargs)
+        assert first == second
+        assert len(first) == 12
+
+    def test_schedule_sorted_and_inside_horizon(self):
+        schedule = generate_schedule(
+            random.Random(1), topology="single", events=20, clients=2,
+            horizon_s=10.0,
+        )
+        times = [event.at_s for event in schedule]
+        assert times == sorted(times)
+        assert all(0.0 < t < 10.0 for t in times)
+
+    def test_kinds_match_topology_and_never_the_bug(self):
+        for topology, kinds in (("ha_pair", HA_PAIR_KINDS), ("single", SINGLE_KINDS)):
+            schedule = generate_schedule(
+                random.Random(2), topology=topology, events=40, clients=2,
+                horizon_s=12.0,
+            )
+            assert {event.kind for event in schedule} <= set(kinds)
+            assert BUG_DOUBLE_EXECUTE not in {event.kind for event in schedule}
+
+    def test_events_jsonable_round_trip(self):
+        schedule = generate_schedule(
+            random.Random(3), topology="ha_pair", events=8, clients=2,
+            horizon_s=12.0,
+        )
+        clone = events_from_jsonable(
+            json.loads(json.dumps(events_to_jsonable(schedule)))
+        )
+        assert clone == schedule
+
+
+# -- the harness: reproducibility and clean seeds -----------------------------
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_bit_reproducible(self, topology):
+        plan = SimulationPlan(topology=topology, seed=1)
+        first = run_simulation(plan)
+        second = run_simulation(plan)
+        assert first.fingerprint == second.fingerprint
+        assert first.violation_kinds() == second.violation_kinds()
+        assert first.outcomes == second.outcomes
+        assert first.applied == second.applied
+
+    def test_different_seeds_diverge(self):
+        plan_a = SimulationPlan(topology="ha_pair", seed=0)
+        plan_b = SimulationPlan(topology="ha_pair", seed=1)
+        assert run_simulation(plan_a).fingerprint != run_simulation(plan_b).fingerprint
+
+    def test_explicit_schedule_overrides_generation(self):
+        plan = SimulationPlan(topology="single", seed=4, steps=24, horizon_s=6.0)
+        quiet = run_simulation(plan, schedule=[])
+        assert quiet.clean, quiet.violations
+        assert quiet.applied == []
+        assert quiet.fingerprint == run_simulation(plan, schedule=[]).fingerprint
+
+
+class TestCleanSeeds:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_composed_nemesis_run_is_clean(self, topology, seed):
+        result = run_simulation(SimulationPlan(topology=topology, seed=seed))
+        assert result.clean, result.violations
+        assert result.converged
+        assert result.applied, "nemesis applied no events"
+        assert result.outcomes.get("ok", 0) > 0
+
+    def test_workload_outcomes_are_typed(self):
+        result = run_simulation(SimulationPlan(topology="ha_pair", seed=7))
+        unknown = set(result.outcomes) - {
+            "ok", "busy", "not_leader", "expired", "cancelled",
+            "cuda_error", "ambiguous",
+        }
+        assert not unknown, unknown
+
+
+# -- the acceptance path: catch, shrink, replay -------------------------------
+
+
+def _buggy_schedule(plan):
+    """The issue's acceptance scenario: a real nemesis schedule plus the
+    intentional double-execution bug, armed before the nemesis's first
+    move (generated events start at 5% of the horizon) so the leader is
+    guaranteed alive to execute it."""
+    rng = random.Random(plan.seed)
+    schedule = generate_schedule(
+        rng, topology=plan.topology, events=5, clients=plan.clients,
+        horizon_s=plan.horizon_s,
+    )
+    schedule.append(NemesisEvent(
+        at_s=plan.horizon_s * 0.02, kind=BUG_DOUBLE_EXECUTE,
+        params={"count": 2},
+    ))
+    return sorted(schedule, key=lambda event: event.at_s)
+
+
+class TestShrinker:
+    def test_bug_caught_shrunk_and_replayable(self, tmp_path):
+        plan = SimulationPlan(topology="ha_pair", seed=3)
+        schedule = _buggy_schedule(plan)
+        full = run_simulation(plan, schedule=schedule)
+        assert DOUBLE_EXECUTION in full.violation_kinds()
+
+        runs = []
+        minimal, result = shrink_schedule(
+            plan, schedule, kinds=[DOUBLE_EXECUTION],
+            on_progress=lambda run, size: runs.append((run, size)),
+        )
+        assert len(minimal) <= 10  # the issue's acceptance bound
+        assert [event.kind for event in minimal] == [BUG_DOUBLE_EXECUTE]
+        assert DOUBLE_EXECUTION in result.violation_kinds()
+        assert runs, "on_progress never fired"
+
+        trace = tmp_path / "repro.json"
+        save_trace(str(trace), plan, minimal, result)
+        loaded_plan, loaded_schedule, data = load_trace(str(trace))
+        assert loaded_plan == plan
+        assert loaded_schedule == minimal
+        assert data["fingerprint"] == result.fingerprint
+        replayed = replay_trace(str(trace))
+        assert replayed.fingerprint == result.fingerprint
+
+    def test_shrink_refuses_a_passing_schedule(self):
+        plan = SimulationPlan(
+            topology="single", seed=0, steps=24, horizon_s=6.0
+        )
+        with pytest.raises(ValueError, match="does not reproduce"):
+            shrink_schedule(plan, [])
+
+    def test_kind_filter_ignores_other_violations(self):
+        # The armed bug cascades into byte/readback anomalies, but it can
+        # never regress an epoch -- filtering on that kind must refuse.
+        plan = SimulationPlan(topology="ha_pair", seed=3)
+        schedule = _buggy_schedule(plan)
+        with pytest.raises(ValueError, match="does not reproduce"):
+            shrink_schedule(plan, schedule, kinds=["epoch-regression"])
+
+    def test_replay_detects_divergence(self, tmp_path):
+        plan = SimulationPlan(topology="ha_pair", seed=3)
+        minimal, result = shrink_schedule(
+            plan, _buggy_schedule(plan), kinds=[DOUBLE_EXECUTION],
+        )
+        trace = tmp_path / "repro.json"
+        save_trace(str(trace), plan, minimal, result)
+        data = json.loads(trace.read_text())
+        data["fingerprint"] = "0" * 64
+        trace.write_text(json.dumps(data))
+        with pytest.raises(AssertionError, match="fingerprint"):
+            replay_trace(str(trace))
+
+    def test_trace_rejects_unknown_version(self, tmp_path):
+        trace = tmp_path / "repro.json"
+        trace.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(str(trace))
+
+
+# -- the nightly matrix, opt-in via `-m soak` ---------------------------------
+
+
+@pytest.mark.soak
+class TestNemesisSoak:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("seed", range(12))
+    def test_seed_matrix_clean_and_reproducible(self, topology, seed):
+        plan = SimulationPlan(
+            topology=topology, seed=seed, steps=80, nemesis_events=8,
+            horizon_s=16.0,
+        )
+        first = run_simulation(plan)
+        assert first.clean, (seed, topology, first.violations)
+        assert first.fingerprint == run_simulation(plan).fingerprint
